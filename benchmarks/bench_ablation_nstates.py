@@ -1,0 +1,84 @@
+"""Ablation: the N_STATES sequence limit (the paper fixes it at 64).
+
+Sweeps the limit on two circuits and checks monotonicity: more sequences
+can only help, and the opaque-cluster faults of the s5378 stand-in need
+a budget of 2^K sequences for expansion-only detection, while the
+proposed procedure detects them at any budget (its conflict closures are
+free).
+
+Writes ``benchmarks/out/ablation_nstates.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.registry import get_entry
+from repro.experiments.runner import sample_faults
+from repro.faults.collapse import collapse_faults
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.reporting.tables import Table
+
+LIMITS = (4, 16, 64)
+_ROWS = []
+
+
+def _workload(name, cap):
+    entry = get_entry(name)
+    circuit = entry.build()
+    faults = sample_faults(collapse_faults(circuit), cap)
+    patterns = random_patterns(
+        circuit.num_inputs, entry.sequence_length, seed=entry.seed
+    )
+    return circuit, faults, patterns
+
+
+@pytest.mark.parametrize("name", ["s208_like", "mp2_like"])
+def test_nstates_monotone(benchmark, name):
+    circuit, faults, patterns = _workload(name, 150)
+
+    def sweep():
+        results = {}
+        for limit in LIMITS:
+            proposed = ProposedSimulator(
+                circuit, patterns, MotConfig(n_states=limit)
+            ).run(faults)
+            baseline = BaselineSimulator(
+                circuit, patterns, BaselineConfig(n_states=limit)
+            ).run(faults)
+            results[limit] = (proposed.mot_detected, baseline.mot_detected)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    extras_proposed = [results[l][0] for l in LIMITS]
+    extras_baseline = [results[l][1] for l in LIMITS]
+    assert extras_proposed == sorted(extras_proposed)
+    assert extras_baseline == sorted(extras_baseline)
+    for limit in LIMITS:
+        _ROWS.append(
+            {
+                "circuit": name,
+                "N_STATES": limit,
+                "proposed extra": results[limit][0],
+                "[4] extra": results[limit][1],
+            }
+        )
+    benchmark.extra_info["results"] = {
+        str(l): results[l] for l in LIMITS
+    }
+
+
+def test_render_ablation(benchmark, report_writer):
+    table = Table(
+        ["circuit", "N_STATES", "proposed extra", "[4] extra"],
+        title="Ablation: sequence limit N_STATES",
+    )
+    for row in _ROWS:
+        table.add_row(row)
+    text = benchmark.pedantic(table.render, rounds=1, iterations=1)
+    path = report_writer("ablation_nstates.txt", text)
+    print()
+    print(text)
+    print(f"(written to {path})")

@@ -1,0 +1,53 @@
+"""Benchmark: the paper's worked examples (Figures 1-4).
+
+Regenerates the line-value annotations of Figures 1-3 on s27 and the
+Figure 4 conflict, asserting the exact counts the paper reports: 0
+specified values under conventional simulation; 5 / 0 / 3 from expanding
+G7 / G6 / G5 at time 0; 7 from backward implication of G6 at time 1; a
+conflict for exactly one value of the Figure 4 next-state line.
+
+Writes ``benchmarks/out/figures.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    render_all_figures,
+)
+
+
+def test_figure1_conventional(benchmark):
+    report = benchmark.pedantic(figure1, rounds=3, iterations=1)
+    assert report.specified_values == 0
+
+
+def test_figure2_expansion_counts(benchmark):
+    reports = benchmark.pedantic(figure2, rounds=3, iterations=1)
+    counts = {r.title.split()[5]: r.specified_values for r in reports}
+    assert counts == {"G7": 5, "G6": 0, "G5": 3}
+
+
+def test_figure3_backward_implication(benchmark):
+    report = benchmark.pedantic(figure3, rounds=3, iterations=1)
+    assert report.specified_values == 7
+    # Output and next-state G10 fully specified across the two branches.
+    assert report.lines["G17"] in ("(1,0)", "(0,1)")
+    assert report.lines["G10"] in ("(1,0)", "(0,1)")
+
+
+def test_figure4_conflict(benchmark):
+    text = benchmark.pedantic(figure4, rounds=3, iterations=1)
+    assert "L11 = 1: CONFLICT" in text
+    assert "L11 = 0: consistent" in text
+
+
+def test_render_figures(benchmark, report_writer):
+    text = benchmark.pedantic(render_all_figures, rounds=1, iterations=1)
+    path = report_writer("figures.txt", text)
+    print()
+    print(text)
+    print(f"(written to {path})")

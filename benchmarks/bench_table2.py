@@ -1,0 +1,106 @@
+"""Benchmark: regenerate the paper's Table 2 (detected faults).
+
+One bench per benchmark circuit runs conventional + [4] + proposed
+simulation (fault lists sampled on the largest circuits, as recorded in
+the registry) and asserts the paper's shape claims:
+
+* proposed detections are a superset of the baseline's (checked
+  per fault, not just by count);
+* both MOT procedures detect at least as much as conventional;
+* circuits flagged in the paper as gaining extra detections gain them
+  here too -- in particular the s5378 stand-in, where the extra faults
+  abort the baseline at the 64-sequence limit.
+
+The rendered table is written to ``benchmarks/out/table2.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.registry import benchmark_entries
+from repro.experiments.runner import run_circuit
+from repro.experiments.table2 import render_table2, row_from_run
+
+ENTRIES = benchmark_entries()
+_ROWS = {}
+
+#: Circuits whose Table 2 row shows extra detections for the proposed
+#: procedure (every circuit in the paper's table except the two largest
+#: gains some; our stand-ins reproduce the pattern).
+EXPECT_EXTRA = {
+    "s208_like",
+    "s298_like",
+    "s344_like",
+    "s420_like",
+    "s641_like",
+    "s713_like",
+    "s1423_like",
+    "s5378_like",
+    "s15850_like",
+    "s35932_like",
+    "am2910_like",
+    "mp1_16_like",
+    "mp2_like",
+}
+
+#: The paper's headline: on s5378 the baseline finds no extra faults
+#: (it aborts at the sequence limit) while the proposed procedure does.
+BASELINE_ABORTS = {"s5378_like"}
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_table2_row(benchmark, entry):
+    run = benchmark.pedantic(
+        lambda: run_circuit(entry.name), rounds=1, iterations=1
+    )
+    row = row_from_run(run)
+    _ROWS[entry.name] = row
+
+    # Shape: MOT procedures never lose conventional detections.
+    assert row.proposed_total >= row.conventional
+    if row.baseline_total is not None:
+        assert row.baseline_total >= row.conventional
+        # Superset per fault, the paper's explicit claim.
+        assert run.baseline is not None
+        for proposed_verdict, baseline_verdict in zip(
+            run.proposed.verdicts, run.baseline.verdicts
+        ):
+            if baseline_verdict.detected:
+                assert proposed_verdict.detected, (
+                    f"{entry.name}: baseline detects "
+                    f"{baseline_verdict.fault} but proposed does not"
+                )
+    if entry.name in EXPECT_EXTRA:
+        assert row.proposed_extra > 0, (
+            f"{entry.name}: expected MOT-only detections"
+        )
+    if entry.name in BASELINE_ABORTS:
+        assert row.baseline_extra == 0
+        assert row.proposed_extra > 0
+        aborted = [
+            v
+            for v in run.baseline.verdicts
+            if v.status == "undetected" and v.how == "aborted"
+        ]
+        assert aborted, "expected baseline aborts at the sequence limit"
+
+    benchmark.extra_info.update(
+        {
+            "faults": row.total_faults,
+            "conventional": row.conventional,
+            "baseline_extra": row.baseline_extra,
+            "proposed_extra": row.proposed_extra,
+        }
+    )
+
+
+def test_render_table2(benchmark, report_writer):
+    """Render and persist the full table after all rows ran."""
+    rows = [_ROWS[e.name] for e in ENTRIES if e.name in _ROWS]
+    assert rows, "no Table 2 rows collected"
+    text = benchmark.pedantic(lambda: render_table2(rows), rounds=1, iterations=1)
+    path = report_writer("table2.txt", text)
+    print()
+    print(text)
+    print(f"(written to {path})")

@@ -1,0 +1,60 @@
+"""Benchmark: regenerate the paper's Table 3 (backward-implication
+effectiveness counters).
+
+Reuses the memoized Table 2 runs and asserts the paper's quantitative
+claim: without backward implications the per-fault counters would be
+``detect = conf = 0`` and ``extra <= 12`` (two values per expansion, at
+most six expansions); with them, the counters are substantially larger
+and detections/conflicts occur.
+
+Writes ``benchmarks/out/table3.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.registry import benchmark_entries
+from repro.experiments.runner import run_circuit
+from repro.experiments.table3 import (
+    NO_BI_EXTRA_CEILING,
+    Table3Row,
+    render_table3,
+)
+
+ENTRIES = [e for e in benchmark_entries()]
+_ROWS = {}
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_table3_row(benchmark, entry):
+    run = benchmark.pedantic(
+        lambda: run_circuit(entry.name), rounds=1, iterations=1
+    )
+    averages = run.proposed.average_counters()
+    row = Table3Row(
+        circuit=entry.name,
+        mot_detected=run.proposed.mot_detected,
+        detect=averages["detect"],
+        conf=averages["conf"],
+        extra=averages["extra"],
+    )
+    _ROWS[entry.name] = row
+    if row.mot_detected:
+        # The headline claim: backward implications specify far more
+        # values than the expansion-only ceiling, and close branches.
+        assert row.extra > NO_BI_EXTRA_CEILING
+        assert row.detect > 0 or row.conf > 0
+    benchmark.extra_info.update(
+        {"detect": row.detect, "conf": row.conf, "extra": row.extra}
+    )
+
+
+def test_render_table3(benchmark, report_writer):
+    rows = [_ROWS[e.name] for e in ENTRIES if e.name in _ROWS]
+    assert rows
+    text = benchmark.pedantic(lambda: render_table3(rows), rounds=1, iterations=1)
+    path = report_writer("table3.txt", text)
+    print()
+    print(text)
+    print(f"(written to {path})")

@@ -1,0 +1,110 @@
+"""Microbenchmarks of the simulation substrate.
+
+Not a paper table -- these keep the hot paths honest: single-frame
+evaluation, sequential simulation, fault injection, implication runs and
+fault collapsing.  pytest-benchmark measures them with real rounds.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.registry import build_circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.injection import inject_fault
+from repro.faults.sites import all_faults
+from repro.logic.values import UNKNOWN
+from repro.mot.implication import FrameEngine
+from repro.patterns.random_gen import random_patterns
+from repro.sim.frame import eval_frame
+from repro.sim.sequential import simulate_sequence
+
+
+def test_frame_eval_s5378_like(benchmark):
+    circuit = build_circuit("s5378_like")
+    pattern = random_patterns(circuit.num_inputs, 1, seed=0)[0]
+    state = [UNKNOWN] * circuit.num_flops
+    benchmark(eval_frame, circuit, pattern, state)
+
+
+def test_sequential_sim_s1423_like(benchmark):
+    circuit = build_circuit("s1423_like")
+    patterns = random_patterns(circuit.num_inputs, 32, seed=0)
+    benchmark(simulate_sequence, circuit, patterns)
+
+
+def test_fault_injection_s5378_like(benchmark):
+    circuit = build_circuit("s5378_like")
+    fault = all_faults(circuit)[37]
+    benchmark(inject_fault, circuit, fault)
+
+
+def test_implication_run_s27(benchmark):
+    circuit = build_circuit("s27")
+    engine = FrameEngine(circuit)
+    base = eval_frame(circuit, [1, 0, 1, 1], [UNKNOWN] * 3)
+    line = circuit.line_id("G11")
+
+    def run():
+        engine.imply(base.copy(), [(line, 1)])
+
+    benchmark(run)
+
+
+def test_collapse_s35932_like(benchmark):
+    circuit = build_circuit("s35932_like")
+    benchmark(collapse_faults, circuit)
+
+
+def test_parallel_fault_sim_s208_like(benchmark):
+    """Bit-parallel conventional simulation of the full collapsed list."""
+    from repro.fsim.parallel import run_parallel_conventional
+
+    circuit = build_circuit("s208_like")
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(circuit.num_inputs, 24, seed=1)
+    campaign = benchmark.pedantic(
+        lambda: run_parallel_conventional(circuit, faults, patterns),
+        rounds=3,
+        iterations=1,
+    )
+    assert campaign.total == len(faults)
+
+
+def test_serial_fault_sim_s208_like(benchmark):
+    """Serial reference point for the parallel speedup."""
+    from repro.fsim.conventional import run_conventional
+
+    circuit = build_circuit("s208_like")
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(circuit.num_inputs, 24, seed=1)
+    campaign = benchmark.pedantic(
+        lambda: run_conventional(circuit, faults, patterns),
+        rounds=3,
+        iterations=1,
+    )
+    assert campaign.total == len(faults)
+
+
+def test_deductive_fault_sim_s208_like(benchmark):
+    """Deductive simulation: all faults in one pass per initial state."""
+    from repro.fsim.deductive import DeductiveFaultSimulator
+
+    circuit = build_circuit("s208_like")
+    patterns = random_patterns(circuit.num_inputs, 24, seed=1)
+    simulator = DeductiveFaultSimulator(circuit)
+    state = [0] * circuit.num_flops
+    detected = benchmark.pedantic(
+        lambda: simulator.run(patterns, state), rounds=3, iterations=1
+    )
+    assert detected
+
+
+def test_pessimism_quantifier_s27(benchmark):
+    """Quantify the 3v precision loss MOT recovers (paper motivation)."""
+    from repro.verify.pessimism import measure_pessimism
+
+    circuit = build_circuit("s27")
+    patterns = random_patterns(4, 16, seed=7)
+    report = benchmark.pedantic(
+        lambda: measure_pessimism(circuit, patterns), rounds=3, iterations=1
+    )
+    assert report.total == 16

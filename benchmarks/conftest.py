@@ -1,0 +1,32 @@
+"""Shared infrastructure for the benchmark suite.
+
+The benchmarks double as the paper's experiment harness: each bench
+regenerates one table or figure, asserts the reproduced *shape* (who
+wins, and roughly how), and writes the rendered report to
+``benchmarks/out/`` so EXPERIMENTS.md can reference stable artifacts.
+
+Circuit runs are memoized in-process (see repro.experiments.runner), so
+the Table 2 and Table 3 benches share one simulation pass per circuit.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_report(filename: str, text: str) -> str:
+    """Write a rendered report under benchmarks/out/ and return its path."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, filename)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    return write_report

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Build a custom sequential circuit and fault-simulate it.
+
+Shows the library as a toolkit: assemble a circuit from the hardware
+module kit, export it as an ISCAS-89 ``.bench`` file, and run the MOT
+fault simulator on it.  The circuit deliberately contains a
+three-valued-opaque cell behind a tautology mask, so the run demonstrates
+faults that only the multiple observation time approach detects.
+"""
+
+import tempfile
+
+from repro import (
+    BaselineSimulator,
+    ProposedSimulator,
+    collapse_faults,
+    load_bench,
+    random_patterns,
+    save_bench,
+)
+from repro.circuits.modules import ModuleKit
+
+
+def build():
+    kit = ModuleKit("custom_demo")
+    enable = kit.input("en")
+    data = kit.inputs(4, "d")
+
+    # A loadable counter observed through a comparator...
+    count = kit.counter(4, enable=enable, load=data[3], din=data)
+    kit.output(kit.equals_bus(count, data))
+    kit.output(kit.parity(count))
+
+    # ...plus two opaque cells (never initialize under 3-valued
+    # simulation) observed behind a constant-1 mask: the fault population
+    # only the MOT procedures can detect.
+    cells = kit.opaque_cluster(2, data[0], data[1])
+    kit.output(kit.masked_observation(data[2], cells))
+    return kit.build()
+
+
+def main() -> None:
+    circuit = build()
+    print(f"built: {circuit!r}")
+
+    with tempfile.NamedTemporaryFile("w", suffix=".bench", delete=False) as f:
+        path = f.name
+    save_bench(circuit, path)
+    print(f"exported netlist to {path}")
+    reloaded = load_bench(path, "custom_demo")
+    assert reloaded.num_gates == circuit.num_gates
+
+    faults = collapse_faults(reloaded)
+    patterns = random_patterns(reloaded.num_inputs, 32, seed=11)
+    proposed = ProposedSimulator(reloaded, patterns).run(faults)
+    baseline = BaselineSimulator(reloaded, patterns).run(faults)
+
+    print(f"\nfaults: {len(faults)} collapsed")
+    print(f"conventional          : {proposed.conv_detected}")
+    print(f"[4] expansion         : +{baseline.mot_detected}")
+    print(f"proposed (backward)   : +{proposed.mot_detected}")
+    print("\nMOT-only faults (invisible to single-observation simulation):")
+    for verdict in proposed.mot_verdicts():
+        print(f"  {verdict.fault.describe(reloaded)}  (via {verdict.how})")
+
+
+if __name__ == "__main__":
+    main()

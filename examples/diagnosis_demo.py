@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fault diagnosis with an unknown power-up state.
+
+Plays the full failing-chip loop on s27: build a fault dictionary under
+a random test sequence, "receive" the response of a failing chip (a
+hidden fault + hidden initial state), and rank the candidate faults.
+With unscanned state, signatures are three-valued -- the same
+x-abstraction the MOT procedures reason about -- so diagnosis works with
+consistency matching rather than exact lookup.
+"""
+
+import random
+
+from repro import collapse_faults, random_patterns, s27
+from repro.diagnosis import build_fault_dictionary, diagnose, observed_from_chip
+from repro.reporting.waves import render_comparison
+from repro.sim.sequential import simulate_sequence
+
+
+def main() -> None:
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(4, 24, seed=6)
+
+    print(f"building fault dictionary: {len(faults)} faults, "
+          f"{len(patterns)} patterns ...")
+    dictionary = build_fault_dictionary(circuit, faults, patterns)
+
+    rng = random.Random(2026)
+    hidden_fault = rng.choice(
+        [f for f in faults if f.describe(circuit).startswith("G")]
+    )
+    hidden_state = [rng.randint(0, 1) for _ in range(circuit.num_flops)]
+    print(f"(hidden culprit: {hidden_fault.describe(circuit)}, "
+          f"power-up state {hidden_state})\n")
+
+    observed = observed_from_chip(circuit, hidden_fault, patterns, hidden_state)
+    candidates = diagnose(dictionary, observed)
+    print(f"candidates consistent with the observed response: "
+          f"{len(candidates)}")
+    for rank, candidate in enumerate(candidates[:8], start=1):
+        marker = "  <-- actual" if candidate.fault == hidden_fault else ""
+        print(
+            f"  {rank}. {candidate.fault.describe(circuit):18s} "
+            f"matched={candidate.matched:3d} unknown={candidate.unknown:3d}"
+            f"{marker}"
+        )
+    assert any(c.fault == hidden_fault for c in candidates)
+
+    print("\nfailing response vs the fault-free reference "
+          "(^ conflict, ? x-masked):")
+    from repro.faults.injection import inject_fault
+    from repro.sim.sequential import simulate_injected
+
+    reference = simulate_sequence(circuit, patterns)
+    chip = simulate_injected(
+        inject_fault(circuit, hidden_fault), patterns,
+        initial_state=hidden_state,
+    )
+    print(render_comparison(circuit, reference, chip))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A full MOT fault-simulation campaign on a benchmark stand-in.
+
+Simulates the collapsed fault list of the am2910-style microprogram
+sequencer under random patterns with all three procedures and prints a
+per-fault breakdown of *how* each extra fault was detected (Section 3.2
+information, phase-1 restrictions, or post-expansion resimulation).
+
+Usage: python examples/mot_campaign.py [circuit_name]
+"""
+
+import sys
+from collections import Counter
+
+from repro import BaselineSimulator, ProposedSimulator, collapse_faults, random_patterns
+from repro.circuits.registry import get_entry
+from repro.experiments.runner import sample_faults
+from repro.reporting.tables import Table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "am2910_like"
+    entry = get_entry(name)
+    circuit = entry.build()
+    print(f"circuit: {circuit!r}")
+    print(f"workload: {entry.sequence_length} random patterns, "
+          f"seed {entry.seed}")
+
+    faults = collapse_faults(circuit)
+    simulated = sample_faults(faults, entry.fault_sample)
+    if len(simulated) < len(faults):
+        print(f"faults: {len(simulated)} sampled of {len(faults)}")
+    else:
+        print(f"faults: {len(faults)}")
+
+    patterns = random_patterns(
+        circuit.num_inputs, entry.sequence_length, seed=entry.seed
+    )
+    proposed = ProposedSimulator(circuit, patterns).run(simulated)
+    baseline = BaselineSimulator(circuit, patterns).run(simulated)
+
+    table = Table(["procedure", "conventional", "extra", "total"])
+    table.add_row({"procedure": "conventional",
+                   "conventional": proposed.conv_detected,
+                   "extra": 0, "total": proposed.conv_detected})
+    table.add_row({"procedure": "[4] expansion",
+                   "conventional": baseline.conv_detected,
+                   "extra": baseline.mot_detected,
+                   "total": baseline.total_detected})
+    table.add_row({"procedure": "proposed",
+                   "conventional": proposed.conv_detected,
+                   "extra": proposed.mot_detected,
+                   "total": proposed.total_detected})
+    print()
+    print(table.render())
+
+    how = Counter(v.how for v in proposed.mot_verdicts())
+    print("how the extra faults were established:")
+    for key, label in (
+        ("info", "Section 3.2 (both branches closed by implications)"),
+        ("phase1", "mutually conflicting phase-1 restrictions"),
+        ("resim", "resimulation after expansion"),
+        ("fallback", "forward-selection fallback"),
+    ):
+        print(f"  {label:55s} {how.get(key, 0)}")
+
+    print("\nextra faults and their Table-3 counters:")
+    for verdict in proposed.mot_verdicts():
+        counters = verdict.counters
+        print(
+            f"  {verdict.fault.describe(circuit):28s} via {verdict.how:8s} "
+            f"N_det={counters.n_det:4d} N_conf={counters.n_conf:4d} "
+            f"N_extra={counters.n_extra:5d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

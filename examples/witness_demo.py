@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Detection certificates: make MOT detections auditable.
+
+A MOT detection claims that *every* initial state of the faulty circuit
+eventually disagrees with the fault-free response.  For each fault the
+proposed procedure detects on s27 (plus the intro toggle example), this
+script builds a witness -- a case split over partial state trajectories,
+each pinned to one (time, output) conflict -- and verifies it by
+brute-force enumeration of all initial states, independently of the MOT
+machinery.
+"""
+
+from repro import build_witness, check_witness, collapse_faults, random_patterns, s27
+from repro.circuit.bench import parse_bench
+from repro.faults.model import Fault
+from repro.mot.simulator import MotConfig, ProposedSimulator
+
+TOGGLE = """
+INPUT(A)
+OUTPUT(O)
+Q = DFF(QN)
+NA = NOT(A)
+Z = AND(A, NA)
+QN = XOR(Q, A)
+O = AND(Q, Z)
+"""
+
+
+def main() -> None:
+    # The introductory example: a fault only MOT can detect.
+    circuit = parse_bench(TOGGLE, "toggle")
+    patterns = [[1]] * 6
+    fault = Fault(circuit.line_id("Z"), 1)
+    witness = build_witness(circuit, fault, patterns)
+    assert witness is not None
+    print(witness.describe(circuit))
+    ok = check_witness(circuit, fault, patterns, witness)
+    print(f"independently verified over all initial states: {ok}\n")
+
+    # Every detection on s27 gets a checked certificate.
+    circuit = s27()
+    patterns = random_patterns(4, 24, seed=3)
+    faults = collapse_faults(circuit)
+    campaign = ProposedSimulator(
+        circuit, patterns, MotConfig(forward_fallback=False)
+    ).run(faults)
+    checked = 0
+    for verdict in campaign.verdicts:
+        if not verdict.detected:
+            continue
+        witness = build_witness(circuit, verdict.fault, patterns)
+        assert witness is not None
+        assert check_witness(circuit, verdict.fault, patterns, witness)
+        checked += 1
+    print(
+        f"s27: {checked} detections, {checked} certificates built and "
+        "verified by exhaustive replay."
+    )
+
+
+if __name__ == "__main__":
+    main()

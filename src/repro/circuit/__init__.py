@@ -1,0 +1,45 @@
+"""Gate-level netlist model, ISCAS-89 ``.bench`` I/O, and statistics."""
+
+from repro.circuit.netlist import (
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    Flop,
+    Gate,
+    Pin,
+)
+from repro.circuit.bench import load_bench, parse_bench, save_bench, write_bench
+from repro.circuit.isc import IscCircuit, load_isc, parse_isc, save_isc, write_isc
+from repro.circuit.scan import map_fault, scan_coverage_faults, scan_transform
+from repro.circuit.scoap import INFINITY, ScoapMeasures, compute_scoap
+from repro.circuit.stats import CircuitStats, circuit_stats
+from repro.circuit.unroll import unroll, unrolled_fault_sites, unrolled_inputs
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
+    "Flop",
+    "Gate",
+    "Pin",
+    "parse_bench",
+    "parse_isc",
+    "load_isc",
+    "IscCircuit",
+    "write_isc",
+    "save_isc",
+    "load_bench",
+    "write_bench",
+    "save_bench",
+    "CircuitStats",
+    "circuit_stats",
+    "ScoapMeasures",
+    "compute_scoap",
+    "INFINITY",
+    "scan_transform",
+    "scan_coverage_faults",
+    "map_fault",
+    "unroll",
+    "unrolled_inputs",
+    "unrolled_fault_sites",
+]

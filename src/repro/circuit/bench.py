@@ -1,0 +1,100 @@
+"""ISCAS-89 ``.bench`` format parser and writer.
+
+The ``.bench`` dialect accepted here is the common one:
+
+* ``INPUT(name)`` / ``OUTPUT(name)`` declarations,
+* ``name = OP(arg, arg, ...)`` gate definitions with OP one of AND, NAND,
+  OR, NOR, XOR, XNOR, NOT (or INV), BUF (or BUFF), DFF,
+* ``#`` comments and blank lines.
+
+``name = DFF(d)`` declares a D flip-flop whose output (present state) is
+``name`` and whose data input (next state) is ``d``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.circuit.netlist import Circuit, CircuitBuilder, CircuitError
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^()=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(([^()]*)\)$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` *text* into a :class:`Circuit`.
+
+    Raises
+    ------
+    CircuitError
+        On syntax errors or structural problems (undriven lines, cycles,
+        double drivers).
+    """
+    builder = CircuitBuilder(name)
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            keyword, signal = decl.group(1).upper(), decl.group(2)
+            if keyword == "INPUT":
+                builder.add_input(signal)
+            else:
+                builder.add_output(signal)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            output, op, args = gate.group(1), gate.group(2).upper(), gate.group(3)
+            input_names = [a.strip() for a in args.split(",") if a.strip()]
+            if op == "DFF":
+                if len(input_names) != 1:
+                    raise CircuitError(
+                        f"line {line_number}: DFF takes exactly one input"
+                    )
+                builder.add_flop(output, input_names[0])
+            else:
+                try:
+                    builder.add_gate(op, output, input_names)
+                except ValueError as exc:
+                    raise CircuitError(f"line {line_number}: {exc}") from None
+            continue
+        raise CircuitError(f"line {line_number}: cannot parse {raw_line!r}")
+    return builder.build()
+
+
+def load_bench(path: str, name: str = "") -> Circuit:
+    """Parse a ``.bench`` file from *path*."""
+    with open(path) as handle:
+        text = handle.read()
+    return parse_bench(text, name or path)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Render *circuit* back to ``.bench`` text.
+
+    The output round-trips through :func:`parse_bench` to an equivalent
+    circuit (same lines, gates, flip-flops and port order).
+    """
+    parts: List[str] = [f"# {circuit.name}"]
+    for line in circuit.inputs:
+        parts.append(f"INPUT({circuit.line_names[line]})")
+    for line in circuit.outputs:
+        parts.append(f"OUTPUT({circuit.line_names[line]})")
+    parts.append("")
+    for flop in circuit.flops:
+        parts.append(
+            f"{circuit.line_names[flop.ps]} = DFF({circuit.line_names[flop.ns]})"
+        )
+    for gate in circuit.gates:
+        args = ", ".join(circuit.line_names[line] for line in gate.inputs)
+        op = "BUFF" if gate.gate_type.value == "BUF" else gate.gate_type.value
+        parts.append(f"{circuit.line_names[gate.output]} = {op}({args})")
+    return "\n".join(parts) + "\n"
+
+
+def save_bench(circuit: Circuit, path: str) -> None:
+    """Write *circuit* to *path* in ``.bench`` format."""
+    with open(path, "w") as handle:
+        handle.write(write_bench(circuit))

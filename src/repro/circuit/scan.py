@@ -1,0 +1,82 @@
+"""Full-scan transformation (design-for-test reference point).
+
+The multiple observation time approach exists because unscanned
+sequential circuits have unknown, uncontrollable state.  The classic
+hardware fix is *full scan*: every flip-flop becomes externally loadable
+and observable, which turns test generation and fault simulation into a
+combinational problem.  :func:`scan_transform` performs the standard
+modelling shortcut for that situation: present-state lines become extra
+primary inputs, next-state lines become extra primary outputs, and the
+flip-flops disappear.
+
+This gives the repository a calibrated upper bound: the coverage a full
+scan methodology would reach on the same fault universe.  The benchmark
+``benchmarks/bench_scan_vs_mot.py`` quantifies how much of the
+(scan - conventional) coverage gap the MOT procedures recover *without*
+any DFT hardware -- the practical motivation of the paper's line of
+work.
+
+Fault correspondence: the transformed circuit has the same lines and the
+same gates, so every fault of the sequential circuit maps to the fault
+at the same site in the scan version (:func:`map_fault`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.netlist import Circuit, Gate
+from repro.faults.model import Fault
+
+#: Suffix for the pseudo-output names created for next-state lines that
+#: are also consumed internally (no renaming is needed -- outputs are
+#: taps -- but keep the constant for report labelling).
+SCAN_SUFFIX = "__scan"
+
+
+def scan_transform(circuit: Circuit) -> Circuit:
+    """Return the combinational full-scan model of *circuit*.
+
+    Present-state lines join the primary inputs (scan load), next-state
+    lines join the primary outputs (scan observe); the gate network is
+    unchanged.
+    """
+    inputs = list(circuit.inputs) + [flop.ps for flop in circuit.flops]
+    outputs = list(circuit.outputs) + [flop.ns for flop in circuit.flops]
+    gates = [Gate(g.gate_type, g.output, g.inputs) for g in circuit.gates]
+    return Circuit(
+        name=f"{circuit.name}_scan",
+        line_names=list(circuit.line_names),
+        inputs=inputs,
+        outputs=outputs,
+        flops=[],
+        gates=gates,
+    )
+
+
+def map_fault(fault: Fault) -> Fault:
+    """Map a fault of the sequential circuit onto the scan model.
+
+    Line ids are preserved by :func:`scan_transform`; stem faults map
+    unchanged.  Branch faults on gate pins map unchanged too; branch
+    faults on flip-flop data pins become stem-equivalent observations of
+    the (now primary-output) next-state line and are mapped to the stem.
+    """
+    if fault.pin is not None and fault.pin.kind == "flop":
+        return Fault(fault.line, fault.stuck_at, None)
+    if fault.pin is not None and fault.pin.kind == "output":
+        return fault
+    return fault
+
+
+def scan_coverage_faults(circuit: Circuit, faults: List[Fault]) -> List[Fault]:
+    """Map a sequential fault list onto the scan model (dedup-preserving
+    order)."""
+    seen = set()
+    mapped: List[Fault] = []
+    for fault in faults:
+        scan_fault = map_fault(fault)
+        if scan_fault not in seen:
+            seen.add(scan_fault)
+            mapped.append(scan_fault)
+    return mapped

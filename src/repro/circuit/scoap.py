@@ -1,0 +1,149 @@
+"""SCOAP testability measures (Goldstein's controllability/observability).
+
+Classic combinational SCOAP over one time frame:
+
+* ``cc0[line]`` / ``cc1[line]`` -- the *controllability* of driving the
+  line to 0 / 1: number of line assignments needed, counted with the
+  usual +1 per gate level.  Primary inputs cost 1; present-state lines
+  cost ``state_cost`` (default 1; pass :data:`INFINITY` to model
+  uncontrollable state, e.g. for PODEM under a fixed unknown state).
+* ``co[line]`` -- the *observability*: cost of propagating the line's
+  value to some primary output (0 at the outputs themselves).
+
+Gate rules (n-ary):
+
+====== =============================== ===============================
+gate    output CC1                      output CC0
+====== =============================== ===============================
+AND     sum(CC1 of inputs) + 1          min(CC0 of inputs) + 1
+OR      min(CC1) + 1                    sum(CC0) + 1
+NOT     CC0(in) + 1                     CC1(in) + 1
+XOR     min over odd-parity covers + 1  min over even-parity covers + 1
+====== =============================== ===============================
+
+(NAND/NOR/XNOR swap the two columns; BUF adds 1 to both.)  Observability
+of a gate input adds the cost of setting every *other* input to its
+non-controlling value (AND/NAND: their CC1; OR/NOR: CC0; XOR: the
+cheaper of the two).  Stems take the best branch.
+
+Used as the input-selection heuristic of the PODEM engine
+(:mod:`repro.patterns.podem`) and exposed for testability reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuit.netlist import Circuit
+from repro.logic.gates import GateType
+
+#: Sentinel cost for uncontrollable / unobservable lines.
+INFINITY = float("inf")
+
+
+@dataclass
+class ScoapMeasures:
+    """Per-line SCOAP numbers for one circuit."""
+
+    circuit: Circuit
+    cc0: List[float]
+    cc1: List[float]
+    co: List[float]
+
+    def controllability(self, line: int, value: int) -> float:
+        """Cost of driving *line* to *value*."""
+        return self.cc1[line] if value else self.cc0[line]
+
+    def hardest_lines(self, count: int = 10) -> List[int]:
+        """Lines with the highest combined testability cost."""
+        scored = sorted(
+            range(self.circuit.num_lines),
+            key=lambda l: -(min(self.cc0[l], self.cc1[l]) + self.co[l]),
+        )
+        return scored[:count]
+
+
+def _xor_controllability(
+    cc0s: List[float], cc1s: List[float], want_parity: int
+) -> float:
+    """Cheapest input assignment with the requested XOR parity."""
+    # Dynamic programming over inputs: cost of reaching each parity.
+    even, odd = 0.0, INFINITY
+    for c0, c1 in zip(cc0s, cc1s):
+        even, odd = min(even + c0, odd + c1), min(even + c1, odd + c0)
+    return odd if want_parity else even
+
+
+def compute_scoap(circuit: Circuit, state_cost: float = 1.0) -> ScoapMeasures:
+    """Compute SCOAP measures for *circuit*'s combinational frame."""
+    cc0 = [INFINITY] * circuit.num_lines
+    cc1 = [INFINITY] * circuit.num_lines
+    for line in circuit.inputs:
+        cc0[line] = cc1[line] = 1.0
+    for flop in circuit.flops:
+        cc0[flop.ps] = cc1[flop.ps] = state_cost
+    for gate_index in circuit.topo_gates:
+        gate = circuit.gates[gate_index]
+        ins = gate.inputs
+        c0s = [cc0[l] for l in ins]
+        c1s = [cc1[l] for l in ins]
+        gate_type = gate.gate_type
+        if gate_type in (GateType.AND, GateType.NAND):
+            one_cost = sum(c1s) + 1
+            zero_cost = min(c0s) + 1
+        elif gate_type in (GateType.OR, GateType.NOR):
+            one_cost = min(c1s) + 1
+            zero_cost = sum(c0s) + 1
+        elif gate_type in (GateType.XOR, GateType.XNOR):
+            one_cost = _xor_controllability(c0s, c1s, 1) + 1
+            zero_cost = _xor_controllability(c0s, c1s, 0) + 1
+        elif gate_type is GateType.NOT:
+            one_cost = c0s[0] + 1
+            zero_cost = c1s[0] + 1
+        elif gate_type is GateType.BUF:
+            one_cost = c1s[0] + 1
+            zero_cost = c0s[0] + 1
+        elif gate_type is GateType.CONST0:
+            one_cost, zero_cost = INFINITY, 0.0
+        else:  # CONST1
+            one_cost, zero_cost = 0.0, INFINITY
+        if gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR):
+            one_cost, zero_cost = zero_cost, one_cost
+        cc1[gate.output] = one_cost
+        cc0[gate.output] = zero_cost
+
+    co = [INFINITY] * circuit.num_lines
+    for line in circuit.outputs:
+        co[line] = 0.0
+    for gate_index in reversed(circuit.topo_gates):
+        gate = circuit.gates[gate_index]
+        out_co = co[gate.output]
+        if out_co == INFINITY:
+            continue
+        gate_type = gate.gate_type
+        for position, line in enumerate(gate.inputs):
+            if gate_type in (GateType.AND, GateType.NAND):
+                side = sum(
+                    cc1[other]
+                    for k, other in enumerate(gate.inputs)
+                    if k != position
+                )
+            elif gate_type in (GateType.OR, GateType.NOR):
+                side = sum(
+                    cc0[other]
+                    for k, other in enumerate(gate.inputs)
+                    if k != position
+                )
+            elif gate_type in (GateType.XOR, GateType.XNOR):
+                side = sum(
+                    min(cc0[other], cc1[other])
+                    for k, other in enumerate(gate.inputs)
+                    if k != position
+                )
+            else:  # NOT / BUF (constants have no inputs)
+                side = 0.0
+            cost = out_co + side + 1
+            if cost < co[line]:
+                co[line] = cost
+    return ScoapMeasures(circuit=circuit, cc0=cc0, cc1=cc1, co=co)

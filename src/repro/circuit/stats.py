@@ -1,0 +1,55 @@
+"""Circuit statistics: the numbers reported in benchmark tables."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of a circuit's structure."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_flops: int
+    num_gates: int
+    num_lines: int
+    depth: int
+    gate_counts: Dict[str, int]
+    max_fanout: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a dict suitable for table rendering."""
+        return {
+            "circuit": self.name,
+            "PI": self.num_inputs,
+            "PO": self.num_outputs,
+            "FF": self.num_flops,
+            "gates": self.num_gates,
+            "depth": self.depth,
+            "max fanout": self.max_fanout,
+        }
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for *circuit*."""
+    gate_counts = Counter(gate.gate_type.value for gate in circuit.gates)
+    max_fanout = max(
+        (len(pins) for pins in circuit.fanout_pins), default=0
+    )
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=circuit.num_inputs,
+        num_outputs=circuit.num_outputs,
+        num_flops=circuit.num_flops,
+        num_gates=circuit.num_gates,
+        num_lines=circuit.num_lines,
+        depth=circuit.depth(),
+        gate_counts=dict(gate_counts),
+        max_fanout=max_fanout,
+    )

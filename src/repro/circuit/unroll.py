@@ -1,0 +1,103 @@
+"""Time-frame expansion: unroll a sequential circuit combinationally.
+
+The standard sequential-ATPG model: replicate the combinational core
+``L`` times, wiring frame ``u``'s next-state lines to frame ``u+1``'s
+present-state inputs.  The initial state appears as extra primary inputs
+(frame 0's present-state lines), every frame's primary inputs/outputs
+are replicated with ``@u`` suffixes, and the final next-state lines are
+exposed as outputs.
+
+The unrolled model makes multi-frame reasoning available to purely
+combinational tools -- e.g. running the combinational PODEM engine over
+a window of frames, or checking multi-frame properties with the frame
+equivalence checker.  Its behaviour is proven against the sequential
+simulator in ``tests/circuit/test_unroll.py`` (including a hypothesis
+sweep over random machines).
+
+Note on faults: a single stuck-at fault in the sequential circuit
+corresponds to the *same* fault in **every** frame of the unrolled model
+(a fact multi-frame test generators must model explicitly);
+:func:`unrolled_fault_sites` returns that site list for a sequential
+stem fault.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuit.netlist import Circuit, CircuitBuilder
+from repro.faults.model import Fault
+
+
+def _frame_name(circuit: Circuit, line: int, frame: int) -> str:
+    return f"{circuit.line_names[line]}@{frame}"
+
+
+def unroll(circuit: Circuit, frames: int) -> Circuit:
+    """Unroll *circuit* into *frames* combinational copies.
+
+    Inputs of the result: frame-0 present-state lines (``<ps>@0``)
+    followed by each frame's primary inputs (``<pi>@u``).  Outputs: each
+    frame's primary outputs (``<po>@u``) followed by the final
+    next-state lines (``<ns>@L-1``).
+    """
+    if frames < 1:
+        raise ValueError("frames must be >= 1")
+    builder = CircuitBuilder(f"{circuit.name}_x{frames}")
+    # Initial state as primary inputs.
+    for flop in circuit.flops:
+        builder.add_input(_frame_name(circuit, flop.ps, 0))
+    for frame in range(frames):
+        for line in circuit.inputs:
+            builder.add_input(_frame_name(circuit, line, frame))
+        # Frame u's present-state lines: frame 0's are inputs; later
+        # frames alias the previous frame's next-state lines by buffer.
+        if frame > 0:
+            for flop in circuit.flops:
+                builder.add_gate(
+                    "BUFF",
+                    _frame_name(circuit, flop.ps, frame),
+                    [_frame_name(circuit, flop.ns, frame - 1)],
+                )
+        for gate_index in circuit.topo_gates:
+            gate = circuit.gates[gate_index]
+            builder.add_gate(
+                gate.gate_type,
+                _frame_name(circuit, gate.output, frame),
+                [_frame_name(circuit, line, frame) for line in gate.inputs],
+            )
+    for frame in range(frames):
+        for line in circuit.outputs:
+            builder.add_output(_frame_name(circuit, line, frame))
+    for flop in circuit.flops:
+        builder.add_output(_frame_name(circuit, flop.ns, frames - 1))
+    return builder.build()
+
+
+def unrolled_inputs(
+    circuit: Circuit,
+    patterns: Sequence[Sequence[int]],
+    initial_state: Sequence[int],
+) -> List[int]:
+    """Flatten (initial state, per-frame patterns) into the unrolled
+    model's primary-input vector."""
+    flat: List[int] = list(initial_state)
+    for pattern in patterns:
+        flat.extend(pattern)
+    return flat
+
+
+def unrolled_fault_sites(
+    circuit: Circuit, unrolled_circuit: Circuit, fault: Fault, frames: int
+) -> List[Fault]:
+    """Map a sequential *stem* fault to its per-frame sites in the
+    unrolled model (one stuck line per frame)."""
+    if fault.pin is not None:
+        raise ValueError("only stem faults map directly to unrolled sites")
+    sites: List[Fault] = []
+    for frame in range(frames):
+        name = _frame_name(circuit, fault.line, frame)
+        sites.append(
+            Fault(unrolled_circuit.line_id(name), fault.stuck_at, None)
+        )
+    return sites

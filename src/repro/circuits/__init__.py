@@ -1,0 +1,5 @@
+"""Benchmark circuits: embedded netlists, module builders, generators."""
+
+from repro.circuits.library import FIG4_BENCH, S27_BENCH, fig4, s27
+
+__all__ = ["s27", "fig4", "S27_BENCH", "FIG4_BENCH"]

@@ -1,0 +1,23 @@
+"""Frozen structural expectations for the benchmark circuits.
+
+Pinning flip-flop counts guards against accidental structural drift in
+the stand-in generators: the experiment results in EXPERIMENTS.md are
+only comparable across runs if the circuits stay fixed.
+"""
+
+EXPECTED_FLOPS = {
+    "s27": 3,
+    "s208_like": 11,
+    "s298_like": 18,
+    "s344_like": 18,
+    "s420_like": 21,
+    "s641_like": 23,
+    "s713_like": 24,
+    "s1423_like": 39,
+    "s5378_like": 50,
+    "s15850_like": 63,
+    "s35932_like": 71,
+    "am2910_like": 38,
+    "mp1_16_like": 25,
+    "mp2_like": 37,
+}

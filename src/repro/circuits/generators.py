@@ -1,0 +1,120 @@
+"""Seeded random circuit generators.
+
+:func:`random_moore` builds arbitrary synchronous Moore machines from a
+seed -- the workhorse of the property-based test suite, which compares
+the MOT procedures against the exhaustive oracle on thousands of random
+circuits.  :func:`reconvergent_fsm` deliberately builds the Figure-4
+pattern (present-state fan-out reconverging at the next-state logic) so
+backward-implication conflicts occur frequently.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.circuit.netlist import Circuit, CircuitBuilder
+from repro.circuits.modules import ModuleKit
+
+_GATE_CHOICES = ("AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUFF")
+
+
+def random_moore(
+    seed: int,
+    num_inputs: int = 3,
+    num_flops: int = 4,
+    num_gates: int = 20,
+    num_outputs: int = 2,
+    max_fanin: int = 3,
+) -> Circuit:
+    """Generate a random synchronous Moore machine.
+
+    The combinational core is a random DAG over the primary inputs and
+    present-state lines; next-state lines and outputs are drawn from the
+    created signals.  Deterministic for a given parameter tuple.
+    """
+    if num_inputs < 1 or num_flops < 1 or num_gates < 1 or num_outputs < 1:
+        raise ValueError("all circuit dimensions must be positive")
+    rng = random.Random((seed, num_inputs, num_flops, num_gates).__hash__())
+    builder = CircuitBuilder(f"random_moore_{seed}")
+    pool: List[str] = []
+    for k in range(num_inputs):
+        builder.add_input(f"pi{k}")
+        pool.append(f"pi{k}")
+    ps = [f"ps{k}" for k in range(num_flops)]
+    pool.extend(ps)
+    created: List[str] = []
+    for g in range(num_gates):
+        op = rng.choice(_GATE_CHOICES)
+        if op in ("NOT", "BUFF"):
+            fanin = 1
+        else:
+            fanin = rng.randint(2, max_fanin)
+        # Bias input selection toward recent signals to create depth.
+        sources = []
+        for _ in range(fanin):
+            if created and rng.random() < 0.55:
+                sources.append(rng.choice(created[-12:]))
+            else:
+                sources.append(rng.choice(pool))
+        out = f"g{g}"
+        builder.add_gate(op, out, sources)
+        pool.append(out)
+        created.append(out)
+    for k in range(num_flops):
+        builder.add_flop(ps[k], rng.choice(created))
+    for k in range(num_outputs):
+        builder.add_output(rng.choice(created))
+    return builder.build()
+
+
+def reconvergent_fsm(
+    seed: int,
+    num_flops: int = 3,
+    num_inputs: int = 2,
+    branches: int = 2,
+) -> Circuit:
+    """Generate an FSM with deliberate Figure-4-style reconvergence.
+
+    Each present-state variable fans out through *branches* buffers whose
+    paths reconverge (one path direct, one inverted) at the next-state
+    gates -- the structure under which setting a next-state value
+    backward-implies both polarities of the state variable and exposes
+    conflicts.
+    """
+    rng = random.Random((seed, num_flops, num_inputs, branches).__hash__())
+    kit = ModuleKit(f"reconvergent_fsm_{seed}")
+    pis = kit.inputs(num_inputs, "pi")
+    ps = [f"ps{k}" for k in range(num_flops)]
+    taps: List[str] = []
+    for wire in ps:
+        direct = [kit.buf(wire) for _ in range(branches)]
+        inverted = kit.not_(wire)
+        taps.extend(direct)
+        taps.append(inverted)
+    signals = list(pis) + taps
+    for k in range(num_flops):
+        a = rng.choice(signals)
+        b = rng.choice(signals)
+        c = rng.choice(signals)
+        gate = rng.choice(("AND", "OR"))
+        left = kit.or_(a, b) if gate == "AND" else kit.and_(a, b)
+        right = kit.nor_(c, a) if rng.random() < 0.5 else kit.nand_(c, b)
+        kit.builder.add_flop(ps[k], kit.and_(left, right)
+                             if gate == "AND" else kit.or_(left, right))
+    kit.output(kit.xor_(ps[0], rng.choice(signals)))
+    if num_flops > 1:
+        kit.output(kit.and_(ps[1], pis[0]))
+    return kit.build()
+
+
+def shift_chain(length: int, observe_every: Optional[int] = None) -> Circuit:
+    """A plain shift chain: the classic slow-to-initialize circuit."""
+    kit = ModuleKit(f"shift_chain_{length}")
+    serial = kit.input("sin")
+    enable = kit.input("en")
+    taps = kit.shift_register(length, serial, enable)
+    step = observe_every or max(1, length // 2)
+    for k in range(step - 1, length, step):
+        kit.output(taps[k])
+    return kit.build()

@@ -1,0 +1,134 @@
+"""Embedded benchmark circuits.
+
+* ``s27`` -- the ISCAS-89 benchmark printed as Figure 1 of the paper
+  (4 PIs, 1 PO, 3 DFFs, 10 gates).  The netlist below is the standard
+  ``.bench`` distribution of s27.
+* ``fig4`` -- a reconstruction of the paper's Figure 4: a one-input,
+  one-flip-flop circuit in which backward implication of the next-state
+  line exposes a conflict through reconvergent fan-out of the state
+  variable.  Line names follow the figure where the text mentions them
+  (lines 1-6 and 11); fanout branches are materialized as BUFF gates.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.netlist import Circuit
+
+S27_BENCH = """\
+# s27 (ISCAS-89) -- paper Figure 1
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+FIG4_BENCH = """\
+# Reconstruction of the paper's Figure 4 conflict example.
+#
+# Under input L1 = 0, lines L3 and L4 are 0 and nothing else is implied.
+# Backward implication of next-state line L11 = 1 forces L9 = 1 and
+# L10 = 1; with L3 = L4 = 0 this forces L5 = 1 and L6 = 0, i.e. the
+# present-state line L2 would have to be both 1 and 0: a conflict.
+# Hence the state variable can only be 0 at the next time unit.
+INPUT(L1)
+OUTPUT(L9)
+
+L2 = DFF(L11)
+
+L3 = BUFF(L1)
+L4 = BUFF(L1)
+L5 = BUFF(L2)
+L6 = BUFF(L2)
+L9 = OR(L3, L5)
+L10 = NOR(L4, L6)
+L11 = AND(L9, L10)
+"""
+
+
+#: s27 in the original line-addressed ``.isc`` style, with fanout
+#: branches as explicit entries.  The addresses reconstruct the numbering
+#: the paper's figures use: expanding state variable 7 specifies
+#: next-state line 15 fully and lines 24/25 partially (Figure 2), and
+#: backward implication of state variable 6 sets line 24 -- the branch of
+#: NOR 21 feeding DFF 6 -- which implies lines 21, 22 and 23 (Figure 3).
+S27_ISC = """\
+*> s27 in .isc style; addresses match the paper's figure numbering
+1   G0    inpt  1  0
+2   G1    inpt  1  0
+3   G2    inpt  1  0
+4   G3    inpt  1  0
+5   G5    dff   1  1
+25
+6   G6    dff   1  1
+24
+7   G7    dff   1  1
+15
+8   G14   not   2  1
+1
+9   G14a  from  G14
+10  G14b  from  G14
+11  G12   nor   2  2
+2 7
+12  G12a  from  G12
+13  G12b  from  G12
+14  G8    and   2  2
+9 6
+15  G13   nand  1  2
+3 13
+16  G8a   from  G8
+17  G8b   from  G8
+18  G15   or    1  2
+12 16
+19  G16   or    1  2
+4 17
+20  G9    nand  1  2
+19 18
+21  G11   nor   3  2
+5 20
+22  G11a  from  G11
+23  G11b  from  G11
+24  G11c  from  G11
+25  G10   nor   1  2
+10 23
+26  G17   not   0  1
+22
+"""
+
+
+def s27() -> Circuit:
+    """The ISCAS-89 s27 benchmark (paper Figure 1)."""
+    return parse_bench(S27_BENCH, "s27")
+
+
+def s27_isc() -> Circuit:
+    """s27 parsed from the line-addressed ``.isc`` reconstruction.
+
+    Behaviourally equivalent to :func:`s27` (asserted in the test suite)
+    but with fanout branches materialized as named lines, matching the
+    paper's figure numbering (lines 21-25).
+    """
+    from repro.circuit.isc import parse_isc
+
+    return parse_isc(S27_ISC, "s27_isc").circuit
+
+
+def fig4() -> Circuit:
+    """The Figure 4 conflict-demonstration circuit."""
+    return parse_bench(FIG4_BENCH, "fig4")

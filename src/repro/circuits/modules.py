@@ -1,0 +1,395 @@
+"""Composable structural hardware modules.
+
+The paper evaluates on ISCAS-89 netlists and on the controller/datapath
+circuits of Rudnick's dissertation (am2910, mp1_16, mp2), none of which
+are redistributable here beyond s27.  Instead of copying netlists, this
+module provides a small structural RTL kit -- adders, counters, muxes,
+registers, comparators, shift/LFSR structures, a stack -- from which
+:mod:`repro.circuits.standins` assembles circuits with comparable size
+and sequential behaviour (deep state, reconvergent fan-out, no reset).
+
+All flip-flops are plain DFFs without set/reset, so the power-up state is
+unknown -- the property that makes the multiple observation time approach
+matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.circuit.netlist import Circuit, CircuitBuilder
+
+Wire = str
+
+
+class ModuleKit:
+    """A :class:`CircuitBuilder` wrapper with hardware-module helpers.
+
+    Every gate helper returns the name of a freshly created output wire,
+    so modules compose by passing wires around::
+
+        kit = ModuleKit("demo")
+        en = kit.input("en")
+        count = kit.counter(4, enable=en)
+        kit.output(kit.parity(count))
+        circuit = kit.build()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.builder = CircuitBuilder(name)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Wires and ports
+    # ------------------------------------------------------------------
+    def fresh(self, prefix: str = "n") -> Wire:
+        """Allocate a fresh wire name."""
+        self._next_id += 1
+        return f"{prefix}_{self._next_id}"
+
+    def input(self, name: Optional[str] = None) -> Wire:
+        wire = name or self.fresh("pi")
+        self.builder.add_input(wire)
+        return wire
+
+    def inputs(self, count: int, prefix: str = "pi") -> List[Wire]:
+        return [self.input(f"{prefix}{k}") for k in range(count)]
+
+    def output(self, wire: Wire) -> Wire:
+        self.builder.add_output(wire)
+        return wire
+
+    def outputs(self, wires: Sequence[Wire]) -> None:
+        for wire in wires:
+            self.output(wire)
+
+    # ------------------------------------------------------------------
+    # Primitive gates (each returns its output wire)
+    # ------------------------------------------------------------------
+    def _gate(self, op: str, wires: Sequence[Wire], prefix: str) -> Wire:
+        out = self.fresh(prefix)
+        self.builder.add_gate(op, out, list(wires))
+        return out
+
+    def not_(self, a: Wire) -> Wire:
+        return self._gate("NOT", [a], "inv")
+
+    def buf(self, a: Wire) -> Wire:
+        return self._gate("BUFF", [a], "buf")
+
+    def and_(self, *wires: Wire) -> Wire:
+        return self._gate("AND", wires, "and")
+
+    def nand_(self, *wires: Wire) -> Wire:
+        return self._gate("NAND", wires, "nand")
+
+    def or_(self, *wires: Wire) -> Wire:
+        return self._gate("OR", wires, "or")
+
+    def nor_(self, *wires: Wire) -> Wire:
+        return self._gate("NOR", wires, "nor")
+
+    def xor_(self, *wires: Wire) -> Wire:
+        return self._gate("XOR", wires, "xor")
+
+    def xnor_(self, *wires: Wire) -> Wire:
+        return self._gate("XNOR", wires, "xnor")
+
+    def dff(self, d: Wire, name: Optional[str] = None) -> Wire:
+        """A D flip-flop; returns the present-state (output) wire."""
+        q = name or self.fresh("q")
+        self.builder.add_flop(q, d)
+        return q
+
+    # ------------------------------------------------------------------
+    # Combinational modules
+    # ------------------------------------------------------------------
+    def mux2(self, select: Wire, when0: Wire, when1: Wire) -> Wire:
+        """2:1 multiplexer (NAND-style to create reconvergent fan-out)."""
+        ns = self.not_(select)
+        return self.nand_(self.nand_(ns, when0), self.nand_(select, when1))
+
+    def mux2_bus(
+        self, select: Wire, when0: Sequence[Wire], when1: Sequence[Wire]
+    ) -> List[Wire]:
+        if len(when0) != len(when1):
+            raise ValueError("mux2_bus operand widths differ")
+        return [self.mux2(select, a, b) for a, b in zip(when0, when1)]
+
+    def mux_tree(
+        self, selects: Sequence[Wire], items: Sequence[Sequence[Wire]]
+    ) -> List[Wire]:
+        """2^k : 1 bus multiplexer from a binary select vector.
+
+        ``selects[0]`` is the least significant select bit; *items* must
+        contain ``2 ** len(selects)`` equally wide buses.
+        """
+        if len(items) != 2 ** len(selects):
+            raise ValueError(
+                f"mux_tree needs {2 ** len(selects)} items, got {len(items)}"
+            )
+        level = [list(bus) for bus in items]
+        for select in selects:
+            level = [
+                self.mux2_bus(select, level[k], level[k + 1])
+                for k in range(0, len(level), 2)
+            ]
+        return level[0]
+
+    def half_adder(self, a: Wire, b: Wire) -> tuple:
+        return self.xor_(a, b), self.and_(a, b)
+
+    def full_adder(self, a: Wire, b: Wire, carry_in: Wire) -> tuple:
+        s1, c1 = self.half_adder(a, b)
+        s2, c2 = self.half_adder(s1, carry_in)
+        return s2, self.or_(c1, c2)
+
+    def ripple_adder(
+        self,
+        a_bits: Sequence[Wire],
+        b_bits: Sequence[Wire],
+        carry_in: Optional[Wire] = None,
+    ) -> tuple:
+        """LSB-first ripple-carry adder; returns (sum bits, carry out)."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("adder operand widths differ")
+        sums: List[Wire] = []
+        carry = carry_in
+        for a, b in zip(a_bits, b_bits):
+            if carry is None:
+                s, carry = self.half_adder(a, b)
+            else:
+                s, carry = self.full_adder(a, b, carry)
+            sums.append(s)
+        return sums, carry
+
+    def incrementer(self, bits: Sequence[Wire], enable: Wire) -> List[Wire]:
+        """Add *enable* (0 or 1) to an LSB-first vector."""
+        result: List[Wire] = []
+        carry = enable
+        for bit in bits:
+            result.append(self.xor_(bit, carry))
+            carry = self.and_(bit, carry)
+        return result
+
+    def equals_const(self, bits: Sequence[Wire], value: int) -> Wire:
+        """1 when the LSB-first vector equals the constant *value*."""
+        terms = [
+            bit if (value >> position) & 1 else self.not_(bit)
+            for position, bit in enumerate(bits)
+        ]
+        return self.and_(*terms)
+
+    def equals_bus(self, a_bits: Sequence[Wire], b_bits: Sequence[Wire]) -> Wire:
+        if len(a_bits) != len(b_bits):
+            raise ValueError("comparator operand widths differ")
+        return self.nor_(*[self.xor_(a, b) for a, b in zip(a_bits, b_bits)])
+
+    def parity(self, bits: Sequence[Wire]) -> Wire:
+        return self.xor_(*bits) if len(bits) > 1 else self.buf(bits[0])
+
+    def decoder(self, selects: Sequence[Wire]) -> List[Wire]:
+        """Full binary decoder: 2^k one-hot outputs from k select bits."""
+        lines = [self.equals_const(selects, v) for v in range(2 ** len(selects))]
+        return lines
+
+    # ------------------------------------------------------------------
+    # Sequential modules
+    # ------------------------------------------------------------------
+    def register(
+        self, d_bits: Sequence[Wire], prefix: str = "r"
+    ) -> List[Wire]:
+        """A bank of DFFs; returns the Q wires."""
+        return [self.dff(d, f"{prefix}{k}") for k, d in enumerate(d_bits)]
+
+    def loadable_register(
+        self,
+        width: int,
+        load: Wire,
+        din: Sequence[Wire],
+        prefix: str = "r",
+    ) -> List[Wire]:
+        """Register that keeps its value unless *load* is 1."""
+        qs = [f"{prefix}{k}" for k in range(width)]
+        for k in range(width):
+            d = self.mux2(load, qs[k], din[k])
+            self.builder.add_flop(qs[k], d)
+        return qs
+
+    def counter(
+        self,
+        width: int,
+        enable: Wire,
+        load: Optional[Wire] = None,
+        din: Optional[Sequence[Wire]] = None,
+        prefix: str = "c",
+    ) -> List[Wire]:
+        """Up-counter with enable and optional synchronous load."""
+        qs = [f"{prefix}{k}" for k in range(width)]
+        nexts = self.incrementer(qs, enable)
+        if load is not None:
+            if din is None:
+                raise ValueError("counter with load needs din")
+            nexts = self.mux2_bus(load, nexts, din)
+        for q, d in zip(qs, nexts):
+            self.builder.add_flop(q, d)
+        return qs
+
+    def shift_register(
+        self, width: int, serial_in: Wire, enable: Wire, prefix: str = "s"
+    ) -> List[Wire]:
+        """Shift register (serial_in enters stage 0 when enabled)."""
+        qs = [f"{prefix}{k}" for k in range(width)]
+        previous = serial_in
+        for k in range(width):
+            d = self.mux2(enable, qs[k], previous)
+            self.builder.add_flop(qs[k], d)
+            previous = qs[k]
+        return qs
+
+    def lfsr(
+        self,
+        width: int,
+        taps: Sequence[int],
+        enable: Wire,
+        prefix: str = "l",
+        gate: Optional[Wire] = None,
+    ) -> List[Wire]:
+        """Fibonacci LFSR with the given tap positions.
+
+        A plain LFSR can never leave the all-``X`` state under
+        three-valued simulation (``X XOR X = X``); passing *gate* ANDs
+        the feedback with an external signal, so the register
+        initializes whenever the gate holds 0 -- the usual test-mode
+        fix for unresettable feedback shifters.
+        """
+        qs = [f"{prefix}{k}" for k in range(width)]
+        feedback = self.xor_(*[qs[t] for t in taps])
+        if gate is not None:
+            feedback = self.and_(feedback, gate)
+        previous = feedback
+        for k in range(width):
+            d = self.mux2(enable, qs[k], previous)
+            self.builder.add_flop(qs[k], d)
+            previous = qs[k]
+        return qs
+
+    def stack(
+        self,
+        width: int,
+        depth_log2: int,
+        push: Wire,
+        pop: Wire,
+        din: Sequence[Wire],
+        prefix: str = "stk",
+        clear: Optional[Wire] = None,
+    ) -> List[Wire]:
+        """A small LIFO stack; returns the bus of the slot addressed by
+        the stack pointer.
+
+        Built from ``2 ** depth_log2`` registers and a stack pointer.
+        Push writes ``din`` into the addressed slot and increments the
+        pointer; pop decrements it.  (The micro-stack structure of the
+        Am2910 sequencer.)
+        """
+        depth = 2 ** depth_log2
+        move = self.or_(push, pop)
+        # Stack pointer: +1 on push (delta = 0..01), -1 on pop
+        # (delta = 1..11, two's complement).
+        sp = [f"{prefix}_sp{k}" for k in range(depth_log2)]
+        delta = [move] + [self.not_(push)] * (depth_log2 - 1)
+        summed, _carry = self.ripple_adder(sp, delta)
+        sp_next = self.mux2_bus(move, sp, summed)
+        if clear is not None:
+            # Synchronous pointer clear (the Am2910 RESET path) -- also
+            # the only way the pointer can leave the unknown power-up
+            # state.
+            sp_next = [self.and_(d, self.not_(clear)) for d in sp_next]
+        for q, d in zip(sp, sp_next):
+            self.builder.add_flop(q, d)
+        # Slots.
+        select = self.decoder(sp)
+        slots: List[List[Wire]] = []
+        for slot in range(depth):
+            write = self.and_(push, select[slot])
+            slots.append(
+                self.loadable_register(
+                    width, write, din, prefix=f"{prefix}_s{slot}_"
+                )
+            )
+        top = self.mux_tree(sp, slots)
+        return top
+
+    # ------------------------------------------------------------------
+    # Three-valued-opaque state (the structures MOT simulation exploits)
+    # ------------------------------------------------------------------
+    def opaque_cell(self, pa: Wire, pb: Wire, name: Optional[str] = None) -> Wire:
+        """A flip-flop that never initializes under three-valued
+        simulation but is binary-deterministic and backward-resolvable.
+
+        The next-state function, built through reconvergent fan-out of
+        the cell output ``t``::
+
+            t' = AND( OR(t, AND(pa, pb)),  NAND(t, pa) )
+
+        evaluates to ``X`` for *every* input combination while ``t`` is
+        ``X`` (each AND operand is X or 1, never both 1), so conventional
+        simulation keeps the cell unknown forever.  In binary terms:
+
+        * ``pa=1, pb=0``: ``t' = 0`` regardless of ``t`` -- a hidden
+          constant; backward implication of ``t' = 1`` **conflicts**
+          (the Figure-4 situation), so the MOT procedures learn ``t = 0``
+          for free;
+        * ``pa=1, pb=1``: ``t' = NOT t`` (toggle);
+        * ``pa=0``: ``t' = t`` (hold).
+
+        Clusters of such cells are how the stand-in circuits reproduce
+        the paper's headline case: faults observable only through opaque
+        state are detected by backward implications but abort plain
+        state expansion (one doubling per cell).
+        """
+        t = name or self.fresh("oc")
+        b1 = self.buf(t)
+        b2 = self.buf(t)
+        side1 = self.or_(b1, self.and_(pa, pb))
+        side2 = self.nand_(b2, pa)
+        self.builder.add_flop(t, self.and_(side1, side2))
+        return t
+
+    def opaque_cluster(
+        self, count: int, pa: Wire, pb: Wire, prefix: str = "oc"
+    ) -> List[Wire]:
+        """*count* opaque cells driven by the same control inputs.
+
+        Sharing ``pa``/``pb`` synchronizes the cells' binary behaviour
+        (all equal after the first ``pa=1, pb=0`` frame) while
+        three-valued simulation sees *count* independent unknowns.
+        """
+        return [self.opaque_cell(pa, pb, f"{prefix}{k}") for k in range(count)]
+
+    def tautology(self, p: Wire) -> Wire:
+        """``OR(p, NOT p)``: constant 1 through reconvergent fan-out.
+
+        Three-valued simulation *does* see this constant (the primary
+        input is binary), so it is specified in the fault-free response;
+        a stuck-at-0 on the tautology output un-masks whatever it gates
+        -- the canonical conventionally-undetectable fault.
+        """
+        b1 = self.buf(p)
+        b2 = self.buf(p)
+        return self.or_(b1, self.not_(b2))
+
+    def masked_observation(self, mask_input: Wire, signals: Sequence[Wire]) -> Wire:
+        """Observe OR(*signals*) behind a tautology mask.
+
+        Fault-free the output is constant 1 (specified); faults in the
+        mask cone expose the (three-valued-opaque) observed signals, so
+        they are detectable only under the multiple observation time
+        approach.
+        """
+        return self.or_(self.tautology(mask_input), *signals)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Circuit:
+        """Finalize the netlist."""
+        return self.builder.build()

@@ -1,0 +1,379 @@
+"""Command-line interface: ``python -m repro`` / ``repro-motsim``.
+
+Subcommands:
+
+* ``stats``   -- structural statistics of registered or external circuits
+* ``fsim``    -- conventional fault simulation
+* ``mot``     -- MOT fault simulation (proposed or [4] baseline)
+* ``table2``  -- regenerate the paper's Table 2
+* ``table3``  -- regenerate the paper's Table 3
+* ``hitec``   -- the deterministic-sequence experiment
+* ``figures`` -- the worked examples (Figures 1-4, Table 1 analogue)
+* ``witness`` -- build and exhaustively verify a detection certificate
+* ``scan``    -- compare coverage against the full-scan DFT upper bound
+
+External circuits are given as ``.bench`` files with ``--bench``;
+registered circuits by name with ``--circuit`` (see ``stats`` for the
+list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.circuit.bench import load_bench
+from repro.circuit.netlist import Circuit
+from repro.circuit.stats import circuit_stats
+from repro.circuits.registry import benchmark_entries, build_circuit
+from repro.experiments.figures import render_all_figures
+from repro.experiments.hitec import render_hitec, run_hitec_experiment
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+from repro.faults.collapse import collapse_faults
+from repro.faults.sites import all_faults
+from repro.fsim.conventional import run_conventional
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.reporting.tables import Table
+
+
+def _resolve_circuit(args: argparse.Namespace) -> Circuit:
+    if getattr(args, "bench", None):
+        return load_bench(args.bench)
+    return build_circuit(args.circuit)
+
+
+def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--circuit", help="registered benchmark circuit name (e.g. s27)"
+    )
+    group.add_argument("--bench", help="path to an external .bench file")
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--length", type=int, default=48, help="test sequence length"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="pattern seed")
+    parser.add_argument(
+        "--uncollapsed",
+        action="store_true",
+        help="simulate the full fault universe instead of the collapsed list",
+    )
+
+
+def _faults(circuit: Circuit, uncollapsed: bool):
+    return all_faults(circuit) if uncollapsed else collapse_faults(circuit)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    names = args.names or [e.name for e in benchmark_entries()]
+    table = Table(
+        ["circuit", "PI", "PO", "FF", "gates", "depth", "max fanout"],
+        title="Circuit statistics",
+    )
+    status = 0
+    for name in names:
+        try:
+            table.add_row(circuit_stats(build_circuit(name)).as_row())
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            status = 1
+    print(table.render(), end="")
+    return status
+
+
+def cmd_fsim(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args)
+    faults = _faults(circuit, args.uncollapsed)
+    patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
+    if args.engine == "parallel":
+        from repro.fsim.parallel import run_parallel_conventional
+
+        campaign = run_parallel_conventional(circuit, faults, patterns)
+    else:
+        campaign = run_conventional(circuit, faults, patterns)
+    print(
+        f"{circuit.name}: {campaign.detected} of {campaign.total} faults "
+        f"detected conventionally ({args.length} random patterns, seed "
+        f"{args.seed}, {args.engine} engine)"
+    )
+    if args.list_undetected:
+        for fault in campaign.undetected_faults():
+            print(f"  undetected: {fault.describe(circuit)}")
+    return 0
+
+
+def cmd_mot(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args)
+    faults = _faults(circuit, args.uncollapsed)
+    patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
+    if args.unrestricted:
+        from repro.mot.unrestricted import (
+            UnrestrictedConfig,
+            UnrestrictedSimulator,
+        )
+
+        simulator = UnrestrictedSimulator(
+            circuit,
+            patterns,
+            UnrestrictedConfig(
+                n_references=args.n_references,
+                restricted=MotConfig(n_states=args.n_states),
+            ),
+        )
+        label = f"unrestricted MOT ({simulator.n_references} references)"
+    elif args.baseline:
+        simulator = BaselineSimulator(
+            circuit, patterns, BaselineConfig(n_states=args.n_states)
+        )
+        label = "[4] baseline"
+    else:
+        simulator = ProposedSimulator(
+            circuit,
+            patterns,
+            MotConfig(
+                n_states=args.n_states,
+                implication_mode=args.implication_mode,
+                backward_depth=args.depth,
+            ),
+        )
+        label = "proposed procedure"
+    campaign = simulator.run(faults)
+    print(
+        f"{circuit.name} ({label}): conventional {campaign.conv_detected}, "
+        f"MOT extra {campaign.mot_detected}, total "
+        f"{campaign.total_detected} of {campaign.total}"
+    )
+    if not args.baseline and not args.unrestricted:
+        averages = campaign.average_counters()
+        print(
+            f"  counters over MOT-detected faults: detect "
+            f"{averages['detect']:.2f}, conf {averages['conf']:.2f}, "
+            f"extra {averages['extra']:.2f}"
+        )
+    if args.list_mot:
+        for verdict in campaign.mot_verdicts():
+            print(
+                f"  mot-detected: {verdict.fault.describe(circuit)} "
+                f"(via {verdict.how})"
+            )
+    if args.report:
+        from repro.reporting.campaign import render_campaign_report
+
+        print()
+        print(render_campaign_report(campaign, circuit), end="")
+    if args.csv:
+        from repro.reporting.campaign import campaign_csv
+
+        with open(args.csv, "w") as handle:
+            handle.write(campaign_csv(campaign, circuit))
+        print(f"per-fault verdicts written to {args.csv}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    rows = run_table2(
+        circuits=args.names or None,
+        n_states=args.n_states,
+        fault_cap=args.fault_cap,
+    )
+    print(render_table2(rows), end="")
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    rows = run_table3(
+        circuits=args.names or None,
+        n_states=args.n_states,
+        fault_cap=args.fault_cap,
+    )
+    print(render_table3(rows), end="")
+    return 0
+
+
+def cmd_hitec(args: argparse.Namespace) -> int:
+    result = run_hitec_experiment(
+        circuit_name=args.circuit,
+        max_length=args.length,
+        fault_cap=args.fault_cap,
+        seed=args.seed,
+        method=args.method,
+    )
+    print(render_hitec(result), end="")
+    return 0
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    print(render_all_figures(), end="")
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    from repro.experiments.scan import render_scan, run_scan_experiment
+
+    rows = run_scan_experiment(
+        circuits=args.names or None, fault_cap=args.fault_cap
+    )
+    print(render_scan(rows), end="")
+    return 0
+
+
+def cmd_witness(args: argparse.Namespace) -> int:
+    from repro.faults.model import Fault
+    from repro.mot.witness import build_witness, check_witness
+
+    from repro.circuit.netlist import CircuitError
+
+    circuit = _resolve_circuit(args)
+    try:
+        line_name, value = args.fault.rsplit("/", 1)
+        fault = Fault(circuit.line_id(line_name), int(value), None)
+    except (ValueError, KeyError, CircuitError) as exc:
+        print(f"error: cannot parse fault {args.fault!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
+    witness = build_witness(circuit, fault, patterns)
+    if witness is None:
+        print(f"{fault.describe(circuit)}: not detected by the proposed "
+              "procedure; no certificate exists")
+        return 1
+    print(witness.describe(circuit))
+    if circuit.num_flops <= 16:
+        verified = check_witness(circuit, fault, patterns, witness)
+        print(f"verified by exhaustive replay: {verified}")
+        return 0 if verified else 1
+    print("(circuit too large for exhaustive verification)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-motsim",
+        description=(
+            "Multiple observation time fault simulation with backward "
+            "implications (reproduction of Pomeranz & Reddy, DAC 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="circuit statistics")
+    p_stats.add_argument("names", nargs="*", help="circuit names (default all)")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_fsim = sub.add_parser("fsim", help="conventional fault simulation")
+    _add_circuit_args(p_fsim)
+    _add_workload_args(p_fsim)
+    p_fsim.add_argument(
+        "--engine", choices=("serial", "parallel"), default="serial",
+        help="fault-simulation engine",
+    )
+    p_fsim.add_argument(
+        "--list-undetected", action="store_true",
+        help="print the undetected faults",
+    )
+    p_fsim.set_defaults(func=cmd_fsim)
+
+    p_mot = sub.add_parser("mot", help="MOT fault simulation")
+    _add_circuit_args(p_mot)
+    _add_workload_args(p_mot)
+    p_mot.add_argument(
+        "--baseline", action="store_true",
+        help="run the [4] state-expansion baseline instead",
+    )
+    p_mot.add_argument(
+        "--unrestricted", action="store_true",
+        help="run the unrestricted MOT generalization (fault-free "
+             "expansion; see repro.mot.unrestricted)",
+    )
+    p_mot.add_argument(
+        "--n-references", type=int, default=8,
+        help="fault-free reference limit for --unrestricted",
+    )
+    p_mot.add_argument("--n-states", type=int, default=64)
+    p_mot.add_argument(
+        "--implication-mode", choices=("fixpoint", "two_pass"),
+        default="fixpoint",
+    )
+    p_mot.add_argument(
+        "--depth", type=int, default=1,
+        help="backward-implication depth in time units",
+    )
+    p_mot.add_argument(
+        "--list-mot", action="store_true",
+        help="print the faults detected beyond conventional simulation",
+    )
+    p_mot.add_argument(
+        "--report", action="store_true",
+        help="print a full campaign report (coverage, mechanisms)",
+    )
+    p_mot.add_argument(
+        "--csv", metavar="FILE",
+        help="write per-fault verdicts to FILE as CSV",
+    )
+    p_mot.set_defaults(func=cmd_mot)
+
+    for name, func, help_text in (
+        ("table2", cmd_table2, "regenerate Table 2"),
+        ("table3", cmd_table3, "regenerate Table 3"),
+    ):
+        p_table = sub.add_parser(name, help=help_text)
+        p_table.add_argument("names", nargs="*", help="circuits (default all)")
+        p_table.add_argument("--n-states", type=int, default=64)
+        p_table.add_argument(
+            "--fault-cap", type=int, default=None,
+            help="additional cap on simulated faults per circuit",
+        )
+        p_table.set_defaults(func=func)
+
+    p_hitec = sub.add_parser(
+        "hitec", help="deterministic-sequence experiment"
+    )
+    p_hitec.add_argument("--circuit", default="s5378_like")
+    p_hitec.add_argument("--length", type=int, default=40)
+    p_hitec.add_argument("--fault-cap", type=int, default=300)
+    p_hitec.add_argument("--seed", type=int, default=17)
+    p_hitec.add_argument(
+        "--method", choices=("greedy", "podem"), default="greedy",
+        help="deterministic generator standing in for HITEC",
+    )
+    p_hitec.set_defaults(func=cmd_hitec)
+
+    p_figures = sub.add_parser(
+        "figures", help="the paper's worked examples (Figures 1-4)"
+    )
+    p_figures.set_defaults(func=cmd_figures)
+
+    p_witness = sub.add_parser(
+        "witness", help="build + verify a detection certificate"
+    )
+    _add_circuit_args(p_witness)
+    _add_workload_args(p_witness)
+    p_witness.add_argument(
+        "--fault", required=True,
+        help="fault name, e.g. G11/0 (stem faults only)",
+    )
+    p_witness.set_defaults(func=cmd_witness)
+
+    p_scan = sub.add_parser(
+        "scan", help="full-scan DFT vs MOT coverage comparison"
+    )
+    p_scan.add_argument("names", nargs="*", help="circuits (default subset)")
+    p_scan.add_argument("--fault-cap", type=int, default=150)
+    p_scan.set_defaults(func=cmd_scan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

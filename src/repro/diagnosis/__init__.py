@@ -1,0 +1,19 @@
+"""Fault dictionaries and response-based diagnosis."""
+
+from repro.diagnosis.dictionary import (
+    DiagnosisCandidate,
+    FaultDictionary,
+    build_fault_dictionary,
+    diagnose,
+    observed_from_chip,
+    per_state_signatures,
+)
+
+__all__ = [
+    "FaultDictionary",
+    "build_fault_dictionary",
+    "DiagnosisCandidate",
+    "diagnose",
+    "per_state_signatures",
+    "observed_from_chip",
+]

@@ -1,0 +1,39 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    render_all_figures,
+    table1_example,
+)
+from repro.experiments.hitec import HitecResult, render_hitec, run_hitec_experiment
+from repro.experiments.runner import CircuitRun, clear_cache, run_circuit
+from repro.experiments.scan import ScanRow, render_scan, run_scan_experiment
+from repro.experiments.table2 import Table2Row, render_table2, run_table2
+from repro.experiments.table3 import Table3Row, render_table3, run_table3
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "table1_example",
+    "render_all_figures",
+    "run_table2",
+    "render_table2",
+    "Table2Row",
+    "run_table3",
+    "render_table3",
+    "Table3Row",
+    "run_hitec_experiment",
+    "render_hitec",
+    "HitecResult",
+    "run_circuit",
+    "CircuitRun",
+    "clear_cache",
+    "ScanRow",
+    "run_scan_experiment",
+    "render_scan",
+]

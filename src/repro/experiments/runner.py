@@ -1,0 +1,88 @@
+"""Shared machinery for the experiment drivers.
+
+Running a Table-2 circuit means: build the circuit, derive the collapsed
+fault list (optionally sampled for the largest circuits), generate the
+registered random sequence, and run conventional + [4] + proposed
+simulation.  Both the Table 2 and Table 3 drivers need the same runs, so
+results are memoized per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from repro.circuits.registry import BenchmarkEntry, get_entry
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.mot.simulator import Campaign, MotConfig, ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+
+
+def sample_faults(faults: List[Fault], limit: Optional[int]) -> List[Fault]:
+    """Evenly sample *limit* faults (deterministic; identity when the
+    list is short enough or *limit* is None)."""
+    if limit is None or limit >= len(faults):
+        return faults
+    step = len(faults) / limit
+    return [faults[int(k * step)] for k in range(limit)]
+
+
+@dataclass
+class CircuitRun:
+    """All simulation results for one benchmark circuit."""
+
+    entry: BenchmarkEntry
+    total_faults: int
+    simulated_faults: int
+    proposed: Campaign
+    baseline: Optional[Campaign]
+
+    @property
+    def sampled(self) -> bool:
+        return self.simulated_faults < self.total_faults
+
+
+@lru_cache(maxsize=None)
+def _run_circuit_cached(
+    name: str, n_states: int, fault_cap: Optional[int]
+) -> CircuitRun:
+    entry = get_entry(name)
+    circuit = entry.build()
+    faults = collapse_faults(circuit)
+    limit = entry.fault_sample
+    if fault_cap is not None:
+        limit = min(limit, fault_cap) if limit is not None else fault_cap
+    simulated = sample_faults(faults, limit)
+    patterns = random_patterns(
+        circuit.num_inputs, entry.sequence_length, seed=entry.seed
+    )
+    proposed = ProposedSimulator(
+        circuit, patterns, MotConfig(n_states=n_states)
+    ).run(simulated)
+    baseline = None
+    if entry.run_baseline:
+        baseline = BaselineSimulator(
+            circuit, patterns, BaselineConfig(n_states=n_states)
+        ).run(simulated)
+    return CircuitRun(
+        entry=entry,
+        total_faults=len(faults),
+        simulated_faults=len(simulated),
+        proposed=proposed,
+        baseline=baseline,
+    )
+
+
+def run_circuit(
+    name: str, n_states: int = 64, fault_cap: Optional[int] = None
+) -> CircuitRun:
+    """Run (or fetch the memoized run of) one benchmark circuit."""
+    return _run_circuit_cached(name, n_states, fault_cap)
+
+
+def clear_cache() -> None:
+    """Drop memoized circuit runs (tests use this)."""
+    _run_circuit_cached.cache_clear()

@@ -1,0 +1,77 @@
+"""Dominance-based fault-list reduction.
+
+Fault ``A`` *dominates* fault ``B`` when every test detecting ``B`` also
+detects ``A``; ``A`` can then be removed from the target list (any test
+set covering ``B`` covers it).  The structural gate rules:
+
+* AND:  output s-a-1 dominates every input s-a-1
+* NAND: output s-a-0 dominates every input s-a-1
+* OR:   output s-a-0 dominates every input s-a-0
+* NOR:  output s-a-1 dominates every input s-a-0
+
+(the "hard" gate-terminal faults are the input faults; the dominated
+output fault is dropped).
+
+**Sequential caveat** -- dominance relations are only guaranteed for
+combinational propagation: in a sequential circuit the test detecting
+``B`` detects ``A`` *at some time unit*, but the two fault effects may
+race through different state paths, and classic tools therefore restrict
+dominance collapsing to combinational circuits.  :func:`dominance_collapse`
+raises on sequential circuits unless ``allow_sequential=True`` is passed
+explicitly (useful for quick upper-bound estimates only).
+
+Applied after equivalence collapsing, this yields the usual
+equivalence+dominance collapsed list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.circuit.netlist import Circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.logic.gates import GateType
+from repro.logic.values import ONE, ZERO
+
+#: gate type -> (dominated output stuck value, dominating input value)
+_RULES = {
+    GateType.AND: (ONE, ONE),
+    GateType.NAND: (ZERO, ONE),
+    GateType.OR: (ZERO, ZERO),
+    GateType.NOR: (ONE, ZERO),
+}
+
+
+def dominance_collapse(
+    circuit: Circuit, allow_sequential: bool = False
+) -> List[Fault]:
+    """Equivalence-collapse then drop dominated output faults.
+
+    Raises
+    ------
+    ValueError
+        For sequential circuits, unless *allow_sequential* is set (see
+        module docstring).
+    """
+    if circuit.num_flops and not allow_sequential:
+        raise ValueError(
+            "dominance collapsing is only sound for combinational "
+            "circuits; pass allow_sequential=True to force it"
+        )
+    equivalence = collapse_faults(circuit)
+    dropped: Set[Fault] = set()
+    for gate in circuit.gates:
+        rule = _RULES.get(gate.gate_type)
+        if rule is None or len(gate.inputs) < 2:
+            continue
+        output_value, _input_value = rule
+        # The output fault is dominated by each input fault; since the
+        # gate has inputs (whose faults exist in the universe), drop the
+        # output fault.  The output fault to drop is whatever
+        # representative its equivalence class has -- but the dominated
+        # class here is the *output* stuck-at that is NOT equivalent to
+        # the inputs (the other polarity got merged by equivalence), so
+        # the stem fault itself is the representative.
+        dropped.add(Fault(gate.output, output_value, None))
+    return [fault for fault in equivalence if fault not in dropped]

@@ -1,0 +1,152 @@
+"""Fault injection by netlist transformation.
+
+A stuck-at fault is injected by *cutting* the faulty site and driving the
+consumer side with a constant:
+
+* **stem fault**: every consumer pin of the line (gate inputs, flip-flop
+  data pins, primary-output taps) is rewired to a constant line; the
+  original driver still exists but becomes unobservable, exactly like the
+  node "before" the fault in hardware;
+* **branch fault**: only the single faulty pin is rewired.
+
+The transformation returns a fresh, structurally valid :class:`Circuit`,
+so every simulator and the implication engine work on faulty circuits
+without any special-casing.  In particular, backward implications can
+never (incorrectly) infer the driver value from the stuck consumer side,
+because the cut removes the connection.
+
+A stem fault on a flip-flop *output* (present-state line) additionally
+records the flop in ``forced_ps``: every consumer observes the constant,
+so the simulators treat that state variable as permanently specified and
+the MOT procedures never waste expansions on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuit.netlist import Circuit, Flop, Gate, Pin
+from repro.faults.model import Fault
+from repro.logic.gates import GateType
+from repro.logic.values import ONE
+
+#: Reserved name for the constant line added by injection.
+CONST_LINE_NAME = "__fault_const__"
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A faulty circuit plus injection metadata.
+
+    Attributes
+    ----------
+    circuit:
+        The transformed (faulty) netlist.  Shares no mutable state with
+        the fault-free circuit.
+    fault:
+        The injected fault (ids refer to the *original* circuit; line ids
+        below ``circuit.num_lines - 1`` are identical in both).
+    const_line:
+        Id of the constant line carrying the stuck value.
+    forced_ps:
+        Maps flop index -> stuck value for present-state lines whose stem
+        is the fault site (the state variable is effectively constant).
+    """
+
+    circuit: Circuit
+    fault: Fault
+    const_line: int
+    forced_ps: Dict[int, int]
+    #: All injected faults (length 1 for the single-fault model).
+    faults: tuple = ()
+
+
+def inject_fault(circuit: Circuit, fault: Fault) -> InjectedFault:
+    """Build the faulty version of *circuit* for *fault*.
+
+    The original circuit is not modified.
+    """
+    return inject_fault_list(circuit, [fault])
+
+
+def inject_fault_list(circuit: Circuit, faults: "list[Fault]") -> InjectedFault:
+    """Inject several simultaneous faults (the multiple-stuck-at model).
+
+    Used for single faults (the common case), for multiple-fault
+    studies, and by the time-frame-expansion test generator, where one
+    sequential fault becomes one site *per unrolled frame*.  At most one
+    constant line per polarity is added; all faulted pins of the same
+    polarity share it.
+
+    Returns an :class:`InjectedFault` whose ``fault`` field holds the
+    first fault (the representative) -- ``faults`` holds them all.
+    """
+    if not faults:
+        raise ValueError("need at least one fault to inject")
+    line_names = list(circuit.line_names)
+    if CONST_LINE_NAME in circuit.line_ids:
+        raise ValueError(f"circuit already uses reserved name {CONST_LINE_NAME!r}")
+
+    gates = [Gate(g.gate_type, g.output, g.inputs) for g in circuit.gates]
+    flops = list(circuit.flops)
+    outputs = list(circuit.outputs)
+    forced_ps: Dict[int, int] = {}
+    const_lines: Dict[int, int] = {}
+
+    def const_line_for(value: int) -> int:
+        line = const_lines.get(value)
+        if line is None:
+            line = len(line_names)
+            suffix = "" if not const_lines else "_1"
+            line_names.append(CONST_LINE_NAME + suffix)
+            const_lines[value] = line
+        return line
+
+    for fault in faults:
+        const_line = const_line_for(fault.stuck_at)
+        pins = (
+            list(circuit.fanout_pins[fault.line])
+            if fault.pin is None
+            else [fault.pin]
+        )
+        for pin in pins:
+            if pin.kind == "gate":
+                gate = gates[pin.index]
+                new_inputs = list(gate.inputs)
+                new_inputs[pin.pos] = const_line
+                gates[pin.index] = Gate(
+                    gate.gate_type, gate.output, tuple(new_inputs)
+                )
+            elif pin.kind == "flop":
+                flop = flops[pin.index]
+                flops[pin.index] = Flop(flop.ps, const_line)
+            elif pin.kind == "output":
+                outputs[pin.index] = const_line
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown pin kind {pin.kind!r}")
+        if fault.pin is None:
+            # Record permanently-stuck present-state variables.
+            for flop_index, flop in enumerate(circuit.flops):
+                if flop.ps == fault.line:
+                    forced_ps[flop_index] = fault.stuck_at
+
+    for value, line in sorted(const_lines.items()):
+        gate_type = GateType.CONST1 if value == ONE else GateType.CONST0
+        gates.append(Gate(gate_type, line, ()))
+    faulty = Circuit(
+        name=f"{circuit.name}+{faults[0].describe(circuit)}"
+        + (f"(+{len(faults) - 1})" if len(faults) > 1 else ""),
+        line_names=line_names,
+        inputs=list(circuit.inputs),
+        outputs=outputs,
+        flops=flops,
+        gates=gates,
+    )
+    return InjectedFault(
+        circuit=faulty,
+        fault=faults[0],
+        const_line=const_lines[faults[0].stuck_at],
+        forced_ps=forced_ps,
+        faults=tuple(faults),
+    )

@@ -1,0 +1,56 @@
+"""Single stuck-at fault model.
+
+A fault is a *stuck-at* value on a signal site.  Sites follow the classic
+structural fault universe:
+
+* a **stem** fault affects a line everywhere it is consumed (and where it
+  is observed, if it is a primary output);
+* a **branch** fault affects a single fanout branch of a line -- one gate
+  input pin, one flip-flop data pin, or one primary-output tap.  Branch
+  faults are distinguished only on lines with two or more consumers
+  (otherwise the branch is the stem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.netlist import Circuit, Pin
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault.
+
+    Attributes
+    ----------
+    line:
+        Stem line id the fault is attached to.
+    stuck_at:
+        0 or 1.
+    pin:
+        ``None`` for a stem fault; otherwise the consumer pin whose view
+        of the line is stuck (branch fault).
+    """
+
+    line: int
+    stuck_at: int
+    pin: Optional[Pin] = None
+
+    @property
+    def is_stem(self) -> bool:
+        return self.pin is None
+
+    def describe(self, circuit: Circuit) -> str:
+        """Human-readable fault name, e.g. ``G10/0`` or ``G10->G11.2/1``."""
+        stem = circuit.line_names[self.line]
+        if self.pin is None:
+            return f"{stem}/{self.stuck_at}"
+        if self.pin.kind == "gate":
+            sink = circuit.line_names[circuit.gates[self.pin.index].output]
+            return f"{stem}->{sink}.{self.pin.pos}/{self.stuck_at}"
+        if self.pin.kind == "flop":
+            sink = circuit.line_names[circuit.flops[self.pin.index].ps]
+            return f"{stem}->DFF({sink})/{self.stuck_at}"
+        return f"{stem}->PO{self.pin.index}/{self.stuck_at}"

@@ -1,0 +1,29 @@
+"""Enumeration of the structural stuck-at fault universe."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.logic.values import ONE, ZERO
+
+
+def all_faults(circuit: Circuit) -> List[Fault]:
+    """Return the uncollapsed single stuck-at fault list of *circuit*.
+
+    Stem faults on every line, plus branch faults on each fanout branch of
+    lines with two or more consumers (on single-consumer lines the branch
+    coincides with the stem).  This is the standard fault universe used by
+    the ISCAS benchmarks before collapsing.
+    """
+    faults: List[Fault] = []
+    for line in range(circuit.num_lines):
+        for value in (ZERO, ONE):
+            faults.append(Fault(line, value, None))
+        pins = circuit.fanout_pins[line]
+        if len(pins) >= 2:
+            for pin in pins:
+                for value in (ZERO, ONE):
+                    faults.append(Fault(line, value, pin))
+    return faults

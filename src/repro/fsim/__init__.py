@@ -1,0 +1,25 @@
+"""Conventional (single observation time) fault simulation."""
+
+from repro.fsim.conventional import (
+    ConventionalCampaign,
+    ConventionalVerdict,
+    run_conventional,
+    simulate_fault,
+)
+from repro.fsim.deductive import DeductiveFaultSimulator
+from repro.fsim.parallel import (
+    DEFAULT_BATCH,
+    ParallelFaultSimulator,
+    run_parallel_conventional,
+)
+
+__all__ = [
+    "ConventionalCampaign",
+    "ConventionalVerdict",
+    "run_conventional",
+    "simulate_fault",
+    "ParallelFaultSimulator",
+    "run_parallel_conventional",
+    "DEFAULT_BATCH",
+    "DeductiveFaultSimulator",
+]

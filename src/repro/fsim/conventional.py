@@ -1,0 +1,87 @@
+"""Conventional serial fault simulation (single observation time).
+
+This is the classic three-valued sequential fault simulator the paper
+uses as its starting point: every fault is injected and simulated against
+the test sequence; the fault is detected when the faulty response and the
+fault-free response hold opposite *specified* values at some (time unit,
+output) position.  Faults whose responses only differ through ``X`` are
+**not** detected here -- recovering (some of) them is exactly what the
+MOT procedures do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.faults.injection import inject_fault
+from repro.faults.model import Fault
+from repro.sim.sequential import (
+    SequentialResult,
+    outputs_conflict,
+    simulate_injected,
+    simulate_sequence,
+)
+
+
+@dataclass
+class ConventionalVerdict:
+    """Per-fault outcome of conventional simulation."""
+
+    fault: Fault
+    detected: bool
+    #: (time unit, output index) of the first detection, when detected.
+    site: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class ConventionalCampaign:
+    """Results of a conventional fault-simulation run."""
+
+    circuit_name: str
+    reference: SequentialResult
+    verdicts: List[ConventionalVerdict]
+
+    @property
+    def total(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for v in self.verdicts if v.detected)
+
+    def detected_faults(self) -> List[Fault]:
+        return [v.fault for v in self.verdicts if v.detected]
+
+    def undetected_faults(self) -> List[Fault]:
+        return [v.fault for v in self.verdicts if not v.detected]
+
+
+def simulate_fault(
+    circuit: Circuit,
+    fault: Fault,
+    patterns: Sequence[Sequence[int]],
+    reference_outputs: Sequence[Sequence[int]],
+) -> ConventionalVerdict:
+    """Conventionally simulate one fault against a precomputed reference."""
+    injected = inject_fault(circuit, fault)
+    faulty = simulate_injected(injected, patterns)
+    site = outputs_conflict(reference_outputs, faulty.outputs)
+    return ConventionalVerdict(fault=fault, detected=site is not None, site=site)
+
+
+def run_conventional(
+    circuit: Circuit,
+    faults: Iterable[Fault],
+    patterns: Sequence[Sequence[int]],
+) -> ConventionalCampaign:
+    """Conventionally fault-simulate *faults* under *patterns*."""
+    reference = simulate_sequence(circuit, patterns)
+    verdicts = [
+        simulate_fault(circuit, fault, patterns, reference.outputs)
+        for fault in faults
+    ]
+    return ConventionalCampaign(
+        circuit_name=circuit.name, reference=reference, verdicts=verdicts
+    )

@@ -1,0 +1,81 @@
+"""The three logic values and conversions between representations.
+
+The simulators in this repository use classic three-valued logic: the two
+binary values plus an *unspecified* value ``X`` standing for "either 0 or
+1, unknown which".  Values are plain integers so they can be stored in
+flat lists and compared cheaply:
+
+* ``ZERO``    -- logic 0,
+* ``ONE``     -- logic 1,
+* ``UNKNOWN`` -- the unspecified value ``X``.
+
+The integer encoding (0, 1, 2) is part of the public contract: fault
+simulators index lookup tables with these values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+ZERO: int = 0
+ONE: int = 1
+UNKNOWN: int = 2
+
+#: Canonical character for each value, indexed by the value itself.
+VALUE_CHARS: str = "01x"
+
+_CHAR_TO_VALUE = {
+    "0": ZERO,
+    "1": ONE,
+    "x": UNKNOWN,
+    "X": UNKNOWN,
+    "u": UNKNOWN,
+    "U": UNKNOWN,
+}
+
+#: Inversion table: ``_INV[v]`` is ``NOT v`` (X inverts to X).
+_INV = (ONE, ZERO, UNKNOWN)
+
+
+def inv(value: int) -> int:
+    """Return the three-valued complement of *value* (``X`` maps to ``X``)."""
+    return _INV[value]
+
+
+def is_specified(value: int) -> bool:
+    """Return True when *value* is a binary value (not ``X``)."""
+    return value != UNKNOWN
+
+
+def value_from_char(char: str) -> int:
+    """Parse a single character (``0``, ``1``, ``x``/``X``/``u``/``U``).
+
+    Raises
+    ------
+    ValueError
+        If *char* is not a recognized logic-value character.
+    """
+    try:
+        return _CHAR_TO_VALUE[char]
+    except KeyError:
+        raise ValueError(f"not a logic value character: {char!r}") from None
+
+
+def value_to_char(value: int) -> str:
+    """Render a logic value as its canonical character (``0``/``1``/``x``)."""
+    if value < 0 or value > UNKNOWN:
+        raise ValueError(f"not a logic value: {value!r}")
+    return VALUE_CHARS[value]
+
+
+def values_from_string(text: str) -> List[int]:
+    """Parse a pattern string such as ``"10x1"`` into a list of values.
+
+    Whitespace is ignored, so ``"10 x1"`` parses the same as ``"10x1"``.
+    """
+    return [value_from_char(c) for c in text if not c.isspace()]
+
+
+def values_to_string(values: Iterable[int]) -> str:
+    """Render an iterable of logic values as a compact pattern string."""
+    return "".join(value_to_char(v) for v in values)

@@ -1,0 +1,99 @@
+"""Cross-campaign analysis: compare simulators fault by fault.
+
+The paper's Table 2 compares three procedures on detection *counts*;
+this module compares campaigns at fault granularity, which is what the
+reproduction's containment claims are actually about:
+
+* which faults did the proposed procedure detect that [4] did not (and
+  through which mechanism),
+* did any fault go the other way (a containment violation -- asserted
+  never to happen in the benchmark suite),
+* how were the baseline's misses distributed between "aborted at the
+  sequence limit" and "search exhausted".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.mot.simulator import Campaign
+
+
+@dataclass
+class CampaignDiff:
+    """Fault-level comparison of two campaigns over the same fault list."""
+
+    left_name: str
+    right_name: str
+    both_detected: int = 0
+    neither_detected: int = 0
+    only_left: List[Fault] = field(default_factory=list)
+    only_right: List[Fault] = field(default_factory=list)
+    #: For faults only the left campaign detects: the right campaign's
+    #: failure mode ("aborted", "", "dropped", ...).
+    right_failure_modes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def containment_holds(self) -> bool:
+        """True when the right campaign's detections are a subset of the
+        left's (the paper's proposed-vs-[4] claim with left=proposed)."""
+        return not self.only_right
+
+
+def diff_campaigns(left: Campaign, right: Campaign) -> CampaignDiff:
+    """Compare two campaigns that simulated the same faults in order.
+
+    Raises
+    ------
+    ValueError
+        If the fault lists differ.
+    """
+    if len(left.verdicts) != len(right.verdicts):
+        raise ValueError("campaigns simulated different fault counts")
+    diff = CampaignDiff(left_name=left.circuit_name, right_name=right.circuit_name)
+    for left_verdict, right_verdict in zip(left.verdicts, right.verdicts):
+        if left_verdict.fault != right_verdict.fault:
+            raise ValueError("campaigns simulated different fault lists")
+        l_detected = left_verdict.detected
+        r_detected = right_verdict.detected
+        if l_detected and r_detected:
+            diff.both_detected += 1
+        elif not l_detected and not r_detected:
+            diff.neither_detected += 1
+        elif l_detected:
+            diff.only_left.append(left_verdict.fault)
+            mode = right_verdict.how or right_verdict.status
+            diff.right_failure_modes[mode] = (
+                diff.right_failure_modes.get(mode, 0) + 1
+            )
+        else:
+            diff.only_right.append(right_verdict.fault)
+    return diff
+
+
+def render_diff(diff: CampaignDiff, circuit: Circuit) -> str:
+    """Human-readable rendering of a campaign diff."""
+    lines = [
+        f"campaign diff: {diff.left_name} vs {diff.right_name}",
+        f"  detected by both   : {diff.both_detected}",
+        f"  detected by neither: {diff.neither_detected}",
+        f"  only left          : {len(diff.only_left)}",
+        f"  only right         : {len(diff.only_right)}"
+        + ("" if diff.containment_holds else "   (containment VIOLATED)"),
+    ]
+    if diff.only_left:
+        lines.append("  left-only faults (right failure mode):")
+        modes = dict(diff.right_failure_modes)
+        for fault in diff.only_left[:20]:
+            lines.append(f"    {fault.describe(circuit)}")
+        if modes:
+            lines.append(
+                "  right failure modes: "
+                + ", ".join(f"{k or 'undetected'}={v}" for k, v in sorted(modes.items()))
+            )
+    for fault in diff.only_right[:20]:
+        lines.append(f"  RIGHT-ONLY: {fault.describe(circuit)}")
+    return "\n".join(lines) + "\n"

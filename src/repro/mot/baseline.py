@@ -1,0 +1,268 @@
+"""Baseline: state expansion without backward implications (reference [4]).
+
+This reimplements the procedure of Pomeranz & Reddy, *"On Fault Simulation
+for Synchronous Sequential Circuits"* (IEEE ToC, Feb. 1995), which the
+paper compares against.  Like the proposed procedure it expands
+unspecified state variables until ``N_STATES`` sequences exist and then
+resimulates; unlike it, there is no backward-implication information:
+
+* no conflict/detection pre-analysis (no free phase-1 restrictions, no
+  Section 3.2 early detection),
+* every expansion specifies exactly the two values of the selected
+  variable (the ``N_extra <= 12`` ceiling discussed around Table 3),
+* pair selection uses the time-unit criteria the paper attributes to [4]
+  (max ``N_out``, then min ``N_sv``) plus a forward trial simulation to
+  pick the state variable (the most newly specified PO/NS values).
+
+Two scheduling modes are provided:
+
+* ``"oneshot"`` (default) -- expand to the sequence limit, then
+  resimulate once: structurally identical to Procedure 2, so the *only*
+  difference from the proposed procedure is the backward-implication
+  information.  This is the mode used for the Table 2 reproduction.
+* ``"iterative"`` -- expand one variable, resimulate, drop resolved
+  sequences, repeat until the live-sequence count would exceed the limit
+  (then abort, as [4] did for the extra s5378 faults in the paper's
+  discussion).  This adaptive variant is compared against one-shot in
+  ``benchmarks/bench_ablation_schedule.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.faults.injection import InjectedFault, inject_fault
+from repro.faults.model import Fault
+from repro.logic.values import UNKNOWN
+from repro.mot.conditions import MotProfile, mot_profile
+from repro.mot.expansion import DEFAULT_N_STATES, StateSequence
+from repro.mot.resimulate import SequenceStatus, resimulate_sequence
+from repro.mot.simulator import Campaign, FaultVerdict
+from repro.sim.frame import eval_frame
+from repro.sim.sequential import (
+    outputs_conflict,
+    simulate_injected,
+    simulate_sequence,
+)
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Tuning knobs of the [4] baseline."""
+
+    n_states: int = DEFAULT_N_STATES
+    schedule: str = "oneshot"  # or "iterative"
+
+
+class BaselineSimulator:
+    """State-expansion fault simulator without backward implications."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        patterns: Sequence[Sequence[int]],
+        config: Optional[BaselineConfig] = None,
+        reference_outputs: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        """*reference_outputs* overrides the fault-free response (see
+        :class:`repro.mot.simulator.ProposedSimulator`)."""
+        self.circuit = circuit
+        self.patterns = [list(p) for p in patterns]
+        self.config = config or BaselineConfig()
+        if self.config.schedule not in ("oneshot", "iterative"):
+            raise ValueError(f"unknown schedule {self.config.schedule!r}")
+        self.reference = simulate_sequence(circuit, self.patterns)
+        if reference_outputs is not None:
+            if len(reference_outputs) != len(self.patterns):
+                raise ValueError("reference response length mismatch")
+            self.reference_outputs = [list(r) for r in reference_outputs]
+        else:
+            self.reference_outputs = self.reference.outputs
+
+    # ------------------------------------------------------------------
+    def _trial_gain(
+        self,
+        injected: InjectedFault,
+        sequence: StateSequence,
+        u: int,
+        flop_index: int,
+    ) -> int:
+        """Newly specified PO/NS values when ``y_i`` is set at time *u*.
+
+        Sums the gains of both trial values -- the forward-only analogue
+        of the paper's ``N_extra`` criteria.
+        """
+        circuit = injected.circuit
+        interesting = list(circuit.outputs) + [f.ns for f in circuit.flops]
+        base_row = sequence.states[u]
+        base_values = eval_frame(circuit, self.patterns[u], base_row)
+        gain = 0
+        for alpha in (0, 1):
+            trial_row = list(base_row)
+            trial_row[flop_index] = alpha
+            trial_values = eval_frame(circuit, self.patterns[u], trial_row)
+            for line in interesting:
+                if (
+                    base_values[line] == UNKNOWN
+                    and trial_values[line] != UNKNOWN
+                ):
+                    gain += 1
+        return gain
+
+    def _choose_pair(
+        self,
+        injected: InjectedFault,
+        sequences: List[StateSequence],
+        profile: MotProfile,
+    ) -> Optional[Tuple[int, int]]:
+        """Pick the next (time unit, state variable) to expand."""
+        length = len(self.patterns)
+        num_flops = injected.circuit.num_flops
+        forced = injected.forced_ps
+        candidate_pairs: List[Tuple[int, int]] = []
+        for u in range(length):
+            if profile.n_out[u] <= 0 or profile.n_sv[u] <= 0:
+                continue
+            for flop_index in range(num_flops):
+                if flop_index in forced:
+                    continue
+                if all(
+                    seq.states[u][flop_index] == UNKNOWN for seq in sequences
+                ):
+                    candidate_pairs.append((u, flop_index))
+        if not candidate_pairs:
+            return None
+        best_n_out = max(profile.n_out[u] for u, _ in candidate_pairs)
+        candidate_pairs = [
+            p for p in candidate_pairs if profile.n_out[p[0]] == best_n_out
+        ]
+        best_n_sv = min(profile.n_sv[u] for u, _ in candidate_pairs)
+        candidate_pairs = [
+            p for p in candidate_pairs if profile.n_sv[p[0]] == best_n_sv
+        ]
+        best_pair = None
+        best_key: Tuple[int, int, int] = (-1, 0, 0)
+        for u, flop_index in candidate_pairs:
+            key = (
+                self._trial_gain(injected, sequences[0], u, flop_index),
+                -u,
+                -flop_index,
+            )
+            if key > best_key:
+                best_key = key
+                best_pair = (u, flop_index)
+        return best_pair
+
+    @staticmethod
+    def _expand_all(
+        sequences: List[StateSequence], u: int, flop_index: int
+    ) -> None:
+        """Duplicate every sequence, assigning ``y_i = 0`` / ``1``."""
+        doubled: List[StateSequence] = []
+        for seq in sequences:
+            twin = seq.copy()
+            seq.assign(u, flop_index, 0)
+            twin.assign(u, flop_index, 1)
+            doubled.append(twin)
+        sequences.extend(doubled)
+
+    def _resolve(
+        self, injected: InjectedFault, sequences: List[StateSequence]
+    ) -> List[StateSequence]:
+        """Resimulate and keep only unresolved sequences."""
+        return [
+            seq
+            for seq in sequences
+            if resimulate_sequence(
+                injected.circuit,
+                self.patterns,
+                self.reference_outputs,
+                seq,
+                injected.forced_ps,
+            )
+            is SequenceStatus.UNRESOLVED
+        ]
+
+    # ------------------------------------------------------------------
+    def simulate_fault(self, fault: Fault) -> FaultVerdict:
+        """Run the baseline procedure for one fault."""
+        injected = inject_fault(self.circuit, fault)
+        faulty = simulate_injected(injected, self.patterns)
+        if outputs_conflict(self.reference_outputs, faulty.outputs) is not None:
+            return FaultVerdict(fault, "conv")
+        profile = mot_profile(
+            faulty.states, self.reference_outputs, faulty.outputs
+        )
+        if not profile.condition_c():
+            return FaultVerdict(fault, "dropped")
+        sequences = [StateSequence(states=[list(r) for r in faulty.states])]
+        if self.config.schedule == "oneshot":
+            return self._simulate_oneshot(fault, injected, profile, sequences)
+        return self._simulate_iterative(fault, injected, profile, sequences)
+
+    def _simulate_oneshot(
+        self,
+        fault: Fault,
+        injected: InjectedFault,
+        profile: MotProfile,
+        sequences: List[StateSequence],
+    ) -> FaultVerdict:
+        expansions = 0
+        while len(sequences) < self.config.n_states:
+            pair = self._choose_pair(injected, sequences, profile)
+            if pair is None:
+                break
+            expansions += 1
+            self._expand_all(sequences, *pair)
+        total = len(sequences)
+        unresolved = self._resolve(injected, sequences)
+        if not unresolved:
+            return FaultVerdict(
+                fault, "mot", how="expansion", num_expansions=expansions,
+                num_sequences=total,
+            )
+        return FaultVerdict(
+            fault,
+            "undetected",
+            how="aborted" if total >= self.config.n_states else "",
+            num_sequences=total,
+            num_expansions=expansions,
+        )
+
+    def _simulate_iterative(
+        self,
+        fault: Fault,
+        injected: InjectedFault,
+        profile: MotProfile,
+        sequences: List[StateSequence],
+    ) -> FaultVerdict:
+        expansions = 0
+        aborted = False
+        while sequences:
+            if 2 * len(sequences) > self.config.n_states:
+                aborted = True
+                break
+            pair = self._choose_pair(injected, sequences, profile)
+            if pair is None:
+                break
+            expansions += 1
+            self._expand_all(sequences, *pair)
+            sequences = self._resolve(injected, sequences)
+        if not sequences:
+            return FaultVerdict(
+                fault, "mot", how="expansion", num_expansions=expansions
+            )
+        return FaultVerdict(
+            fault,
+            "undetected",
+            how="aborted" if aborted else "",
+            num_sequences=len(sequences),
+            num_expansions=expansions,
+        )
+
+    def run(self, faults: Iterable[Fault]) -> Campaign:
+        """Simulate every fault and aggregate the verdicts."""
+        verdicts = [self.simulate_fault(fault) for fault in faults]
+        return Campaign(circuit_name=self.circuit.name, verdicts=verdicts)

@@ -1,0 +1,157 @@
+"""Frame implication engine: constraint propagation inside one time frame.
+
+This engine powers backward implications (paper Section 2): after a
+next-state line is assigned at time unit ``u-1``, values are propagated
+through the frame in both directions -- "from outputs to inputs and then
+from inputs to outputs" -- until either a :class:`~repro.logic.Conflict`
+is found or no further values are forced.
+
+Two propagation modes are provided:
+
+* :meth:`FrameEngine.imply` -- event-driven worklist to fixpoint.  Finds a
+  superset of the paper's two-pass implications (the paper itself notes
+  "several passes over the circuit ... may be required to determine all
+  the implications" and stops at two only to bound CPU time).
+* :meth:`FrameEngine.imply_two_pass` -- exactly the paper's two sweeps
+  (reverse-topological backward pass, then forward pass), for the
+  fidelity ablation bench.
+
+Both modes are sound: every value they assign holds in every complete
+binary assignment consistent with the starting values, and a conflict is
+raised only when no consistent completion exists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.logic.gates import GateType
+from repro.logic.implication import Conflict, propagate_gate
+from repro.logic.values import UNKNOWN
+
+Assignment = Tuple[int, int]
+
+
+class FrameEngine:
+    """Reusable implication engine for one circuit.
+
+    The engine precomputes, for every line, the driving gate and the
+    consuming gates, so each :meth:`imply` call touches only the affected
+    cone.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._gate_types: List[GateType] = [g.gate_type for g in circuit.gates]
+        self._gate_outputs: List[int] = [g.output for g in circuit.gates]
+        self._gate_inputs: List[Tuple[int, ...]] = [g.inputs for g in circuit.gates]
+        # Gates to revisit when a line's value changes: its driver (if the
+        # line is gate-driven) plus every gate reading it.
+        touched: List[List[int]] = [[] for _ in range(circuit.num_lines)]
+        for gate_index, gate in enumerate(circuit.gates):
+            touched[gate.output].append(gate_index)
+            for line in gate.inputs:
+                touched[line].append(gate_index)
+        self._touched_gates = touched
+        self._reverse_topo = list(reversed(circuit.topo_gates))
+
+    # ------------------------------------------------------------------
+    def _process_gate(
+        self,
+        gate_index: int,
+        values: List[int],
+        queue: Optional[deque],
+        record: Optional[List[Assignment]],
+    ) -> bool:
+        """Propagate one gate; apply newly forced values.  Returns True if
+        anything changed.  Raises Conflict on contradiction."""
+        out_line = self._gate_outputs[gate_index]
+        in_lines = self._gate_inputs[gate_index]
+        out_value = values[out_line]
+        in_values = [values[line] for line in in_lines]
+        new_out, new_ins = propagate_gate(
+            self._gate_types[gate_index], out_value, in_values
+        )
+        changed = False
+        if new_out != out_value:
+            values[out_line] = new_out
+            changed = True
+            if record is not None:
+                record.append((out_line, new_out))
+            if queue is not None:
+                queue.append(out_line)
+        for line, old, new in zip(in_lines, in_values, new_ins):
+            if new != old:
+                values[line] = new
+                changed = True
+                if record is not None:
+                    record.append((line, new))
+                if queue is not None:
+                    queue.append(line)
+        return changed
+
+    def _seed(
+        self,
+        values: List[int],
+        assignments: Iterable[Assignment],
+        record: Optional[List[Assignment]],
+    ) -> List[int]:
+        seeded: List[int] = []
+        for line, value in assignments:
+            current = values[line]
+            if current == UNKNOWN:
+                values[line] = value
+                seeded.append(line)
+                if record is not None:
+                    record.append((line, value))
+            elif current != value:
+                raise Conflict(
+                    f"assignment {self.circuit.line_names[line]}={value} "
+                    f"contradicts existing value {current}"
+                )
+        return seeded
+
+    # ------------------------------------------------------------------
+    def imply(
+        self,
+        values: List[int],
+        assignments: Iterable[Assignment],
+        record: Optional[List[Assignment]] = None,
+    ) -> None:
+        """Apply *assignments* to *values* and propagate to fixpoint.
+
+        *values* is mutated in place (pass a copy if the original matters
+        -- it may be partially mutated even when a Conflict is raised).
+        Newly forced ``(line, value)`` pairs are appended to *record*.
+
+        Raises
+        ------
+        Conflict
+            When the assignments are inconsistent with *values* under the
+            circuit's logic.
+        """
+        queue: deque = deque(self._seed(values, assignments, record))
+        touched = self._touched_gates
+        while queue:
+            line = queue.popleft()
+            for gate_index in touched[line]:
+                self._process_gate(gate_index, values, queue, record)
+
+    def imply_two_pass(
+        self,
+        values: List[int],
+        assignments: Iterable[Assignment],
+        record: Optional[List[Assignment]] = None,
+    ) -> None:
+        """The paper's exact two-sweep implication schedule.
+
+        One sweep from outputs to inputs (gates in reverse topological
+        order), then one sweep from inputs to outputs.
+        """
+        self._seed(values, assignments, record)
+        for gate_index in self._reverse_topo:
+            self._process_gate(gate_index, values, None, record)
+        for gate_index in self.circuit.topo_gates:
+            self._process_gate(gate_index, values, None, record)

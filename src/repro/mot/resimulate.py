@@ -1,0 +1,98 @@
+"""Fault simulation after expansion (paper Section 3.4).
+
+Every expanded state sequence is resimulated at its *marked* time units.
+Simulating frame ``u`` of a sequence uses the test pattern ``T[u]`` and
+the (partially specified) state row ``S'[u]``; the computed outputs and
+next state are then checked:
+
+* outputs conflicting with the fault-free response => the fault is
+  **detected** for this sequence;
+* computed next-state values conflicting with already-assigned values in
+  ``S'[u+1]`` => the sequence is **infeasible** (no initial state follows
+  this trajectory);
+* newly specified next-state values are written into ``S'[u+1]`` and time
+  unit ``u+1`` is marked for simulation.
+
+A sequence whose marked units are exhausted without either outcome stays
+**unresolved**.  The fault is declared detected only when *every*
+sequence resolves (detected or infeasible).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.logic.values import UNKNOWN
+from repro.mot.expansion import StateSequence
+from repro.sim.frame import eval_frame
+
+
+class SequenceStatus(enum.Enum):
+    """Resolution of one expanded state sequence."""
+
+    DETECTED = "detected"
+    INFEASIBLE = "infeasible"
+    UNRESOLVED = "unresolved"
+
+
+def resimulate_sequence(
+    circuit: Circuit,
+    patterns: Sequence[Sequence[int]],
+    reference_outputs: Sequence[Sequence[int]],
+    sequence: StateSequence,
+    forced_ps: Optional[Dict[int, int]] = None,
+    detail: Optional[dict] = None,
+) -> SequenceStatus:
+    """Resimulate the marked time units of *sequence* (mutated in place).
+
+    *circuit* is the faulty netlist, *reference_outputs* the fault-free
+    response.  Flops listed in *forced_ps* have a stuck output: their
+    computed next-state values are masked by the stuck value, so they are
+    neither checked for conflicts nor propagated.
+
+    When *detail* (a dict) is supplied, a DETECTED outcome stores the
+    witnessing ``(time unit, output position)`` under ``detail["site"]``
+    -- used to build auditable detection certificates
+    (:mod:`repro.mot.witness`).
+    """
+    length = len(patterns)
+    marked = sequence.marked
+    output_lines = circuit.outputs
+    ns_lines = [flop.ns for flop in circuit.flops]
+    forced = forced_ps or {}
+    u = min(marked) if marked else length
+    while u < length:
+        if u not in marked:
+            u += 1
+            continue
+        marked.discard(u)
+        values = eval_frame(circuit, patterns[u], sequence.states[u])
+        reference = reference_outputs[u]
+        for position, line in enumerate(output_lines):
+            value = values[line]
+            ref = reference[position]
+            if value != UNKNOWN and ref != UNKNOWN and value != ref:
+                if detail is not None:
+                    detail["site"] = (u, position)
+                return SequenceStatus.DETECTED
+        next_row = sequence.states[u + 1]
+        advanced = False
+        for flop_index, line in enumerate(ns_lines):
+            if flop_index in forced:
+                continue
+            computed = values[line]
+            if computed == UNKNOWN:
+                continue
+            stored = next_row[flop_index]
+            if stored == UNKNOWN:
+                next_row[flop_index] = computed
+                advanced = True
+            elif stored != computed:
+                return SequenceStatus.INFEASIBLE
+        if advanced:
+            marked.add(u + 1)
+        u += 1
+    marked.clear()
+    return SequenceStatus.UNRESOLVED

@@ -1,0 +1,28 @@
+"""Test-sequence generation: random and deterministic (HITEC stand-in)."""
+
+from repro.patterns.random_gen import random_patterns, weighted_random_patterns
+from repro.patterns.deterministic import greedy_deterministic_sequence
+from repro.patterns.podem import PodemEngine, PodemResult, podem_frame
+from repro.patterns.atpg import AtpgResult, podem_deterministic_sequence
+from repro.patterns.timeframe import SequentialTest, generate_sequential_test
+from repro.patterns.compaction import (
+    last_useful_pattern,
+    omit_patterns,
+    truncate_sequence,
+)
+
+__all__ = [
+    "random_patterns",
+    "weighted_random_patterns",
+    "greedy_deterministic_sequence",
+    "podem_frame",
+    "PodemEngine",
+    "PodemResult",
+    "podem_deterministic_sequence",
+    "AtpgResult",
+    "truncate_sequence",
+    "omit_patterns",
+    "last_useful_pattern",
+    "generate_sequential_test",
+    "SequentialTest",
+]

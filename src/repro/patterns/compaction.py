@@ -1,0 +1,94 @@
+"""Static test-sequence compaction.
+
+Deterministic and random sequences usually contain patterns that no
+longer contribute coverage.  For *sequential* circuits, patterns cannot
+simply be deleted independently (state evolution couples them), so
+compaction works on suffixes and verified omissions:
+
+* :func:`truncate_sequence` -- cut the sequence after the last pattern
+  at which any target fault is newly detected (always safe: detection
+  times only depend on the prefix);
+* :func:`omit_patterns` -- greedily try dropping one pattern at a time
+  (re-simulating the *whole* shortened sequence each trial, so state
+  effects are fully accounted for) and keep omissions that preserve the
+  detected-fault set.  Classic restoration-based static compaction.
+
+Both operate on the conventional detection criterion; the compacted
+sequence is validated to detect the same faults (a superset is accepted
+for :func:`omit_patterns`, which can only gain).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.fsim.conventional import run_conventional
+
+
+def _detected_set(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    patterns: Sequence[Sequence[int]],
+) -> Set[Fault]:
+    campaign = run_conventional(circuit, faults, patterns)
+    return {v.fault for v in campaign.verdicts if v.detected}
+
+
+def last_useful_pattern(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    patterns: Sequence[Sequence[int]],
+) -> int:
+    """Index of the last pattern at which some fault is first detected
+    (-1 when nothing is detected)."""
+    campaign = run_conventional(circuit, faults, patterns)
+    last = -1
+    for verdict in campaign.verdicts:
+        if verdict.detected and verdict.site is not None:
+            last = max(last, verdict.site[0])
+    return last
+
+
+def truncate_sequence(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    patterns: Sequence[Sequence[int]],
+) -> List[List[int]]:
+    """Drop the useless tail (safe: prefixes decide detection times)."""
+    last = last_useful_pattern(circuit, faults, patterns)
+    return [list(p) for p in patterns[: last + 1]]
+
+
+def omit_patterns(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    patterns: Sequence[Sequence[int]],
+    max_trials: int = 64,
+) -> Tuple[List[List[int]], int]:
+    """Greedy single-pattern omission with full re-simulation.
+
+    Tries removing patterns from the back (later patterns disturb state
+    evolution less); an omission is kept when the shortened sequence
+    still detects every originally detected fault.  Returns the
+    compacted sequence and the number of omitted patterns.
+
+    ``max_trials`` bounds the number of re-simulations (each trial costs
+    a full conventional campaign).
+    """
+    current = [list(p) for p in patterns]
+    target = _detected_set(circuit, faults, current)
+    trials = 0
+    omitted = 0
+    position = len(current) - 1
+    while position >= 0 and trials < max_trials:
+        trial_sequence = current[:position] + current[position + 1:]
+        trials += 1
+        if _detected_set(circuit, faults, trial_sequence) >= target:
+            current = trial_sequence
+        else:
+            pass
+        position -= 1
+    omitted = len(patterns) - len(current)
+    return current, omitted

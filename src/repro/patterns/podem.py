@@ -1,0 +1,338 @@
+"""Single-frame PODEM test generation.
+
+A compact implementation of Goel's PODEM algorithm over one time frame
+of a synchronous circuit: primary inputs are the decision variables,
+present-state lines are *fixed* to a given (possibly unspecified) state
+-- the natural setting when generating the next pattern of a sequence
+whose state knowledge comes from three-valued simulation.
+
+The fault effect is tracked by simulating the fault-free and the
+fault-injected frame side by side (a dual-rail D-calculus: a line carries
+``D``/``D'`` when both simulations specify opposite values).  PODEM's
+classic loop:
+
+1. if some primary output already differs, a test is found;
+2. otherwise derive an *objective*: activate the fault (set the good
+   value of the fault site opposite to the stuck value), or advance the
+   D-frontier (set an unspecified input of a frontier gate to its
+   non-controlling value);
+3. *backtrace* the objective through unassigned logic to a primary-input
+   assignment;
+4. assign, re-simulate, and *backtrack* on dead ends (objective
+   unreachable, fault unactivatable, or empty D-frontier), up to a
+   backtrack limit.
+
+Used by :mod:`repro.patterns.atpg` to build deterministic sequences (the
+HITEC stand-in) and directly usable for combinational ATPG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.scoap import INFINITY, compute_scoap
+from repro.faults.injection import InjectedFault, inject_fault
+from repro.faults.model import Fault
+from repro.logic.gates import GateType
+from repro.logic.values import ONE, UNKNOWN, ZERO, inv
+from repro.sim.frame import eval_frame
+
+#: (controlling value, output inversion) for backtrace decisions.
+_CTRL = {
+    GateType.AND: (ZERO, False),
+    GateType.NAND: (ZERO, True),
+    GateType.OR: (ONE, False),
+    GateType.NOR: (ONE, True),
+}
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run.
+
+    ``assignment`` holds one value per primary input; unassigned inputs
+    stay ``X`` (don't-care).
+    """
+
+    success: bool
+    assignment: List[int]
+    backtracks: int
+
+
+class PodemEngine:
+    """Reusable PODEM engine for one circuit + fault."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        fault: Fault,
+        injected: Optional[InjectedFault] = None,
+        frozen_inputs: Optional[Sequence[int]] = None,
+    ) -> None:
+        """*frozen_inputs* lists primary-input indices PODEM must not
+        assign (they stay ``X``) -- e.g. the initial-state inputs of a
+        time-frame-expanded model, whose values the tester cannot
+        control.  When *injected* carries multiple faults (multi-frame
+        sites), activation may happen at any of their lines."""
+        self.circuit = circuit
+        self.fault = fault
+        self.injected = injected or inject_fault(circuit, fault)
+        self.sites = [f.line for f in (self.injected.faults or (fault,))]
+        self.activation_values = [
+            inv(f.stuck_at) for f in (self.injected.faults or (fault,))
+        ]
+        frozen = set(frozen_inputs or ())
+        self._pi_index = {
+            line: k
+            for k, line in enumerate(circuit.inputs)
+            if k not in frozen
+        }
+        self._assignable = sorted(self._pi_index.values())
+        # Static PI-controllability: can a line be influenced through
+        # some path of primary inputs?  Used to avoid hopeless backtraces
+        # into state-only cones.
+        controllable = [False] * circuit.num_lines
+        for k, line in enumerate(circuit.inputs):
+            if k not in frozen:
+                controllable[line] = True
+        for gate_index in circuit.topo_gates:
+            gate = circuit.gates[gate_index]
+            controllable[gate.output] = any(
+                controllable[line] for line in gate.inputs
+            )
+        self._controllable = controllable
+        # SCOAP guidance with uncontrollable state: backtrace decisions
+        # chase the cheapest (or, for all-inputs objectives, the
+        # hardest-first) assignment.
+        self._scoap = compute_scoap(circuit, state_cost=INFINITY)
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self, pi_values: List[int], state: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        good = eval_frame(self.circuit, pi_values, state)
+        faulty = eval_frame(self.injected.circuit, pi_values, state)
+        return good, faulty
+
+    def _detected(self, good: List[int], faulty: List[int]) -> bool:
+        for good_line, faulty_line in zip(
+            self.circuit.outputs, self.injected.circuit.outputs
+        ):
+            g, f = good[good_line], faulty[faulty_line]
+            if g != UNKNOWN and f != UNKNOWN and g != f:
+                return True
+        return False
+
+    def _d_frontier_objective(
+        self, good: List[int], faulty: List[int]
+    ) -> Optional[Tuple[int, int]]:
+        """Objective advancing the D-frontier, or None when empty."""
+        for gate_index in self.circuit.topo_gates:
+            good_gate = self.circuit.gates[gate_index]
+            faulty_gate = self.injected.circuit.gates[gate_index]
+            out_unknown = (
+                faulty[faulty_gate.output] == UNKNOWN
+                or good[good_gate.output] == UNKNOWN
+            )
+            if not out_unknown:
+                continue
+            has_d = False
+            unknown_input: Optional[int] = None
+            # Good side reads the original line; the faulty side reads
+            # the (possibly stuck) pin of the injected netlist.
+            for good_line, faulty_line in zip(
+                good_gate.inputs, faulty_gate.inputs
+            ):
+                g, f = good[good_line], faulty[faulty_line]
+                if g != UNKNOWN and f != UNKNOWN and g != f:
+                    has_d = True
+                elif g == UNKNOWN and self._controllable[good_line]:
+                    if unknown_input is None:
+                        unknown_input = good_line
+            if has_d and unknown_input is not None:
+                ctrl = _CTRL.get(good_gate.gate_type)
+                if ctrl is None:  # XOR/XNOR/BUF/NOT: any value advances
+                    return unknown_input, ZERO
+                return unknown_input, inv(ctrl[0])
+        return None
+
+    def _backtrace(
+        self, line: int, value: int, good: List[int]
+    ) -> Optional[Tuple[int, int]]:
+        """Walk an objective back to an unassigned primary input."""
+        for _ in range(self.circuit.num_lines + 1):
+            pi = self._pi_index.get(line)
+            if pi is not None:
+                return pi, value
+            gate_index = self.circuit.driving_gate[line]
+            if gate_index is None:
+                return None  # present-state line: not assignable
+            gate = self.circuit.gates[gate_index]
+            gate_type = gate.gate_type
+            if gate_type in (GateType.NOT,):
+                line, value = gate.inputs[0], inv(value)
+                continue
+            if gate_type is GateType.BUF:
+                line = gate.inputs[0]
+                continue
+            if gate_type in (GateType.CONST0, GateType.CONST1):
+                return None
+            candidates = [
+                l
+                for l in gate.inputs
+                if good[l] == UNKNOWN and self._controllable[l]
+            ]
+            if not candidates:
+                return None
+            if gate_type in _CTRL:
+                ctrl, inverted = _CTRL[gate_type]
+                needed = inv(value) if inverted else value
+                if needed == ctrl:
+                    # One controlling input suffices: take the easiest
+                    # (lowest SCOAP controllability).
+                    line = min(
+                        candidates,
+                        key=lambda l: self._scoap.controllability(l, ctrl),
+                    )
+                    value = ctrl
+                else:
+                    # All inputs must be non-controlling: chase the
+                    # hardest first (fail fast).
+                    line = max(
+                        candidates,
+                        key=lambda l: self._scoap.controllability(
+                            l, inv(ctrl)
+                        ),
+                    )
+                    value = inv(ctrl)
+                continue
+            # XOR/XNOR: fix the parity through the last unknown input if
+            # it is the only one, otherwise just pick 0 and let
+            # re-simulation sort it out.
+            if len(candidates) == 1:
+                parity = ZERO
+                for l in gate.inputs:
+                    if good[l] != UNKNOWN:
+                        parity ^= good[l]
+                target = value
+                if gate_type is GateType.XNOR:
+                    target = inv(value)
+                line, value = candidates[0], parity ^ target
+            else:
+                line, value = candidates[0], ZERO
+        return None  # pragma: no cover - cycle guard
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        state: Sequence[int],
+        max_backtracks: int = 200,
+    ) -> PodemResult:
+        """Search for a one-frame test under the given present state.
+
+        Returns ``success=False`` when the backtrack limit is exhausted
+        or the search space is proven empty (the fault is untestable in
+        this frame under this state knowledge).
+        """
+        circuit = self.circuit
+        pi_values = [UNKNOWN] * circuit.num_inputs
+        # Decision stack: (pi index, value, alternative tried?)
+        stack: List[List[int]] = []
+        backtracks = 0
+
+        def backtrack() -> bool:
+            nonlocal backtracks
+            while stack:
+                pi, value, tried = stack[-1]
+                if tried:
+                    pi_values[pi] = UNKNOWN
+                    stack.pop()
+                    continue
+                stack[-1][1] = inv(value)
+                stack[-1][2] = 1
+                pi_values[pi] = inv(value)
+                backtracks += 1
+                return backtracks <= max_backtracks
+            return False
+
+        while True:
+            good, faulty = self._simulate(pi_values, state)
+            if self._detected(good, faulty):
+                return PodemResult(True, list(pi_values), backtracks)
+            # Derive an objective: activate some site, else advance the
+            # D-frontier.
+            objective: Optional[Tuple[int, int]] = None
+            activated = False
+            open_site: Optional[Tuple[int, int]] = None
+            for site, activation_value in zip(
+                self.sites, self.activation_values
+            ):
+                site_value = good[site]
+                if site_value == activation_value:
+                    activated = True
+                elif (
+                    site_value == UNKNOWN
+                    and open_site is None
+                    and self._controllable[site]
+                ):
+                    # Sites whose good value can never be set (e.g. a
+                    # frozen initial-state input) are skipped: they can
+                    # neither activate nor be refuted, and chasing them
+                    # would dead-end the whole search.
+                    open_site = (site, activation_value)
+            if activated:
+                objective = self._d_frontier_objective(good, faulty)
+            elif open_site is not None:
+                objective = open_site
+            else:
+                # No site can ever be activated under this assignment:
+                # a genuine dead end (further assignments only specify
+                # more values, never un-specify the wrong ones).
+                if not backtrack():
+                    return PodemResult(False, list(pi_values), backtracks)
+                continue
+            decision = (
+                self._backtrace(*objective, good) if objective else None
+            )
+            if decision is None:
+                # Objective-driven search is myopic when frame sources
+                # are frozen at X (classic PODEM completeness assumes
+                # fully controllable sources): fall back to enumerating
+                # a free primary input, which keeps the decision tree
+                # exhaustive within the backtrack budget.
+                free = next(
+                    (
+                        k
+                        for k in self._assignable
+                        if pi_values[k] == UNKNOWN
+                    ),
+                    None,
+                )
+                if free is not None:
+                    decision = (free, ZERO)
+                elif not backtrack():
+                    return PodemResult(False, list(pi_values), backtracks)
+                if decision is None:
+                    continue
+            pi, value = decision
+            if pi_values[pi] != UNKNOWN:  # pragma: no cover - defensive
+                if not backtrack():
+                    return PodemResult(False, list(pi_values), backtracks)
+                continue
+            pi_values[pi] = value
+            stack.append([pi, value, 0])
+
+
+def podem_frame(
+    circuit: Circuit,
+    fault: Fault,
+    state: Optional[Sequence[int]] = None,
+    max_backtracks: int = 200,
+) -> PodemResult:
+    """One-shot helper: run PODEM for *fault* under *state* (default
+    all-unspecified)."""
+    if state is None:
+        state = [UNKNOWN] * circuit.num_flops
+    return PodemEngine(circuit, fault).generate(state, max_backtracks)

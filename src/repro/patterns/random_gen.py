@@ -1,0 +1,43 @@
+"""Seeded random test-sequence generation (the paper's Table 2 stimuli)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def random_patterns(
+    num_inputs: int, length: int, seed: int = 0
+) -> List[List[int]]:
+    """Return *length* uniformly random binary input patterns.
+
+    The sequence is deterministic for a given ``(num_inputs, length,
+    seed)`` triple, so experiments are reproducible bit for bit.
+    """
+    if num_inputs < 0 or length < 0:
+        raise ValueError("num_inputs and length must be non-negative")
+    rng = random.Random(seed)
+    return [
+        [rng.randint(0, 1) for _ in range(num_inputs)] for _ in range(length)
+    ]
+
+
+def weighted_random_patterns(
+    num_inputs: int,
+    length: int,
+    one_probability: float,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Biased random patterns (probability of a 1 per input bit).
+
+    Weighted patterns are the standard trick for circuits whose
+    interesting behaviour hides behind mostly-0 or mostly-1 control
+    inputs (e.g. counters with an enable).
+    """
+    if not 0.0 <= one_probability <= 1.0:
+        raise ValueError("one_probability must be within [0, 1]")
+    rng = random.Random(seed)
+    return [
+        [1 if rng.random() < one_probability else 0 for _ in range(num_inputs)]
+        for _ in range(length)
+    ]

@@ -1,0 +1,108 @@
+"""Time-frame-expansion sequential test generation.
+
+The core of deterministic sequential ATPG tools like HITEC: to test a
+fault in an unscanned sequential circuit, unroll the combinational core
+over ``k`` frames, inject the fault in *every* frame, freeze the frame-0
+present-state inputs at ``X`` (the tester cannot control the power-up
+state), and run combinational PODEM over the remaining inputs.  A
+success is a ``k``-pattern input sequence whose fault-free and faulty
+responses provably differ *regardless of the initial state* -- exactly
+the conventional (single observation time) detection criterion, so the
+result is directly consumable by every fault simulator here.
+
+:func:`generate_sequential_test` tries increasing frame counts until
+PODEM succeeds or the window limit is reached.  Branch faults are mapped
+to their containing frame sites only for stem faults; branch faults fall
+back to ``None`` (callers keep them for simulation-based generators).
+
+Verified in ``tests/patterns/test_timeframe.py``: every generated
+sequence is confirmed by conventional simulation from the all-unknown
+state, and on oracle-sized circuits failures are cross-checked against
+brute-force search over all sequences of the same length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.unroll import unroll, unrolled_fault_sites
+from repro.faults.injection import inject_fault_list
+from repro.faults.model import Fault
+from repro.logic.values import UNKNOWN
+from repro.patterns.podem import PodemEngine
+
+
+@dataclass
+class SequentialTest:
+    """A generated test sequence for one fault."""
+
+    fault: Fault
+    patterns: List[List[int]]
+    frames: int
+    backtracks: int
+
+
+def _observable_unroll(circuit: Circuit, frames: int) -> Circuit:
+    """Unrolled model without the final next-state outputs (which a
+    tester cannot observe)."""
+    full = unroll(circuit, frames)
+    observable_outputs = full.outputs[: circuit.num_outputs * frames]
+    from repro.circuit.netlist import Circuit as _Circuit, Gate
+
+    return _Circuit(
+        name=full.name + "_obs",
+        line_names=list(full.line_names),
+        inputs=list(full.inputs),
+        outputs=list(observable_outputs),
+        flops=[],
+        gates=[Gate(g.gate_type, g.output, g.inputs) for g in full.gates],
+    )
+
+
+def generate_sequential_test(
+    circuit: Circuit,
+    fault: Fault,
+    max_frames: int = 6,
+    max_backtracks: int = 300,
+) -> Optional[SequentialTest]:
+    """Search for a conventional-detection test sequence for *fault*.
+
+    Returns ``None`` when no test is found within the frame window and
+    backtrack budget, or when the fault is a branch fault (not mapped
+    onto the unrolled model).
+    """
+    if fault.pin is not None:
+        return None
+    num_flops = circuit.num_flops
+    num_inputs = circuit.num_inputs
+    for frames in range(1, max_frames + 1):
+        model = _observable_unroll(circuit, frames)
+        sites = unrolled_fault_sites(circuit, model, fault, frames)
+        injected = inject_fault_list(model, sites)
+        engine = PodemEngine(
+            model,
+            sites[0],
+            injected,
+            frozen_inputs=range(num_flops),  # power-up state: untouchable
+        )
+        result = engine.generate([], max_backtracks=max_backtracks)
+        if result.success:
+            flat = result.assignment[num_flops:]
+            patterns = [
+                [
+                    value if value != UNKNOWN else 0
+                    for value in flat[
+                        frame * num_inputs: (frame + 1) * num_inputs
+                    ]
+                ]
+                for frame in range(frames)
+            ]
+            return SequentialTest(
+                fault=fault,
+                patterns=patterns,
+                frames=frames,
+                backtracks=result.backtracks,
+            )
+    return None

@@ -1,0 +1,20 @@
+"""Experiment report rendering."""
+
+from repro.reporting.tables import Table
+from repro.reporting.campaign import (
+    CampaignSummary,
+    campaign_csv,
+    render_campaign_report,
+    summarize_campaign,
+)
+from repro.reporting.waves import render_comparison, render_waves
+
+__all__ = [
+    "Table",
+    "CampaignSummary",
+    "summarize_campaign",
+    "render_campaign_report",
+    "campaign_csv",
+    "render_waves",
+    "render_comparison",
+]

@@ -1,0 +1,123 @@
+"""Campaign reports: coverage summaries and per-fault listings.
+
+Renders the results of any simulator campaign (conventional, [4],
+proposed, unrestricted) as a human-readable report or CSV, with the
+derived statistics a test engineer expects: fault coverage, MOT-only
+recoveries, abort counts, expansion effort histograms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.circuit.netlist import Circuit
+from repro.mot.simulator import Campaign
+from repro.reporting.tables import Table
+
+
+@dataclass
+class CampaignSummary:
+    """Derived statistics of one MOT campaign."""
+
+    circuit: str
+    total: int
+    conventional: int
+    mot_extra: int
+    dropped: int
+    undetected: int
+    aborted: int
+    coverage_percent: float
+    how_breakdown: Dict[str, int]
+    expansion_histogram: Dict[int, int]
+
+
+def summarize_campaign(campaign: Campaign) -> CampaignSummary:
+    """Compute :class:`CampaignSummary` for *campaign*."""
+    how = Counter(v.how for v in campaign.verdicts if v.status == "mot")
+    expansions = Counter(
+        v.num_expansions for v in campaign.verdicts if v.status == "mot"
+    )
+    aborted = sum(
+        1
+        for v in campaign.verdicts
+        if v.status == "undetected" and v.how == "aborted"
+    )
+    total = campaign.total
+    detected = campaign.total_detected
+    return CampaignSummary(
+        circuit=campaign.circuit_name,
+        total=total,
+        conventional=campaign.conv_detected,
+        mot_extra=campaign.mot_detected,
+        dropped=campaign.count("dropped"),
+        undetected=campaign.count("undetected"),
+        aborted=aborted,
+        coverage_percent=100.0 * detected / total if total else 0.0,
+        how_breakdown=dict(how),
+        expansion_histogram=dict(expansions),
+    )
+
+
+def render_campaign_report(
+    campaign: Campaign,
+    circuit: Circuit,
+    list_faults: bool = False,
+) -> str:
+    """Render a full textual report of *campaign*."""
+    summary = summarize_campaign(campaign)
+    lines: List[str] = [
+        f"fault simulation report: {summary.circuit}",
+        f"  faults simulated      : {summary.total}",
+        f"  detected conventionally: {summary.conventional}",
+        f"  detected via MOT       : {summary.mot_extra}",
+        f"  dropped (condition C)  : {summary.dropped}",
+        f"  undetected             : {summary.undetected}"
+        + (f" ({summary.aborted} aborted at the sequence limit)"
+           if summary.aborted else ""),
+        f"  fault coverage         : {summary.coverage_percent:.2f}%",
+    ]
+    if summary.how_breakdown:
+        lines.append("  MOT detections by mechanism:")
+        labels = {
+            "info": "Section 3.2 (implications alone)",
+            "phase1": "mutually conflicting restrictions",
+            "resim": "resimulation after expansion",
+            "expansion": "plain expansion",
+            "fallback": "forward-selection fallback",
+            "unrestricted": "unrestricted (multi-reference)",
+        }
+        for key, count in sorted(summary.how_breakdown.items()):
+            lines.append(f"    {labels.get(key, key):38s} {count}")
+    if list_faults:
+        lines.append("  per-fault verdicts:")
+        for verdict in campaign.verdicts:
+            lines.append(
+                f"    {verdict.fault.describe(circuit):30s} "
+                f"{verdict.status}"
+                + (f" ({verdict.how})" if verdict.how else "")
+            )
+    return "\n".join(lines) + "\n"
+
+
+def campaign_csv(campaign: Campaign, circuit: Circuit) -> str:
+    """Per-fault verdicts as CSV (fault, status, how, counters)."""
+    table = Table(
+        ["fault", "status", "how", "n_det", "n_conf", "n_extra",
+         "sequences", "expansions"]
+    )
+    for verdict in campaign.verdicts:
+        table.add_row(
+            {
+                "fault": verdict.fault.describe(circuit),
+                "status": verdict.status,
+                "how": verdict.how,
+                "n_det": verdict.counters.n_det,
+                "n_conf": verdict.counters.n_conf,
+                "n_extra": verdict.counters.n_extra,
+                "sequences": verdict.num_sequences,
+                "expansions": verdict.num_expansions,
+            }
+        )
+    return table.render_csv()

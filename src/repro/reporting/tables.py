@@ -1,0 +1,98 @@
+"""Plain-text / markdown / CSV table rendering for experiment reports."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+class Table:
+    """A small column-ordered table with three output formats.
+
+    >>> t = Table(["circuit", "faults"])
+    >>> t.add_row({"circuit": "s27", "faults": 32})
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[Row] = []
+
+    def add_row(self, row: Row) -> None:
+        """Append a row; missing columns render as empty cells."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise ValueError(f"row has unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(row))
+
+    def _cells(self) -> List[List[str]]:
+        return [
+            [_stringify(row.get(col, "")) for col in self.columns]
+            for row in self.rows
+        ]
+
+    def render(self) -> str:
+        """Fixed-width ASCII rendering."""
+        cells = self._cells()
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        header = "  ".join(
+            col.ljust(widths[i]) for i, col in enumerate(self.columns)
+        )
+        out.write(header.rstrip() + "\n")
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in cells:
+            out.write(
+                "  ".join(
+                    cell.rjust(widths[i]) if _is_numeric(cell) else cell.ljust(widths[i])
+                    for i, cell in enumerate(row)
+                ).rstrip()
+                + "\n"
+            )
+        return out.getvalue()
+
+    def render_markdown(self) -> str:
+        out = io.StringIO()
+        if self.title:
+            out.write(f"### {self.title}\n\n")
+        out.write("| " + " | ".join(self.columns) + " |\n")
+        out.write("|" + "|".join("---" for _ in self.columns) + "|\n")
+        for row in self._cells():
+            out.write("| " + " | ".join(row) + " |\n")
+        return out.getvalue()
+
+    def render_csv(self) -> str:
+        import csv
+
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(self.columns)
+        for row in self._cells():
+            writer.writerow(row)
+        return out.getvalue()
+
+
+def _is_numeric(cell: str) -> bool:
+    if not cell:
+        return False
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

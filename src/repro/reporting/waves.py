@@ -1,0 +1,88 @@
+"""ASCII waveform rendering of simulation trajectories.
+
+Turns a :class:`~repro.sim.sequential.SequentialResult` (or a pair of
+them) into a compact textual timing diagram -- handy in examples, bug
+reports and when eyeballing why a fault goes undetected::
+
+    time     0123456789
+    PI  A    1111111111
+    PO  O    xxxxxxxxxx   (faulty)
+    PO  O    0000000000   (fault-free)
+    FF  Q    x> 01010101
+
+Values: ``0``, ``1``, ``x``.  For comparisons, positions where two
+sequences hold opposite specified values are marked on a conflict rail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.logic.values import UNKNOWN, value_to_char
+from repro.sim.sequential import SequentialResult
+
+
+def _row(label: str, values: Sequence[int]) -> str:
+    return f"{label:12s} " + "".join(value_to_char(v) for v in values)
+
+
+def render_waves(
+    circuit: Circuit,
+    result: SequentialResult,
+    title: str = "",
+    show_states: bool = True,
+) -> str:
+    """Render one trajectory: outputs (and optionally state variables)."""
+    length = result.length
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("time         " + "".join(str(u % 10) for u in range(length)))
+    for position, line in enumerate(circuit.outputs):
+        label = f"PO {circuit.line_names[line]}"
+        lines.append(
+            _row(label, [result.outputs[u][position] for u in range(length)])
+        )
+    if show_states:
+        for flop_index, flop in enumerate(circuit.flops):
+            label = f"FF {circuit.line_names[flop.ps]}"
+            lines.append(
+                _row(label, [result.states[u][flop_index] for u in range(length)])
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_comparison(
+    circuit: Circuit,
+    reference: SequentialResult,
+    response: SequentialResult,
+    title: str = "",
+) -> str:
+    """Render fault-free vs faulty outputs with a conflict rail.
+
+    Conflicting positions (both specified, different) are marked ``^``;
+    positions where only the reference is specified are marked ``?``
+    (the MOT procedures' targets).
+    """
+    length = min(reference.length, response.length)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("time         " + "".join(str(u % 10) for u in range(length)))
+    for position, line in enumerate(circuit.outputs):
+        name = circuit.line_names[line]
+        ref_row = [reference.outputs[u][position] for u in range(length)]
+        resp_row = [response.outputs[u][position] for u in range(length)]
+        lines.append(_row(f"good {name}", ref_row))
+        lines.append(_row(f"bad  {name}", resp_row))
+        rail = []
+        for ref, resp in zip(ref_row, resp_row):
+            if ref != UNKNOWN and resp != UNKNOWN and ref != resp:
+                rail.append("^")
+            elif ref != UNKNOWN and resp == UNKNOWN:
+                rail.append("?")
+            else:
+                rail.append(" ")
+        lines.append(f"{'':12s} " + "".join(rail))
+    return "\n".join(lines) + "\n"

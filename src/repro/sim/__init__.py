@@ -1,0 +1,19 @@
+"""Three-valued frame and sequential simulation."""
+
+from repro.sim.frame import eval_frame, evaluate_plan, frame_plan
+from repro.sim.sequential import (
+    SequentialResult,
+    outputs_conflict,
+    simulate_injected,
+    simulate_sequence,
+)
+
+__all__ = [
+    "eval_frame",
+    "evaluate_plan",
+    "frame_plan",
+    "SequentialResult",
+    "simulate_sequence",
+    "simulate_injected",
+    "outputs_conflict",
+]

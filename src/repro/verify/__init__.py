@@ -1,0 +1,17 @@
+"""Ground-truth oracles and equivalence checks."""
+
+from repro.verify.exhaustive import (
+    exhaustive_restricted_mot,
+    exhaustive_unrestricted_mot,
+)
+from repro.verify.equivalence import frames_equivalent, sequentially_equivalent
+from repro.verify.pessimism import PessimismReport, measure_pessimism
+
+__all__ = [
+    "exhaustive_restricted_mot",
+    "exhaustive_unrestricted_mot",
+    "frames_equivalent",
+    "sequentially_equivalent",
+    "PessimismReport",
+    "measure_pessimism",
+]

@@ -1,0 +1,98 @@
+"""Tests for the ISCAS-89 .bench parser and writer."""
+
+import pytest
+
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.netlist import CircuitError
+from repro.circuits.library import S27_BENCH
+
+
+def test_parse_s27_counts():
+    circuit = parse_bench(S27_BENCH, "s27")
+    assert circuit.num_inputs == 4
+    assert circuit.num_outputs == 1
+    assert circuit.num_flops == 3
+    assert circuit.num_gates == 10
+
+
+def test_parse_handles_comments_and_blanks():
+    circuit = parse_bench(
+        """
+        # a comment
+        INPUT(a)   # trailing comment
+
+        OUTPUT(y)
+        y = NOT(a)
+        """,
+        "c",
+    )
+    assert circuit.num_gates == 1
+
+
+def test_parse_case_insensitive_ops():
+    circuit = parse_bench(
+        "INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n", "c"
+    )
+    assert circuit.gates[0].gate_type.value == "NAND"
+
+
+def test_parse_dff():
+    circuit = parse_bench(
+        "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n", "c"
+    )
+    assert circuit.num_flops == 1
+    flop = circuit.flops[0]
+    assert circuit.line_name(flop.ps) == "q"
+    assert circuit.line_name(flop.ns) == "d"
+
+
+def test_parse_rejects_dff_with_two_inputs():
+    with pytest.raises(CircuitError):
+        parse_bench("INPUT(a)\nq = DFF(a, a)\n", "c")
+
+
+def test_parse_rejects_garbage_line():
+    with pytest.raises(CircuitError, match="cannot parse"):
+        parse_bench("INPUT(a)\nwhat is this\n", "c")
+
+
+def test_parse_rejects_unknown_gate():
+    with pytest.raises(CircuitError):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n", "c")
+
+
+def test_roundtrip_s27():
+    original = parse_bench(S27_BENCH, "s27")
+    reparsed = parse_bench(write_bench(original), "s27rt")
+    assert reparsed.num_inputs == original.num_inputs
+    assert reparsed.num_outputs == original.num_outputs
+    assert reparsed.num_flops == original.num_flops
+    assert reparsed.num_gates == original.num_gates
+    # Port order and names survive.
+    assert [original.line_names[l] for l in original.inputs] == [
+        reparsed.line_names[l] for l in reparsed.inputs
+    ]
+    assert [original.line_names[l] for l in original.outputs] == [
+        reparsed.line_names[l] for l in reparsed.outputs
+    ]
+    # Gate structure survives (by output name).
+    def shape(circuit):
+        return {
+            circuit.line_names[g.output]: (
+                g.gate_type,
+                tuple(circuit.line_names[i] for i in g.inputs),
+            )
+            for g in circuit.gates
+        }
+
+    assert shape(original) == shape(reparsed)
+
+
+def test_save_and_load(tmp_path):
+    from repro.circuit.bench import load_bench, save_bench
+
+    circuit = parse_bench(S27_BENCH, "s27")
+    path = tmp_path / "s27.bench"
+    save_bench(circuit, str(path))
+    loaded = load_bench(str(path), "s27")
+    assert loaded.num_gates == circuit.num_gates

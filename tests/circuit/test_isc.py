@@ -1,0 +1,95 @@
+"""Tests for the .isc parser."""
+
+import pytest
+
+from repro.circuit.isc import parse_isc
+from repro.circuit.netlist import CircuitError
+from repro.logic.values import UNKNOWN
+from repro.sim.frame import eval_frame
+
+#: A small sequential netlist in .isc style: a toggle flop observed
+#: through an AND gate, with fanout branches materialized as `from`
+#: entries and a distributed fault list.
+TOGGLE_ISC = """\
+*> toggle example in .isc format
+1   A     inpt  2  0        >sa1
+2   Ab1   from  A           >sa0
+3   Ab2   from  A
+4   NA    not   1  1        >sa1
+3
+5   Z     and   1  2        >sa1
+2 4
+6   Q     dff   2  1
+9
+7   Qb1   from  Q
+8   Qb2   from  Q
+9   QN    xor   1  2
+7 1
+10  O     and   0  2        >sa0 >sa1
+8 5
+"""
+
+
+def test_parse_structure():
+    parsed = parse_isc(TOGGLE_ISC, "toggle_isc")
+    circuit = parsed.circuit
+    assert circuit.num_inputs == 1
+    assert circuit.num_outputs == 1
+    assert circuit.num_flops == 1
+    # 4 branch buffers + NOT + AND + XOR + AND = 8 gates.
+    assert circuit.num_gates == 8
+    assert circuit.line_name(circuit.outputs[0]) == "O"
+
+
+def test_zero_fanout_is_primary_output():
+    parsed = parse_isc(TOGGLE_ISC)
+    names = [parsed.circuit.line_name(l) for l in parsed.circuit.outputs]
+    assert names == ["O"]
+
+
+def test_fault_annotations():
+    parsed = parse_isc(TOGGLE_ISC)
+    circuit = parsed.circuit
+    described = {f.describe(circuit) for f in parsed.faults}
+    assert described == {"A/1", "Ab1/0", "NA/1", "Z/1", "O/0", "O/1"}
+
+
+def test_semantics_match_bench_equivalent():
+    """The .isc toggle behaves like the tests.helpers toggle circuit."""
+    from tests.helpers import toggle_circuit
+
+    parsed = parse_isc(TOGGLE_ISC)
+    reference = toggle_circuit()
+    for a in (0, 1):
+        for q in (0, 1, UNKNOWN):
+            isc_values = eval_frame(parsed.circuit, [a], [q])
+            ref_values = eval_frame(reference, [a], [q])
+            assert (
+                isc_values[parsed.circuit.line_id("O")]
+                == ref_values[reference.line_id("O")]
+            )
+            assert (
+                isc_values[parsed.circuit.line_id("QN")]
+                == ref_values[reference.line_id("QN")]
+            )
+
+
+def test_fanin_by_name_also_resolves():
+    text = TOGGLE_ISC.replace("2 4", "Ab1 NA")
+    parsed = parse_isc(text)
+    assert parsed.circuit.num_gates == 8
+
+
+def test_missing_fanin_list_rejected():
+    with pytest.raises(CircuitError):
+        parse_isc("1 A inpt 1 0\n2 Y and 0 2\n")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(CircuitError):
+        parse_isc("1 A inpt 1 0\n2 Y maj3 0 1\n1\n")
+
+
+def test_unknown_reference_rejected():
+    with pytest.raises(CircuitError):
+        parse_isc("1 A inpt 1 0\n2 Y not 0 1\n99\n")

@@ -1,0 +1,70 @@
+"""Property-based roundtrip tests for the .isc writer."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.isc import parse_isc, write_isc
+from repro.circuit.netlist import CircuitError
+from repro.circuits.generators import random_moore
+from repro.circuits.library import s27
+from repro.verify.equivalence import frames_equivalent
+
+from tests.helpers import pair_circuit, toggle_circuit
+
+
+def test_roundtrip_s27():
+    original = s27()
+    reparsed = parse_isc(write_isc(original), "rt").circuit
+    assert reparsed.num_inputs == original.num_inputs
+    assert reparsed.num_flops == original.num_flops
+    # one observation buffer per primary output is added
+    assert reparsed.num_gates == original.num_gates + original.num_outputs
+    assert frames_equivalent(original, reparsed) is None
+
+
+@pytest.mark.parametrize("factory", [toggle_circuit, pair_circuit])
+def test_roundtrip_toy_circuits(factory):
+    original = factory()
+    reparsed = parse_isc(write_isc(original), "rt").circuit
+    assert frames_equivalent(original, reparsed) is None
+
+
+def test_primary_output_convention():
+    """Observed-only lines get fanout 0 and come back as outputs."""
+    original = s27()
+    reparsed = parse_isc(write_isc(original), "rt").circuit
+    assert [reparsed.line_names[l] for l in reparsed.outputs] == ["G17_po"]
+
+
+def test_const_gates_not_representable():
+    from repro.circuit.netlist import CircuitBuilder
+
+    builder = CircuitBuilder("constc")
+    builder.add_input("a")
+    builder.add_gate("CONST0", "k", [])
+    builder.add_gate("OR", "y", ["a", "k"])
+    builder.add_output("y")
+    with pytest.raises(CircuitError):
+        write_isc(builder.build())
+
+
+def test_save_and_load(tmp_path):
+    from repro.circuit.isc import load_isc, save_isc
+
+    original = s27()
+    path = tmp_path / "s27.isc"
+    save_isc(original, str(path))
+    loaded = load_isc(str(path), "s27").circuit
+    assert frames_equivalent(original, loaded) is None
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 100_000))
+def test_roundtrip_random_circuits(seed):
+    original = random_moore(seed, num_inputs=3, num_flops=3, num_gates=15)
+    reparsed = parse_isc(write_isc(original), "rt").circuit
+    assert frames_equivalent(original, reparsed) is None

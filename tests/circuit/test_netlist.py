@@ -1,0 +1,143 @@
+"""Tests for the netlist model: construction, validation, levelization."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit, CircuitBuilder, CircuitError
+from repro.logic.gates import GateType
+
+from tests.helpers import pair_circuit, toggle_circuit
+
+
+def build_toy():
+    builder = CircuitBuilder("toy")
+    builder.add_input("a")
+    builder.add_input("b")
+    builder.add_gate("AND", "y", ["a", "b"])
+    builder.add_output("y")
+    return builder.build()
+
+
+def test_basic_construction():
+    circuit = build_toy()
+    assert circuit.num_inputs == 2
+    assert circuit.num_outputs == 1
+    assert circuit.num_flops == 0
+    assert circuit.num_gates == 1
+    assert circuit.line_name(circuit.line_id("y")) == "y"
+
+
+def test_line_id_unknown_name():
+    with pytest.raises(CircuitError):
+        build_toy().line_id("nope")
+
+
+def test_forward_references_allowed():
+    builder = CircuitBuilder("fwd")
+    builder.add_input("a")
+    builder.add_gate("NOT", "y", ["z"])  # z defined later
+    builder.add_gate("BUFF", "z", ["a"])
+    builder.add_output("y")
+    circuit = builder.build()
+    assert circuit.num_gates == 2
+
+
+def test_undriven_line_rejected():
+    builder = CircuitBuilder("bad")
+    builder.add_input("a")
+    builder.add_gate("AND", "y", ["a", "ghost"])
+    builder.add_output("y")
+    with pytest.raises(CircuitError, match="undriven"):
+        builder.build()
+
+
+def test_double_driver_rejected():
+    builder = CircuitBuilder("bad")
+    builder.add_input("a")
+    builder.add_gate("NOT", "y", ["a"])
+    builder.add_gate("BUFF", "y", ["a"])
+    builder.add_output("y")
+    with pytest.raises(CircuitError, match="driven more than once"):
+        builder.build()
+
+
+def test_input_cannot_also_be_gate_output():
+    builder = CircuitBuilder("bad")
+    builder.add_input("a")
+    builder.add_gate("NOT", "a", ["a"])
+    with pytest.raises(CircuitError, match="driven more than once"):
+        builder.build()
+
+
+def test_combinational_cycle_rejected():
+    builder = CircuitBuilder("cyc")
+    builder.add_input("a")
+    builder.add_gate("AND", "x", ["a", "y"])
+    builder.add_gate("OR", "y", ["a", "x"])
+    builder.add_output("y")
+    with pytest.raises(CircuitError, match="cycle"):
+        builder.build()
+
+
+def test_cycle_through_flop_is_fine():
+    circuit = toggle_circuit()
+    assert circuit.num_flops == 1
+
+
+def test_not_gate_arity_enforced():
+    builder = CircuitBuilder("bad")
+    builder.add_input("a")
+    builder.add_input("b")
+    with pytest.raises(CircuitError):
+        builder.add_gate("NOT", "y", ["a", "b"])
+
+
+def test_topological_order_respects_dependencies():
+    circuit = pair_circuit()
+    position = {g: i for i, g in enumerate(circuit.topo_gates)}
+    for gate_index, gate in enumerate(circuit.gates):
+        for line in gate.inputs:
+            driver = circuit.driving_gate[line]
+            if driver is not None:
+                assert position[driver] < position[gate_index]
+
+
+def test_fanout_pins_complete():
+    circuit = pair_circuit()
+    # Every gate input, flop data pin and output tap appears exactly once.
+    total_pins = sum(len(pins) for pins in circuit.fanout_pins)
+    expected = (
+        sum(len(g.inputs) for g in circuit.gates)
+        + circuit.num_flops
+        + circuit.num_outputs
+    )
+    assert total_pins == expected
+
+
+def test_frame_sources():
+    circuit = pair_circuit()
+    for line in circuit.inputs:
+        assert circuit.is_frame_source(line)
+    for flop in circuit.flops:
+        assert circuit.is_frame_source(flop.ps)
+        assert not circuit.is_frame_source(flop.ns)
+
+
+def test_depth_positive():
+    assert pair_circuit().depth() >= 1
+
+
+def test_duplicate_line_names_rejected():
+    with pytest.raises(CircuitError):
+        Circuit(
+            name="dup",
+            line_names=["a", "a"],
+            inputs=[0, 1],
+            outputs=[0],
+            flops=[],
+            gates=[],
+        )
+
+
+def test_repr_mentions_counts():
+    text = repr(pair_circuit())
+    assert "2 PI" in text and "2 FF" in text

@@ -1,0 +1,85 @@
+"""Tests for the full-scan transformation."""
+
+from repro.circuit.scan import map_fault, scan_coverage_faults, scan_transform
+from repro.circuits.library import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.sites import all_faults
+from repro.fsim.conventional import run_conventional
+from repro.patterns.random_gen import random_patterns
+from repro.sim.frame import eval_frame
+
+from tests.helpers import toggle_circuit
+
+
+def test_structure():
+    circuit = s27()
+    scanned = scan_transform(circuit)
+    assert scanned.num_flops == 0
+    assert scanned.num_inputs == circuit.num_inputs + circuit.num_flops
+    assert scanned.num_outputs == circuit.num_outputs + circuit.num_flops
+    assert scanned.num_gates == circuit.num_gates
+
+
+def test_frame_semantics_preserved():
+    circuit = s27()
+    scanned = scan_transform(circuit)
+    pis = [1, 0, 1, 1]
+    state = [0, 1, 0]
+    original = eval_frame(circuit, pis, state)
+    combinational = eval_frame(scanned, pis + state, [])
+    for line in range(circuit.num_lines):
+        assert original[line] == combinational[line]
+
+
+def test_original_not_modified():
+    circuit = s27()
+    scan_transform(circuit)
+    assert circuit.num_flops == 3
+
+
+def test_fault_mapping_flop_pins_to_stems():
+    circuit = s27()
+    flop_pin_faults = [
+        f for f in all_faults(circuit)
+        if f.pin is not None and f.pin.kind == "flop"
+    ]
+    assert flop_pin_faults
+    for fault in flop_pin_faults:
+        mapped = map_fault(fault)
+        assert mapped.is_stem
+        assert mapped.line == fault.line
+
+
+def test_scan_coverage_dominates_sequential():
+    """Per-pattern, scan coverage (with random state load) must reach at
+    least the sequential conventional coverage -- it controls and
+    observes strictly more."""
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    length = 32
+    seq_cov = run_conventional(
+        circuit, faults, random_patterns(4, length, seed=1)
+    ).detected
+    scanned = scan_transform(circuit)
+    scan_faults = scan_coverage_faults(circuit, faults)
+    scan_cov = run_conventional(
+        scanned,
+        scan_faults,
+        random_patterns(scanned.num_inputs, length, seed=1),
+    ).detected
+    assert scan_cov >= seq_cov
+
+
+def test_scan_detects_mot_only_fault_combinationally():
+    """The intro toggle fault (undetectable conventionally without MOT)
+    is trivially detected once the state is scannable."""
+    circuit = toggle_circuit()
+    scanned = scan_transform(circuit)
+    faults = scan_coverage_faults(
+        circuit,
+        [f for f in collapse_faults(circuit) if f.describe(circuit) == "Z/1"],
+    )
+    campaign = run_conventional(
+        scanned, faults, random_patterns(scanned.num_inputs, 8, seed=0)
+    )
+    assert campaign.detected == len(faults)

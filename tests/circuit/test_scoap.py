@@ -1,0 +1,120 @@
+"""Tests for SCOAP testability measures."""
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.scoap import INFINITY, compute_scoap
+from repro.circuits.library import s27
+
+
+def test_and_gate_textbook_values():
+    circuit = parse_bench(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "andc"
+    )
+    scoap = compute_scoap(circuit)
+    y = circuit.line_id("y")
+    a = circuit.line_id("a")
+    assert scoap.cc1[y] == 3  # both inputs to 1: 1 + 1 + 1
+    assert scoap.cc0[y] == 2  # one input to 0: 1 + 1
+    # Observing input a requires b = 1 (cost 1) through one gate.
+    assert scoap.co[a] == 2
+    assert scoap.co[y] == 0
+
+
+def test_or_gate_dual():
+    circuit = parse_bench(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "orc"
+    )
+    scoap = compute_scoap(circuit)
+    y = circuit.line_id("y")
+    assert scoap.cc0[y] == 3
+    assert scoap.cc1[y] == 2
+
+
+def test_inverter_swaps():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "invc")
+    scoap = compute_scoap(circuit)
+    y = circuit.line_id("y")
+    assert scoap.cc1[y] == 2
+    assert scoap.cc0[y] == 2
+
+
+def test_xor_parity_dp():
+    circuit = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)\n", "xorc"
+    )
+    scoap = compute_scoap(circuit)
+    y = circuit.line_id("y")
+    # Any parity reachable with three unit-cost inputs: 3 + 1.
+    assert scoap.cc0[y] == 4
+    assert scoap.cc1[y] == 4
+
+
+def test_chain_depth_accumulates():
+    circuit = parse_bench(
+        """
+        INPUT(a)
+        OUTPUT(y)
+        n1 = NOT(a)
+        n2 = NOT(n1)
+        y = NOT(n2)
+        """,
+        "chain",
+    )
+    scoap = compute_scoap(circuit)
+    assert scoap.cc0[circuit.line_id("y")] == 4  # 1 + 3 gate levels
+    assert scoap.co[circuit.line_id("a")] == 3
+
+
+def test_constants():
+    circuit = parse_bench(
+        "INPUT(a)\nOUTPUT(y)\nk = CONST1(a)\ny = AND(a, k)\n", "constc"
+    ) if False else None
+    # CONST gates are internal (injection artifacts); build directly.
+    from repro.circuit.netlist import CircuitBuilder
+
+    builder = CircuitBuilder("constc")
+    builder.add_input("a")
+    builder.add_gate("CONST1", "k", [])
+    builder.add_gate("AND", "y", ["a", "k"])
+    builder.add_output("y")
+    built = builder.build()
+    scoap = compute_scoap(built)
+    k = built.line_id("k")
+    assert scoap.cc1[k] == 0
+    assert scoap.cc0[k] == INFINITY
+
+
+def test_state_cost_parameter():
+    circuit = s27()
+    cheap = compute_scoap(circuit, state_cost=1.0)
+    frozen = compute_scoap(circuit, state_cost=INFINITY)
+    g11 = circuit.line_id("G11")
+    assert cheap.cc1[g11] < INFINITY
+    # With uncontrollable state, G11 = 1 needs G5 = 0: impossible.
+    assert frozen.cc1[g11] == INFINITY
+
+
+def test_unobservable_line_infinite():
+    circuit = parse_bench(
+        """
+        INPUT(a)
+        OUTPUT(y)
+        dead = NOT(a)
+        deader = NOT(dead)
+        q = DFF(deader)
+        y = BUFF(a)
+        """,
+        "deadc",
+    )
+    scoap = compute_scoap(circuit)
+    # 'dead' only reaches a flop, never a PO within the frame.
+    assert scoap.co[circuit.line_id("dead")] == INFINITY
+
+
+def test_hardest_lines_ranking():
+    scoap = compute_scoap(s27())
+    hardest = scoap.hardest_lines(3)
+    assert len(hardest) == 3
+    worst = hardest[0]
+    combined = min(scoap.cc0[worst], scoap.cc1[worst]) + scoap.co[worst]
+    for line in range(scoap.circuit.num_lines):
+        assert combined >= min(scoap.cc0[line], scoap.cc1[line]) + scoap.co[line]

@@ -1,0 +1,32 @@
+"""Tests for circuit statistics."""
+
+from repro.circuit.stats import circuit_stats
+from repro.circuits.library import s27
+
+from tests.helpers import comb_circuit
+
+
+def test_s27_stats():
+    stats = circuit_stats(s27())
+    assert stats.name == "s27"
+    assert stats.num_inputs == 4
+    assert stats.num_outputs == 1
+    assert stats.num_flops == 3
+    assert stats.num_gates == 10
+    assert stats.depth >= 4
+    assert stats.gate_counts["NOR"] == 3
+    assert stats.gate_counts["NAND"] == 2
+    assert stats.gate_counts["NOT"] == 2
+
+
+def test_max_fanout():
+    stats = circuit_stats(s27())
+    # G11 feeds G17, G10 and DFF(G6): fanout 3.
+    assert stats.max_fanout == 3
+
+
+def test_as_row_keys():
+    row = circuit_stats(comb_circuit()).as_row()
+    assert row["circuit"] == "comb"
+    assert row["FF"] == 0
+    assert set(row) >= {"PI", "PO", "FF", "gates", "depth"}

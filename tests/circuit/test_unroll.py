@@ -1,0 +1,115 @@
+"""Tests for time-frame expansion."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.unroll import unroll, unrolled_fault_sites, unrolled_inputs
+from repro.circuits.generators import random_moore
+from repro.circuits.library import s27
+from repro.faults.model import Fault
+from repro.logic.values import UNKNOWN
+from repro.patterns.random_gen import random_patterns
+from repro.sim.frame import eval_frame
+from repro.sim.sequential import simulate_sequence
+
+from tests.helpers import toggle_circuit
+
+
+def _compare(circuit, patterns, initial_state):
+    frames = len(patterns)
+    unrolled = unroll(circuit, frames)
+    flat = unrolled_inputs(circuit, patterns, initial_state)
+    values = eval_frame(unrolled, flat, [])
+    sequential = simulate_sequence(
+        circuit, patterns, initial_state=initial_state
+    )
+    # Outputs: frame-major order, then the final next state.
+    position = 0
+    for frame in range(frames):
+        for out_index in range(circuit.num_outputs):
+            assert (
+                values[unrolled.outputs[position]]
+                == sequential.outputs[frame][out_index]
+            )
+            position += 1
+    for flop_index in range(circuit.num_flops):
+        assert (
+            values[unrolled.outputs[position]]
+            == sequential.states[frames][flop_index]
+        )
+        position += 1
+
+
+def test_structure():
+    circuit = s27()
+    unrolled = unroll(circuit, 3)
+    assert unrolled.num_flops == 0
+    assert unrolled.num_inputs == 3 + 3 * 4
+    assert unrolled.num_outputs == 3 * 1 + 3
+    # 10 gates per frame plus state-alias buffers for frames 1..2.
+    assert unrolled.num_gates == 3 * 10 + 2 * 3
+
+
+def test_matches_sequential_s27_binary_states():
+    circuit = s27()
+    patterns = random_patterns(4, 4, seed=1)
+    for bits in itertools.product((0, 1), repeat=3):
+        _compare(circuit, patterns, list(bits))
+
+
+def test_matches_sequential_with_unknown_state():
+    circuit = s27()
+    patterns = random_patterns(4, 4, seed=2)
+    _compare(circuit, patterns, [UNKNOWN] * 3)
+
+
+def test_single_frame():
+    circuit = toggle_circuit()
+    _compare(circuit, [[1]], [0])
+
+
+def test_rejects_zero_frames():
+    with pytest.raises(ValueError):
+        unroll(s27(), 0)
+
+
+def test_fault_site_mapping():
+    circuit = s27()
+    unrolled = unroll(circuit, 3)
+    fault = Fault(circuit.line_id("G11"), 0, None)
+    sites = unrolled_fault_sites(circuit, unrolled, fault, 3)
+    assert len(sites) == 3
+    assert {unrolled.line_names[s.line] for s in sites} == {
+        "G11@0",
+        "G11@1",
+        "G11@2",
+    }
+
+
+def test_branch_fault_mapping_rejected():
+    circuit = s27()
+    unrolled = unroll(circuit, 2)
+    line = circuit.line_id("G11")
+    pin = circuit.fanout_pins[line][0]
+    with pytest.raises(ValueError):
+        unrolled_fault_sites(circuit, unrolled, Fault(line, 0, pin), 2)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 50_000),
+    pattern_seed=st.integers(0, 500),
+    state_bits=st.integers(0, 7),
+    frames=st.integers(1, 4),
+)
+def test_matches_sequential_random(seed, pattern_seed, state_bits, frames):
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=12)
+    patterns = random_patterns(2, frames, seed=pattern_seed)
+    state = [(state_bits >> k) & 1 for k in range(3)]
+    _compare(circuit, patterns, state)

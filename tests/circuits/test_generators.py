@@ -1,0 +1,61 @@
+"""Tests for the random circuit generators."""
+
+import pytest
+
+from repro.circuits.generators import random_moore, reconvergent_fsm, shift_chain
+from repro.logic.values import UNKNOWN
+from repro.sim.sequential import simulate_sequence
+
+
+def test_random_moore_deterministic():
+    a = random_moore(42)
+    b = random_moore(42)
+    assert a.line_names == b.line_names
+    assert [(g.gate_type, g.output, g.inputs) for g in a.gates] == [
+        (g.gate_type, g.output, g.inputs) for g in b.gates
+    ]
+
+
+def test_random_moore_seeds_differ():
+    a = random_moore(1)
+    b = random_moore(2)
+    assert [(g.gate_type, g.inputs) for g in a.gates] != [
+        (g.gate_type, g.inputs) for g in b.gates
+    ]
+
+
+def test_random_moore_dimensions():
+    circuit = random_moore(7, num_inputs=4, num_flops=5, num_gates=30,
+                           num_outputs=3)
+    assert circuit.num_inputs == 4
+    assert circuit.num_flops == 5
+    assert circuit.num_gates == 30
+    assert circuit.num_outputs == 3
+
+
+def test_random_moore_rejects_bad_dimensions():
+    with pytest.raises(ValueError):
+        random_moore(0, num_inputs=0)
+
+
+def test_random_moore_many_seeds_build():
+    for seed in range(50):
+        circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=10)
+        simulate_sequence(circuit, [[0, 1], [1, 0]])
+
+
+def test_reconvergent_fsm_builds_and_simulates():
+    for seed in range(10):
+        circuit = reconvergent_fsm(seed)
+        result = simulate_sequence(circuit, [[0, 1], [1, 1], [0, 0]])
+        assert result.length == 3
+
+
+def test_shift_chain_initializes_serially():
+    circuit = shift_chain(4)
+    patterns = [[1, 1]] * 4  # serial-in 1, enabled
+    result = simulate_sequence(circuit, patterns)
+    # After k enabled cycles, the first k stages are specified.
+    for u in range(5):
+        specified = sum(1 for v in result.states[u] if v != UNKNOWN)
+        assert specified == min(u, 4)

@@ -1,0 +1,55 @@
+"""Tests for the embedded s27 and fig4 circuits."""
+
+from repro.circuits.library import fig4, s27
+from repro.logic.values import UNKNOWN
+from repro.sim.frame import eval_frame
+
+
+def test_s27_shape():
+    circuit = s27()
+    assert circuit.name == "s27"
+    assert [circuit.line_names[l] for l in circuit.inputs] == [
+        "G0",
+        "G1",
+        "G2",
+        "G3",
+    ]
+    assert [circuit.line_names[l] for l in circuit.outputs] == ["G17"]
+    assert {circuit.line_names[f.ps] for f in circuit.flops} == {
+        "G5",
+        "G6",
+        "G7",
+    }
+
+
+def test_s27_flop_wiring():
+    circuit = s27()
+    wiring = {
+        circuit.line_names[f.ps]: circuit.line_names[f.ns]
+        for f in circuit.flops
+    }
+    assert wiring == {"G5": "G10", "G6": "G11", "G7": "G13"}
+
+
+def test_fig4_shape():
+    circuit = fig4()
+    assert circuit.num_inputs == 1
+    assert circuit.num_flops == 1
+    flop = circuit.flops[0]
+    assert circuit.line_names[flop.ps] == "L2"
+    assert circuit.line_names[flop.ns] == "L11"
+
+
+def test_fig4_under_input_zero():
+    """Figure 4: input 0 implies only the fanout branches L3/L4 = 0."""
+    circuit = fig4()
+    values = eval_frame(circuit, [0], [UNKNOWN])
+    assert values[circuit.line_id("L3")] == 0
+    assert values[circuit.line_id("L4")] == 0
+    for name in ("L5", "L6", "L9", "L10", "L11"):
+        assert values[circuit.line_id(name)] == UNKNOWN
+
+
+def test_factories_return_fresh_instances():
+    assert s27() is not s27()
+    assert fig4() is not fig4()

@@ -1,0 +1,99 @@
+"""The .isc reconstruction of s27: equivalence and paper numbering."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.library import s27, s27_isc
+from repro.logic.implication import Conflict
+from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.mot.implication import FrameEngine
+from repro.sim.frame import eval_frame
+from repro.sim.sequential import simulate_sequence
+
+PATTERN = [1, 0, 1, 1]
+
+
+def test_structure():
+    circuit = s27_isc()
+    assert circuit.num_inputs == 4
+    assert circuit.num_outputs == 1
+    assert circuit.num_flops == 3
+    # 10 original gates + 9 fanout-branch buffers.
+    assert circuit.num_gates == 19
+
+
+def test_behavioural_equivalence_exhaustive():
+    """Same outputs and next states as the .bench netlist for every
+    (input, state) combination -- branches are pure renaming."""
+    bench = s27()
+    isc = s27_isc()
+    out_b = bench.outputs[0]
+    out_i = isc.outputs[0]
+    for state in itertools.product((0, 1, UNKNOWN), repeat=3):
+        for bits in itertools.product((0, 1), repeat=4):
+            vb = eval_frame(bench, list(bits), list(state))
+            vi = eval_frame(isc, list(bits), list(state))
+            assert vb[out_b] == vi[out_i]
+            for flop_b, flop_i in zip(bench.flops, isc.flops):
+                assert vb[flop_b.ns] == vi[flop_i.ns]
+
+
+def test_sequential_equivalence():
+    bench = s27()
+    isc = s27_isc()
+    from repro.patterns.random_gen import random_patterns
+
+    patterns = random_patterns(4, 24, seed=9)
+    rb = simulate_sequence(bench, patterns)
+    ri = simulate_sequence(isc, patterns)
+    assert rb.outputs == ri.outputs
+    assert rb.states == ri.states
+
+
+def test_paper_line_numbering_figure3():
+    """Figure 3 in the paper's own line numbers: setting next-state line
+    24 (the branch of NOR 21 feeding DFF 6) implies lines 21, 22 and 23,
+    and specifies the output fully across the two branches."""
+    circuit = s27_isc()
+    engine = FrameEngine(circuit)
+    base = eval_frame(circuit, PATTERN, [UNKNOWN] * 3)
+    line24 = circuit.line_id("G11c")
+    for alpha in (0, 1):
+        values = base.copy()
+        engine.imply(values, [(line24, alpha)])
+        # Stem (21) and sibling branches (22, 23) follow.
+        assert values[circuit.line_id("G11")] == alpha
+        assert values[circuit.line_id("G11a")] == alpha
+        assert values[circuit.line_id("G11b")] == alpha
+        # Output (through branch 22) and next-state 25 fully specified.
+        assert values[circuit.line_id("G17")] != UNKNOWN
+        assert values[circuit.line_id("G10")] != UNKNOWN
+
+
+def test_paper_line_numbering_figure2():
+    """Figure 2 counts carry over to the branch-explicit netlist."""
+    circuit = s27_isc()
+    watched = ("G17", "G10", "G11c", "G13")  # PO + the three NS lines
+    counts = {}
+    for name, index in (("G5", 0), ("G6", 1), ("G7", 2)):
+        total = 0
+        for alpha in (0, 1):
+            state = [UNKNOWN] * 3
+            state[index] = alpha
+            values = eval_frame(circuit, PATTERN, state)
+            total += sum(
+                1 for w in watched if values[circuit.line_id(w)] != UNKNOWN
+            )
+        counts[name] = total
+    assert counts == {"G7": 5, "G6": 0, "G5": 3}
+
+
+def test_branch_fault_sites_are_stems_here():
+    """In the .isc netlist the paper's branch lines are explicit, so
+    branch faults become ordinary stem faults on the buffer outputs --
+    one reason the original tools used this representation."""
+    circuit = s27_isc()
+    for name in ("G11a", "G11b", "G11c", "G14a", "G8b", "G12a"):
+        line = circuit.line_id(name)
+        assert len(circuit.fanout_pins[line]) == 1

@@ -1,0 +1,112 @@
+"""Behavioural anchoring of the benchmark stand-ins.
+
+The Table 2 reproduction depends on each stand-in exhibiting specific
+behaviours (documented in repro.circuits.standins).  These tests pin
+them down at unit granularity, so a future edit to a generator that
+silently destroys the calibration fails here rather than in a slow
+benchmark run.
+"""
+
+import pytest
+
+from repro.circuits import registry
+from repro.faults.collapse import collapse_faults
+from repro.fsim.conventional import run_conventional
+from repro.logic.values import UNKNOWN
+from repro.patterns.random_gen import random_patterns
+from repro.sim.sequential import simulate_sequence
+
+#: Circuits whose netlist embeds at least one opaque cluster.
+OPAQUE_CIRCUITS = [
+    "s208_like", "s298_like", "s344_like", "s420_like", "s641_like",
+    "s713_like", "s1423_like", "s5378_like", "s15850_like", "s35932_like",
+    "am2910_like", "mp1_16_like", "mp2_like",
+]
+
+
+def _opaque_flops(circuit):
+    return [
+        index
+        for index, flop in enumerate(circuit.flops)
+        if circuit.line_names[flop.ps].startswith(("oc", "ocs", "ocb"))
+    ]
+
+
+@pytest.mark.parametrize("name", OPAQUE_CIRCUITS)
+def test_opaque_cells_never_initialize(name):
+    entry = registry.get_entry(name)
+    circuit = entry.build()
+    opaque = _opaque_flops(circuit)
+    assert opaque, f"{name} should embed opaque cells"
+    patterns = random_patterns(circuit.num_inputs, 20, seed=entry.seed)
+    result = simulate_sequence(circuit, patterns)
+    for row in result.states:
+        for flop_index in opaque:
+            assert row[flop_index] == UNKNOWN
+
+
+@pytest.mark.parametrize("name", OPAQUE_CIRCUITS)
+def test_some_non_opaque_state_initializes(name):
+    """Conventional coverage depends on the rest of the state settling."""
+    entry = registry.get_entry(name)
+    circuit = entry.build()
+    opaque = set(_opaque_flops(circuit))
+    patterns = random_patterns(circuit.num_inputs, 32, seed=entry.seed)
+    result = simulate_sequence(circuit, patterns)
+    final = result.states[-1]
+    specified = [
+        index
+        for index in range(circuit.num_flops)
+        if index not in opaque and final[index] != UNKNOWN
+    ]
+    assert specified, f"{name}: no regular state variable ever initializes"
+
+
+@pytest.mark.parametrize(
+    "name", ["s208_like", "s344_like", "s641_like", "mp1_16_like"]
+)
+def test_reasonable_conventional_coverage(name):
+    """The mid-size stand-ins must stay in a plausible coverage band
+    (the paper's circuits sit between ~20% and ~90% conventional)."""
+    entry = registry.get_entry(name)
+    circuit = entry.build()
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(
+        circuit.num_inputs, entry.sequence_length, seed=entry.seed
+    )
+    campaign = run_conventional(circuit, faults, patterns)
+    coverage = campaign.detected / campaign.total
+    assert 0.15 < coverage < 0.95, f"{name}: coverage {coverage:.2%}"
+
+
+def test_s15850_like_stays_weakly_covered():
+    """The s15850 stand-in models the paper's barely-initializable
+    regime (85 of 11725 faults conventional): keep its coverage low."""
+    entry = registry.get_entry("s15850_like")
+    circuit = entry.build()
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(
+        circuit.num_inputs, entry.sequence_length, seed=entry.seed
+    )
+    campaign = run_conventional(circuit, faults, patterns)
+    assert campaign.detected / campaign.total < 0.10
+
+
+def test_s713_like_has_redundant_faults():
+    """The consensus term adds genuinely undetectable faults (the real
+    s713's distinguishing feature)."""
+    from repro.verify.exhaustive import exhaustive_restricted_mot
+
+    entry = registry.get_entry("s713_like")
+    circuit = entry.build()
+    # The redundant consensus AND gate drives part of flag f3; find its
+    # output line by construction: the AND of result bits feeding 'or'.
+    # Cheaper: assert that some collapsed fault is conventionally
+    # undetected AND fails condition C under a long sequence -- the
+    # redundancy signature (no resolvable output positions ever).
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(circuit.num_inputs, 48, seed=entry.seed)
+    from repro.mot.simulator import ProposedSimulator
+
+    campaign = ProposedSimulator(circuit, patterns).run(faults[:250])
+    assert campaign.count("dropped") > 0

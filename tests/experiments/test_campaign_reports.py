@@ -1,0 +1,101 @@
+"""Tests for campaign reports and waveform rendering."""
+
+from repro.circuits.library import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.injection import inject_fault
+from repro.faults.model import Fault
+from repro.logic.values import ONE
+from repro.mot.simulator import ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.reporting.campaign import (
+    campaign_csv,
+    render_campaign_report,
+    summarize_campaign,
+)
+from repro.reporting.waves import render_comparison, render_waves
+from repro.sim.sequential import simulate_injected, simulate_sequence
+
+from tests.helpers import toggle_circuit
+
+
+def _campaign():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    campaign = ProposedSimulator(circuit, random_patterns(4, 24, seed=1)).run(
+        faults
+    )
+    return circuit, campaign
+
+
+def test_summary_consistency():
+    circuit, campaign = _campaign()
+    summary = summarize_campaign(campaign)
+    assert summary.total == campaign.total
+    assert (
+        summary.conventional
+        + summary.mot_extra
+        + summary.dropped
+        + summary.undetected
+        == summary.total
+    )
+    assert 0.0 <= summary.coverage_percent <= 100.0
+    assert summary.circuit == "s27"
+
+
+def test_report_render():
+    circuit, campaign = _campaign()
+    text = render_campaign_report(campaign, circuit)
+    assert "fault coverage" in text
+    assert "s27" in text
+
+
+def test_report_lists_faults():
+    circuit, campaign = _campaign()
+    text = render_campaign_report(campaign, circuit, list_faults=True)
+    assert "G17/0" in text or "G17/1" in text
+
+
+def test_csv_has_row_per_fault():
+    circuit, campaign = _campaign()
+    csv_text = campaign_csv(campaign, circuit)
+    assert len(csv_text.strip().splitlines()) == campaign.total + 1
+
+
+def test_mot_how_breakdown():
+    circuit = toggle_circuit()
+    campaign = ProposedSimulator(circuit, [[1]] * 6).run(
+        collapse_faults(circuit)
+    )
+    summary = summarize_campaign(campaign)
+    assert sum(summary.how_breakdown.values()) == summary.mot_extra
+
+
+def test_render_waves_shape():
+    circuit = toggle_circuit()
+    result = simulate_sequence(circuit, [[1]] * 8, initial_state=[0])
+    text = render_waves(circuit, result, title="demo")
+    lines = text.strip().splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("time")
+    assert any(l.startswith("PO O") for l in lines)
+    assert any(l.startswith("FF Q") for l in lines)
+    # Q toggles under A = 1 from 0.
+    q_row = next(l for l in lines if l.startswith("FF Q"))
+    assert q_row.endswith("01010101")
+
+
+def test_render_comparison_marks_conflicts_and_targets():
+    circuit = toggle_circuit()
+    patterns = [[1]] * 6
+    reference = simulate_sequence(circuit, patterns)
+    injected = inject_fault(circuit, Fault(circuit.line_id("Z"), ONE))
+    faulty = simulate_injected(injected, patterns)
+    text = render_comparison(circuit, reference, faulty, title="cmp")
+    # Reference specified, faulty X: every position is a '?' target.
+    rail = text.strip().splitlines()[-1]
+    assert "?" in rail and "^" not in rail
+    # With a concrete initial state, real conflicts appear.
+    faulty_bin = simulate_injected(injected, patterns, initial_state=[1])
+    text = render_comparison(circuit, reference, faulty_bin)
+    rail = text.strip().splitlines()[-1]
+    assert "^" in rail

@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_stats_runs(capsys):
+    assert main(["stats", "s27", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "s27" in out and "fig4" in out
+
+
+def test_stats_unknown_circuit(capsys):
+    assert main(["stats", "sNOPE"]) == 1
+    err = capsys.readouterr().err
+    assert "sNOPE" in err
+
+
+def test_fsim_registered_circuit(capsys):
+    assert main(["fsim", "--circuit", "s27", "--length", "16", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "detected conventionally" in out
+
+
+def test_fsim_external_bench(tmp_path, capsys):
+    from repro.circuits.library import S27_BENCH
+
+    path = tmp_path / "c.bench"
+    path.write_text(S27_BENCH)
+    assert main(["fsim", "--bench", str(path), "--length", "8"]) == 0
+    assert "faults" in capsys.readouterr().out
+
+
+def test_mot_proposed(capsys):
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--list-mot"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "proposed procedure" in out
+    assert "counters" in out
+
+
+def test_mot_baseline(capsys):
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--baseline"]
+    ) == 0
+    assert "[4] baseline" in capsys.readouterr().out
+
+
+def test_mot_two_pass_and_depth(capsys):
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "8",
+         "--implication-mode", "two_pass", "--depth", "2"]
+    ) == 0
+
+
+def test_table2_subset(capsys):
+    assert main(["table2", "s27", "--fault-cap", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_table3_subset(capsys):
+    assert main(["table3", "s27", "--fault-cap", "20"]) == 0
+    assert "Table 3" in capsys.readouterr().out
+
+
+def test_figures(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "Figure 4" in out
+
+
+def test_hitec_quick(capsys):
+    assert main(
+        ["hitec", "--circuit", "s208_like", "--length", "8",
+         "--fault-cap", "30", "--seed", "2"]
+    ) == 0
+    assert "Deterministic-sequence" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_mot_requires_circuit_or_bench():
+    with pytest.raises(SystemExit):
+        main(["mot", "--length", "8"])
+
+
+def test_mot_unrestricted(capsys):
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "12", "--unrestricted",
+         "--n-references", "4"]
+    ) == 0
+    assert "unrestricted MOT" in capsys.readouterr().out
+
+
+def test_witness_detected_fault(capsys):
+    assert main(
+        ["witness", "--circuit", "s27", "--length", "24", "--seed", "3",
+         "--fault", "G8/1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "detection witness" in out
+    assert "verified by exhaustive replay: True" in out
+
+
+def test_witness_undetected_fault(capsys):
+    assert main(
+        ["witness", "--circuit", "s27", "--length", "8", "--seed", "0",
+         "--fault", "G14/1"]
+    ) == 1
+
+
+def test_witness_bad_fault_name(capsys):
+    assert main(
+        ["witness", "--circuit", "s27", "--length", "8",
+         "--fault", "NOPE/0"]
+    ) == 1
+
+
+def test_hitec_podem_method(capsys):
+    assert main(
+        ["hitec", "--circuit", "s208_like", "--length", "8",
+         "--fault-cap", "30", "--seed", "2", "--method", "podem"]
+    ) == 0
+
+
+def test_mot_report_flag(capsys):
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "12", "--report"]
+    ) == 0
+    assert "fault coverage" in capsys.readouterr().out
+
+
+def test_mot_csv_flag(tmp_path, capsys):
+    target = tmp_path / "verdicts.csv"
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "12", "--csv", str(target)]
+    ) == 0
+    assert target.exists()
+    assert "fault,status" in target.read_text()
+
+
+def test_scan_subcommand(capsys):
+    assert main(["scan", "s27", "--fault-cap", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "full scan" in out and "gap recovered" in out
+
+
+def test_fsim_parallel_engine(capsys):
+    assert main(
+        ["fsim", "--circuit", "s27", "--length", "16", "--engine", "parallel"]
+    ) == 0
+    assert "parallel engine" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Tests for the experiment drivers (quick configurations)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table1_example,
+)
+from repro.experiments.hitec import render_hitec, run_hitec_experiment
+from repro.experiments.runner import clear_cache, run_circuit, sample_faults
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_sample_faults_even_and_deterministic():
+    faults = list(range(100))
+    sampled = sample_faults(faults, 10)
+    assert len(sampled) == 10
+    assert sampled == sample_faults(faults, 10)
+    assert sampled[0] == 0
+    assert sample_faults(faults, None) == faults
+    assert sample_faults(faults, 200) == faults
+
+
+def test_run_circuit_memoized():
+    a = run_circuit("s27")
+    b = run_circuit("s27")
+    assert a is b
+    clear_cache()
+    assert run_circuit("s27") is not a
+
+
+def test_table2_quick():
+    rows = run_table2(circuits=["s27", "s208_like"], fault_cap=60)
+    assert [r.circuit for r in rows] == ["s27", "s208_like"]
+    for row in rows:
+        assert row.proposed_total >= row.conventional
+        if row.baseline_total is not None:
+            assert row.proposed_total >= row.baseline_total - 0  # superset by count
+    text = render_table2(rows)
+    assert "s208_like" in text and "conv." in text
+
+
+def test_table2_marks_na_for_largest():
+    rows = run_table2(circuits=["s15850_like"], fault_cap=40)
+    assert rows[0].baseline_total is None
+    assert "NA" in render_table2(rows)
+
+
+def test_table3_quick():
+    rows = run_table3(circuits=["s208_like"], fault_cap=60)
+    assert rows[0].circuit == "s208_like"
+    text = render_table3(rows)
+    assert "extra" in text
+
+
+def test_table2_and_table3_share_runs():
+    run_table2(circuits=["s27"], fault_cap=20)
+    before = run_circuit("s27", fault_cap=20)
+    run_table3(circuits=["s27"], fault_cap=20)
+    assert run_circuit("s27", fault_cap=20) is before
+
+
+def test_hitec_quick():
+    result = run_hitec_experiment(
+        circuit_name="s208_like", max_length=12, fault_cap=40, seed=3
+    )
+    assert result.sequence_length <= 12
+    assert result.proposed_extra >= 0
+    assert "Deterministic-sequence experiment" in render_hitec(result)
+
+
+def test_figures_counts():
+    assert figure1().specified_values == 0
+    counts = [r.specified_values for r in figure2()]
+    assert counts == [5, 0, 3]
+    assert figure3().specified_values == 7
+    assert "CONFLICT" in figure4()
+    assert "verdict: mot" in table1_example()
+
+
+def test_scan_experiment_driver():
+    from repro.experiments.scan import render_scan, run_scan_experiment
+
+    rows = run_scan_experiment(circuits=["s27"], fault_cap=30)
+    assert rows[0].circuit == "s27"
+    assert rows[0].full_scan >= rows[0].conventional
+    assert rows[0].with_mot >= rows[0].conventional
+    text = render_scan(rows)
+    assert "full scan" in text

@@ -1,0 +1,89 @@
+"""Corner-case coverage for reporting and verdict rendering."""
+
+from repro.circuits.registry import get_entry
+from repro.experiments.runner import sample_faults
+from repro.faults.collapse import collapse_faults
+from repro.logic.values import UNKNOWN
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.mot.simulator import ProposedSimulator
+from repro.mot.witness import DetectionWitness, WitnessCase
+from repro.patterns.random_gen import random_patterns
+from repro.reporting.campaign import render_campaign_report, summarize_campaign
+from repro.reporting.waves import render_waves
+from repro.sim.sequential import simulate_sequence
+
+from tests.helpers import toggle_circuit
+
+
+def test_waves_without_states():
+    circuit = toggle_circuit()
+    result = simulate_sequence(circuit, [[1]] * 4, initial_state=[0])
+    text = render_waves(circuit, result, show_states=False)
+    assert "FF" not in text
+    assert "PO" in text
+
+
+def test_waves_render_unknowns():
+    circuit = toggle_circuit()
+    result = simulate_sequence(circuit, [[1]] * 4)  # all-X state
+    text = render_waves(circuit, result)
+    assert "x" in text
+
+
+def test_campaign_report_mentions_aborts():
+    """The s5378 stand-in's baseline campaign aborts at the sequence
+    limit; the report must say so."""
+    entry = get_entry("s5378_like")
+    circuit = entry.build()
+    faults = sample_faults(collapse_faults(circuit), 80)
+    patterns = random_patterns(
+        circuit.num_inputs, entry.sequence_length, seed=entry.seed
+    )
+    campaign = BaselineSimulator(
+        circuit, patterns, BaselineConfig()
+    ).run(faults)
+    summary = summarize_campaign(campaign)
+    assert summary.aborted > 0
+    text = render_campaign_report(campaign, circuit)
+    assert "aborted at the sequence limit" in text
+
+
+def test_witness_describe_unconditional_case():
+    circuit = toggle_circuit()
+    from repro.faults.model import Fault
+
+    witness = DetectionWitness(
+        fault=Fault(circuit.line_id("Z"), 1),
+        cases=[WitnessCase({}, (2, 0))],
+    )
+    text = witness.describe(circuit)
+    assert "if always" in text
+
+
+def test_verdict_detected_property():
+    circuit = toggle_circuit()
+    campaign = ProposedSimulator(circuit, [[1]] * 4).run(
+        collapse_faults(circuit)
+    )
+    for verdict in campaign.verdicts:
+        assert verdict.detected == (verdict.status in ("conv", "mot"))
+
+
+def test_unrestricted_single_reference_matches_restricted():
+    """With no useful fault-free expansion, the unrestricted simulator
+    degenerates to exactly the restricted procedure."""
+    from repro.mot.unrestricted import UnrestrictedConfig, UnrestrictedSimulator
+
+    circuit = toggle_circuit()
+    patterns = [[1]] * 5
+    faults = collapse_faults(circuit)
+    unrestricted = UnrestrictedSimulator(
+        circuit, patterns, UnrestrictedConfig(n_references=1)
+    )
+    assert unrestricted.n_references == 1
+    restricted = ProposedSimulator(circuit, patterns)
+    for fault in faults:
+        assert (
+            unrestricted.simulate_fault(fault).detected
+            == restricted.simulate_fault(fault).detected
+        )

@@ -1,0 +1,64 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.reporting.tables import Table
+
+
+def test_render_basic():
+    table = Table(["circuit", "faults"], title="demo")
+    table.add_row({"circuit": "s27", "faults": 32})
+    text = table.render()
+    assert "demo" in text
+    assert "s27" in text
+    assert "32" in text
+
+
+def test_render_missing_cell_empty():
+    table = Table(["a", "b"])
+    table.add_row({"a": 1})
+    lines = table.render().splitlines()
+    assert lines[-1].startswith("1")
+
+
+def test_unknown_column_rejected():
+    table = Table(["a"])
+    with pytest.raises(ValueError):
+        table.add_row({"b": 2})
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(ValueError):
+        Table([])
+
+
+def test_float_formatting():
+    table = Table(["x"])
+    table.add_row({"x": 3.14159})
+    assert "3.14" in table.render()
+
+
+def test_markdown():
+    table = Table(["a", "b"], title="t")
+    table.add_row({"a": "x", "b": 1})
+    md = table.render_markdown()
+    assert "| a | b |" in md
+    assert "| x | 1 |" in md
+    assert md.startswith("### t")
+
+
+def test_csv():
+    table = Table(["a", "b"])
+    table.add_row({"a": "x", "b": 1})
+    csv_text = table.render_csv()
+    assert csv_text.splitlines()[0] == "a,b"
+    assert csv_text.splitlines()[1] == "x,1"
+
+
+def test_column_alignment():
+    table = Table(["name", "n"])
+    table.add_row({"name": "a", "n": 5})
+    table.add_row({"name": "long_name", "n": 123})
+    lines = table.render().splitlines()
+    # numeric cells right-aligned within the column
+    assert lines[-1].rstrip().endswith("123")

@@ -1,0 +1,99 @@
+"""Tests for dominance-based fault-list reduction."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.bench import parse_bench
+from repro.faults.collapse import collapse_faults
+from repro.faults.dominance import dominance_collapse
+from repro.faults.injection import inject_fault
+from repro.faults.model import Fault
+from repro.logic.values import ONE
+from repro.sim.sequential import outputs_conflict, simulate_sequence, simulate_injected
+
+
+def _and_circuit():
+    return parse_bench(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "andc"
+    )
+
+
+def test_and_output_sa1_dropped():
+    circuit = _and_circuit()
+    collapsed = dominance_collapse(circuit)
+    names = {f.describe(circuit) for f in collapsed}
+    assert "y/1" not in names
+    # The dominating input faults remain.
+    assert "a/1" in names and "b/1" in names
+    # The merged s-a-0 class representative remains.
+    assert any(f.stuck_at == 0 for f in collapsed)
+
+
+def test_reduction_is_subset():
+    circuit = parse_bench(
+        """
+        INPUT(a)
+        INPUT(b)
+        INPUT(c)
+        OUTPUT(y)
+        n1 = NAND(a, b)
+        n2 = NOR(b, c)
+        y = OR(n1, n2)
+        """,
+        "c",
+    )
+    equivalence = collapse_faults(circuit)
+    dominance = dominance_collapse(circuit)
+    assert set(dominance) <= set(equivalence)
+    assert len(dominance) < len(equivalence)
+
+
+def test_sequential_circuits_rejected_by_default():
+    from tests.helpers import toggle_circuit
+
+    with pytest.raises(ValueError):
+        dominance_collapse(toggle_circuit())
+    # Forcing works (documented as an estimate only).
+    forced = dominance_collapse(toggle_circuit(), allow_sequential=True)
+    assert forced
+
+
+def test_dominance_semantics_exhaustive():
+    """Brute-force check: every dropped fault is detected by every test
+    detecting some remaining fault of its gate (the dominance relation),
+    so test sets built for the reduced list still cover everything."""
+    circuit = parse_bench(
+        """
+        INPUT(a)
+        INPUT(b)
+        INPUT(c)
+        OUTPUT(y)
+        n1 = AND(a, b)
+        y = OR(n1, c)
+        """,
+        "c",
+    )
+    equivalence = set(collapse_faults(circuit))
+    reduced = set(dominance_collapse(circuit))
+    dropped = equivalence - reduced
+
+    def detecting_tests(fault):
+        tests = set()
+        for bits in itertools.product((0, 1), repeat=3):
+            reference = simulate_sequence(circuit, [list(bits)])
+            response = simulate_injected(
+                inject_fault(circuit, fault), [list(bits)]
+            )
+            if outputs_conflict(reference.outputs, response.outputs):
+                tests.add(bits)
+        return tests
+
+    for fault in dropped:
+        dominated_tests = detecting_tests(fault)
+        # Some remaining fault's tests are a subset of the dropped
+        # fault's tests (that is what justified dropping it).
+        assert any(
+            detecting_tests(kept) and detecting_tests(kept) <= dominated_tests
+            for kept in reduced
+        ), fault.describe(circuit)

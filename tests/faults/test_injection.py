@@ -1,0 +1,106 @@
+"""Tests for fault injection by netlist transformation."""
+
+import pytest
+
+from repro.circuit.bench import parse_bench
+from repro.circuits.library import s27
+from repro.faults.injection import CONST_LINE_NAME, inject_fault
+from repro.faults.model import Fault
+from repro.faults.sites import all_faults
+from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.sim.frame import eval_frame
+from repro.sim.sequential import simulate_injected, simulate_sequence
+
+from tests.helpers import toggle_circuit
+
+
+def test_injection_does_not_touch_original():
+    circuit = s27()
+    before = [g.inputs for g in circuit.gates]
+    inject_fault(circuit, Fault(circuit.line_id("G11"), 0))
+    assert [g.inputs for g in circuit.gates] == before
+
+
+def test_injected_circuit_is_structurally_valid():
+    circuit = s27()
+    for fault in all_faults(circuit):
+        injected = inject_fault(circuit, fault)
+        assert injected.circuit.num_lines == circuit.num_lines + 1
+        assert injected.circuit.line_names[-1] == CONST_LINE_NAME
+
+
+def test_stem_fault_cuts_all_consumers():
+    circuit = s27()
+    line = circuit.line_id("G11")  # fans out to G17, G10 and DFF(G6)
+    injected = inject_fault(circuit, Fault(line, ONE, None))
+    const = injected.const_line
+    faulty = injected.circuit
+    for gate in faulty.gates:
+        assert line not in gate.inputs
+    # The DFF consumer now reads the constant.
+    g6 = next(f for f in faulty.flops if faulty.line_names[f.ps] == "G6")
+    assert g6.ns == const
+
+
+def test_branch_fault_cuts_single_pin():
+    circuit = s27()
+    line = circuit.line_id("G11")
+    pin = next(p for p in circuit.fanout_pins[line] if p.kind == "gate")
+    injected = inject_fault(circuit, Fault(line, ZERO, pin))
+    faulty = injected.circuit
+    # The faulted pin reads the constant; some other consumer still reads
+    # the original line.
+    assert any(line in g.inputs for g in faulty.gates) or any(
+        f.ns == line for f in faulty.flops
+    )
+    assert faulty.gates[pin.index].inputs[pin.pos] == injected.const_line
+
+
+def test_output_stem_fault_observed():
+    circuit = s27()
+    line = circuit.line_id("G17")
+    injected = inject_fault(circuit, Fault(line, ZERO, None))
+    values = eval_frame(injected.circuit, [1, 0, 1, 1], [UNKNOWN] * 3)
+    assert values[injected.circuit.outputs[0]] == ZERO
+
+
+def test_ps_stem_fault_records_forced_state():
+    circuit = s27()
+    line = circuit.line_id("G5")
+    injected = inject_fault(circuit, Fault(line, ONE, None))
+    flop_index = next(
+        i for i, f in enumerate(circuit.flops) if f.ps == line
+    )
+    assert injected.forced_ps == {flop_index: ONE}
+    result = simulate_injected(injected, [[1, 0, 1, 1]] * 4)
+    for row in result.states:
+        assert row[flop_index] == ONE
+
+
+def test_pi_stem_fault_ignores_pattern():
+    circuit = toggle_circuit()
+    line = circuit.line_id("A")
+    injected = inject_fault(circuit, Fault(line, ZERO, None))
+    # With A stuck 0, QN = XOR(Q, 0) = Q: state holds; NA = 1; Z = 0.
+    result = simulate_injected(injected, [[1]] * 3, initial_state=[1])
+    assert [row[0] for row in result.states] == [1, 1, 1, 1]
+
+
+def test_reserved_name_collision_rejected():
+    circuit = parse_bench(
+        f"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n{CONST_LINE_NAME} = BUFF(a)\n",
+        "evil",
+    )
+    with pytest.raises(ValueError):
+        inject_fault(circuit, Fault(0, 0, None))
+
+
+def test_faulty_behaviour_matches_semantics():
+    """Z stuck-at-1 on the toggle circuit turns the output into Q."""
+    circuit = toggle_circuit()
+    injected = inject_fault(circuit, Fault(circuit.line_id("Z"), ONE, None))
+    result = simulate_injected(injected, [[1]] * 4, initial_state=[0])
+    # Q toggles 0,1,0,1 under A=1; O = AND(Q, 1) = Q.
+    assert [row[0] for row in result.outputs] == [0, 1, 0, 1]
+    reference = simulate_sequence(circuit, [[1]] * 4, initial_state=[0])
+    assert [row[0] for row in reference.outputs] == [0, 0, 0, 0]

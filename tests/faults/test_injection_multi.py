@@ -1,0 +1,65 @@
+"""Tests for multiple-fault injection (inject_fault_list)."""
+
+import pytest
+
+from repro.faults.injection import CONST_LINE_NAME, inject_fault, inject_fault_list
+from repro.faults.model import Fault
+from repro.logic.values import ONE, ZERO
+from repro.sim.sequential import simulate_injected
+
+from tests.helpers import toggle_circuit
+
+
+def test_single_fault_list_equals_inject_fault():
+    circuit = toggle_circuit()
+    fault = Fault(circuit.line_id("Z"), ONE)
+    single = inject_fault(circuit, fault)
+    listed = inject_fault_list(circuit, [fault])
+    run_a = simulate_injected(single, [[1]] * 4, initial_state=[0])
+    run_b = simulate_injected(listed, [[1]] * 4, initial_state=[0])
+    assert run_a.outputs == run_b.outputs
+    assert listed.faults == (fault,)
+
+
+def test_two_faults_combined_semantics():
+    """Z stuck-1 (output follows Q) plus A stuck-0 (XOR degenerates to
+    hold): the output becomes the constant initial state."""
+    circuit = toggle_circuit()
+    injected = inject_fault_list(
+        circuit,
+        [Fault(circuit.line_id("Z"), ONE), Fault(circuit.line_id("A"), ZERO)],
+    )
+    for q0 in (0, 1):
+        run = simulate_injected(injected, [[1]] * 4, initial_state=[q0])
+        assert [row[0] for row in run.outputs] == [q0] * 4
+
+
+def test_shared_constant_lines():
+    """Same-polarity faults share one constant line; mixed polarities
+    add exactly two."""
+    circuit = toggle_circuit()
+    same = inject_fault_list(
+        circuit,
+        [Fault(circuit.line_id("Z"), ONE), Fault(circuit.line_id("NA"), ONE)],
+    )
+    assert same.circuit.num_lines == circuit.num_lines + 1
+    mixed = inject_fault_list(
+        circuit,
+        [Fault(circuit.line_id("Z"), ONE), Fault(circuit.line_id("NA"), ZERO)],
+    )
+    assert mixed.circuit.num_lines == circuit.num_lines + 2
+    assert CONST_LINE_NAME in mixed.circuit.line_ids
+
+
+def test_empty_list_rejected():
+    with pytest.raises(ValueError):
+        inject_fault_list(toggle_circuit(), [])
+
+
+def test_forced_ps_merged():
+    circuit = toggle_circuit()
+    injected = inject_fault_list(
+        circuit,
+        [Fault(circuit.line_id("Q"), ONE), Fault(circuit.line_id("Z"), ZERO)],
+    )
+    assert injected.forced_ps == {0: ONE}

@@ -1,0 +1,45 @@
+"""Tests for the fault model and naming."""
+
+from repro.circuit.netlist import Pin
+from repro.circuits.library import s27
+from repro.faults.model import Fault
+
+
+def test_stem_fault_describe():
+    circuit = s27()
+    fault = Fault(circuit.line_id("G11"), 0, None)
+    assert fault.describe(circuit) == "G11/0"
+    assert fault.is_stem
+
+
+def test_branch_fault_describe_gate():
+    circuit = s27()
+    line = circuit.line_id("G11")
+    pin = next(p for p in circuit.fanout_pins[line] if p.kind == "gate")
+    fault = Fault(line, 1, pin)
+    assert not fault.is_stem
+    name = fault.describe(circuit)
+    assert name.startswith("G11->") and name.endswith("/1")
+
+
+def test_branch_fault_describe_flop():
+    circuit = s27()
+    line = circuit.line_id("G11")
+    pin = next(p for p in circuit.fanout_pins[line] if p.kind == "flop")
+    assert Fault(line, 0, pin).describe(circuit) == "G11->DFF(G6)/0"
+
+
+def test_fault_hashable_and_equal():
+    circuit = s27()
+    a = Fault(circuit.line_id("G8"), 0)
+    b = Fault(circuit.line_id("G8"), 0)
+    assert a == b
+    assert len({a, b}) == 1
+    assert Fault(circuit.line_id("G8"), 1) != a
+
+
+def test_output_pin_describe():
+    circuit = s27()
+    line = circuit.line_id("G17")
+    pin = next(p for p in circuit.fanout_pins[line] if p.kind == "output")
+    assert Fault(line, 1, pin).describe(circuit) == "G17->PO0/1"

@@ -1,0 +1,34 @@
+"""Tests for fault-site enumeration."""
+
+from repro.circuits.library import s27
+from repro.faults.sites import all_faults
+
+from tests.helpers import comb_circuit, toggle_circuit
+
+
+def test_s27_uncollapsed_count():
+    # 17 lines -> 34 stem faults; fanout branches: G14 (2 pins), G8 (2),
+    # G11 (3), G12 (2) -> 9 branch pins -> 18 branch faults; total 52,
+    # the standard uncollapsed s27 fault universe.
+    faults = all_faults(s27())
+    assert len(faults) == 52
+
+
+def test_every_line_has_both_stem_polarities():
+    circuit = comb_circuit()
+    faults = all_faults(circuit)
+    stems = {(f.line, f.stuck_at) for f in faults if f.is_stem}
+    for line in range(circuit.num_lines):
+        assert (line, 0) in stems and (line, 1) in stems
+
+
+def test_branch_faults_only_on_fanout_stems():
+    circuit = toggle_circuit()
+    for fault in all_faults(circuit):
+        if not fault.is_stem:
+            assert len(circuit.fanout_pins[fault.line]) >= 2
+
+
+def test_no_duplicates():
+    faults = all_faults(s27())
+    assert len(faults) == len(set(faults))

@@ -1,0 +1,73 @@
+"""Tests for the conventional (single observation time) fault simulator."""
+
+from repro.circuits.library import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.fsim.conventional import run_conventional, simulate_fault
+from repro.patterns.random_gen import random_patterns
+from repro.sim.sequential import simulate_sequence
+
+from tests.helpers import toggle_circuit
+
+
+def test_detected_fault_has_site():
+    circuit = s27()
+    patterns = random_patterns(4, 16, seed=0)
+    reference = simulate_sequence(circuit, patterns)
+    verdict = simulate_fault(
+        circuit,
+        Fault(circuit.line_id("G17"), 0, None),
+        patterns,
+        reference.outputs,
+    )
+    assert verdict.detected
+    assert verdict.site is not None
+    time, output = verdict.site
+    assert 0 <= time < 16 and output == 0
+
+
+def test_conventionally_undetectable_x_fault():
+    """The paper's motivating case: the faulty response is X wherever the
+    reference is specified, so single-observation simulation misses it."""
+    circuit = toggle_circuit()
+    patterns = [[1]] * 6
+    reference = simulate_sequence(circuit, patterns)
+    verdict = simulate_fault(
+        circuit, Fault(circuit.line_id("Z"), 1, None), patterns, reference.outputs
+    )
+    assert not verdict.detected
+
+
+def test_campaign_aggregates():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    campaign = run_conventional(circuit, faults, random_patterns(4, 24, seed=0))
+    assert campaign.total == len(faults)
+    assert campaign.detected == len(campaign.detected_faults())
+    assert campaign.total == len(campaign.detected_faults()) + len(
+        campaign.undetected_faults()
+    )
+    assert campaign.detected > 0
+
+
+def test_campaign_deterministic():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(4, 16, seed=5)
+    first = run_conventional(circuit, faults, patterns)
+    second = run_conventional(circuit, faults, patterns)
+    assert [v.detected for v in first.verdicts] == [
+        v.detected for v in second.verdicts
+    ]
+
+
+def test_no_false_detection_on_fault_free_equivalent():
+    """A stuck-at on a line that is already constant cannot be detected."""
+    circuit = toggle_circuit()
+    # Z = AND(A, NOT A) is constant 0: Z stuck-at-0 changes nothing.
+    patterns = [[1], [0], [1], [1]]
+    reference = simulate_sequence(circuit, patterns)
+    verdict = simulate_fault(
+        circuit, Fault(circuit.line_id("Z"), 0, None), patterns, reference.outputs
+    )
+    assert not verdict.detected

@@ -1,0 +1,119 @@
+"""Deductive fault simulation must match serial two-valued simulation."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.bench import parse_bench
+from repro.circuits.generators import random_moore
+from repro.circuits.library import s27
+from repro.faults.injection import inject_fault
+from repro.faults.sites import all_faults
+from repro.fsim.deductive import DeductiveFaultSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.sim.sequential import (
+    outputs_conflict,
+    simulate_injected,
+    simulate_sequence,
+)
+
+from tests.helpers import loop_circuit, pair_circuit, toggle_circuit
+
+
+def _serial_detected(circuit, faults, patterns, initial_state):
+    """Single-machine two-valued detection, fault by fault."""
+    reference = simulate_sequence(circuit, patterns, initial_state=initial_state)
+    detected = set()
+    for fault in faults:
+        injected = inject_fault(circuit, fault)
+        state = list(initial_state)
+        for flop_index, value in injected.forced_ps.items():
+            state[flop_index] = value
+        response = simulate_injected(injected, patterns, initial_state=state)
+        if outputs_conflict(reference.outputs, response.outputs) is not None:
+            detected.add(fault)
+    return detected
+
+
+def _compare(circuit, patterns, initial_state):
+    faults = all_faults(circuit)
+    deductive = DeductiveFaultSimulator(circuit).run(patterns, initial_state)
+    serial = _serial_detected(circuit, faults, patterns, initial_state)
+    assert deductive == serial, (
+        f"only deductive: "
+        f"{[f.describe(circuit) for f in sorted(deductive - serial, key=str)]}; "
+        f"only serial: "
+        f"{[f.describe(circuit) for f in sorted(serial - deductive, key=str)]}"
+    )
+
+
+def test_combinational_exhaustive():
+    circuit = parse_bench(
+        """
+        INPUT(a)
+        INPUT(b)
+        INPUT(c)
+        OUTPUT(y)
+        OUTPUT(z)
+        n1 = NAND(a, b)
+        n2 = NOR(b, c)
+        y = XOR(n1, n2)
+        z = AND(n1, c)
+        """,
+        "comb3",
+    )
+    for bits in itertools.product((0, 1), repeat=3):
+        _compare(circuit, [list(bits)], [])
+
+
+def test_s27_all_states_random_patterns():
+    circuit = s27()
+    patterns = random_patterns(4, 10, seed=4)
+    for bits in itertools.product((0, 1), repeat=3):
+        _compare(circuit, patterns, list(bits))
+
+
+@pytest.mark.parametrize(
+    "factory", [toggle_circuit, pair_circuit, loop_circuit]
+)
+def test_toy_circuits(factory):
+    circuit = factory()
+    patterns = random_patterns(circuit.num_inputs, 8, seed=1)
+    for bits in itertools.product((0, 1), repeat=circuit.num_flops):
+        _compare(circuit, patterns, list(bits))
+
+
+def test_restricted_universe():
+    circuit = s27()
+    faults = all_faults(circuit)[:10]
+    patterns = random_patterns(4, 8, seed=0)
+    simulator = DeductiveFaultSimulator(circuit, faults)
+    detected = simulator.run(patterns, [0, 0, 0])
+    assert detected <= set(faults)
+
+
+def test_rejects_unknown_sources():
+    from repro.logic.values import UNKNOWN
+
+    circuit = s27()
+    simulator = DeductiveFaultSimulator(circuit)
+    with pytest.raises(ValueError):
+        simulator.run([[1, 0, 1, 1]], [UNKNOWN, 0, 0])
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 50_000),
+    pattern_seed=st.integers(0, 500),
+    state_bits=st.integers(0, 7),
+)
+def test_matches_serial_random_circuits(seed, pattern_seed, state_bits):
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=14)
+    patterns = random_patterns(2, 6, seed=pattern_seed)
+    state = [(state_bits >> k) & 1 for k in range(3)]
+    _compare(circuit, patterns, state)

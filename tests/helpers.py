@@ -1,0 +1,107 @@
+"""Shared fixtures for the test suite: small hand-built circuits.
+
+Each helper returns a freshly parsed circuit, so tests can never leak
+state into one another through cached structures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.netlist import Circuit
+from repro.logic.values import UNKNOWN
+
+#: Fault-free output is constant 0; with Z stuck-at-1 the output follows
+#: the free-running toggle flop Q, whose phase depends on the unknown
+#: initial state -- the paper's introductory example, as a netlist.
+TOGGLE_BENCH = """
+INPUT(A)
+OUTPUT(O)
+Q = DFF(QN)
+NA = NOT(A)
+Z = AND(A, NA)
+QN = XOR(Q, A)
+O = AND(Q, Z)
+"""
+
+#: Like TOGGLE_BENCH but observing both polarities of Q: with Z stuck-at
+#: 1, *both* values of the next-state variable produce an output value
+#: conflicting with the (constant 0) reference, so backward implications
+#: alone prove detection (paper Section 3.2).
+BOTH_BENCH = """
+INPUT(A)
+OUTPUT(O1)
+OUTPUT(O2)
+Q = DFF(QN)
+NA = NOT(A)
+NQ = NOT(Q)
+Z = AND(A, NA)
+QN = XOR(Q, A)
+O1 = AND(Q, Z)
+O2 = AND(NQ, Z)
+"""
+
+#: A two-flop circuit with a comparator output: handy for expansion
+#: tests (the output resolves only when both flops are specified).
+PAIR_BENCH = """
+INPUT(A)
+INPUT(B)
+OUTPUT(O)
+Q0 = DFF(D0)
+Q1 = DFF(D1)
+D0 = AND(Q0, A)
+D1 = OR(Q1, B)
+O = XNOR(Q0, Q1)
+"""
+
+#: Single flop, single inverter in a loop: output observes the flop.
+LOOP_BENCH = """
+INPUT(EN)
+OUTPUT(O)
+Q = DFF(D)
+NQ = NOT(Q)
+D = AND(NQ, EN)
+O = OR(Q, EN)
+"""
+
+#: Purely combinational circuit (no flops) for degenerate-case tests.
+COMB_BENCH = """
+INPUT(A)
+INPUT(B)
+OUTPUT(Y)
+N = NAND(A, B)
+Y = XOR(N, A)
+"""
+
+
+def toggle_circuit() -> Circuit:
+    return parse_bench(TOGGLE_BENCH, "toggle")
+
+
+def both_circuit() -> Circuit:
+    return parse_bench(BOTH_BENCH, "both")
+
+
+def pair_circuit() -> Circuit:
+    return parse_bench(PAIR_BENCH, "pair")
+
+
+def loop_circuit() -> Circuit:
+    return parse_bench(LOOP_BENCH, "loop")
+
+
+def comb_circuit() -> Circuit:
+    return parse_bench(COMB_BENCH, "comb")
+
+
+def completions(values: Sequence[int]) -> List[Tuple[int, ...]]:
+    """All binary completions of a three-valued vector."""
+    choices = [(v,) if v != UNKNOWN else (0, 1) for v in values]
+    return list(itertools.product(*choices))
+
+
+def consistent(specified: Sequence[int], binary: Sequence[int]) -> bool:
+    """True when *binary* completes the three-valued vector *specified*."""
+    return all(s == UNKNOWN or s == b for s, b in zip(specified, binary))

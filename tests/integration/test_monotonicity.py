@@ -1,0 +1,143 @@
+"""Monotonicity properties of the MOT procedures.
+
+Two invariants that the analysis in the module docstrings relies on:
+
+* **Refinement preserves resolution** -- specifying *more* state values
+  in a sequence can never turn a detected/infeasible resimulation
+  outcome into unresolved (three-valued evaluation is monotone in the
+  information order).
+* **More sequence budget never hurts** -- raising ``N_STATES`` cannot
+  lose detections, for either procedure.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits.generators import random_moore
+from repro.faults.injection import inject_fault
+from repro.faults.sites import all_faults
+from repro.logic.values import UNKNOWN
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.mot.expansion import StateSequence
+from repro.mot.resimulate import SequenceStatus, resimulate_sequence
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.sim.sequential import simulate_injected, simulate_sequence
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 50_000),
+    pattern_seed=st.integers(0, 500),
+    fault_index=st.integers(0, 5_000),
+    data=st.data(),
+)
+def test_refinement_preserves_resolution(
+    seed, pattern_seed, fault_index, data
+):
+    """If a partially assigned sequence resolves, every refinement that
+    extends its assignments with values from a *consistent binary
+    trajectory* also resolves."""
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=14)
+    patterns = random_patterns(2, 6, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    injected = inject_fault(circuit, fault)
+    reference = simulate_sequence(circuit, patterns)
+    faulty = simulate_injected(injected, patterns)
+
+    # Base sequence: conventional states plus one extra assignment.
+    base = StateSequence(states=[list(r) for r in faulty.states])
+    free = [
+        (u, i)
+        for u in range(len(patterns))
+        for i in range(circuit.num_flops)
+        if base.states[u][i] == UNKNOWN and i not in injected.forced_ps
+    ]
+    if not free:
+        return
+    u, i = free[data.draw(st.integers(0, len(free) - 1))]
+    value = data.draw(st.sampled_from([0, 1]))
+    base.assign(u, i, value)
+    refined = base.copy()
+    status = resimulate_sequence(
+        injected.circuit, patterns, reference.outputs, base,
+        injected.forced_ps,
+    )
+    if status is SequenceStatus.UNRESOLVED:
+        return
+    # Refine with the values of a real trajectory consistent with the
+    # sequence (when one exists): run every binary initial state and
+    # pick the first consistent one.
+    import itertools
+
+    for bits in itertools.product((0, 1), repeat=circuit.num_flops):
+        run = simulate_injected(injected, patterns, initial_state=list(bits))
+        if all(
+            refined.states[t][k] in (UNKNOWN, run.states[t][k])
+            for t in range(len(patterns) + 1)
+            for k in range(circuit.num_flops)
+        ):
+            for t in range(len(patterns) + 1):
+                for k in range(circuit.num_flops):
+                    if k in injected.forced_ps:
+                        continue
+                    if refined.states[t][k] == UNKNOWN:
+                        refined.assign(t, k, run.states[t][k])
+            refined_status = resimulate_sequence(
+                injected.circuit, patterns, reference.outputs, refined,
+                injected.forced_ps,
+            )
+            assert refined_status is not SequenceStatus.UNRESOLVED
+            return
+    # No consistent trajectory exists: the sequence covers no initial
+    # state, so either resolution (INFEASIBLE, or DETECTED when an
+    # output conflict surfaces before the state contradiction) is sound.
+    assert status in (SequenceStatus.INFEASIBLE, SequenceStatus.DETECTED)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 50_000),
+    pattern_seed=st.integers(0, 500),
+    fault_index=st.integers(0, 5_000),
+)
+def test_n_states_monotone_proposed(seed, pattern_seed, fault_index):
+    circuit = random_moore(seed, num_inputs=2, num_flops=4, num_gates=16)
+    patterns = random_patterns(2, 8, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    small = ProposedSimulator(
+        circuit, patterns, MotConfig(n_states=4, forward_fallback=False)
+    ).simulate_fault(fault)
+    large = ProposedSimulator(
+        circuit, patterns, MotConfig(n_states=64, forward_fallback=False)
+    ).simulate_fault(fault)
+    if small.detected:
+        assert large.detected
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 50_000),
+    pattern_seed=st.integers(0, 500),
+    fault_index=st.integers(0, 5_000),
+)
+def test_n_states_monotone_baseline(seed, pattern_seed, fault_index):
+    circuit = random_moore(seed, num_inputs=2, num_flops=4, num_gates=16)
+    patterns = random_patterns(2, 8, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    small = BaselineSimulator(
+        circuit, patterns, BaselineConfig(n_states=4)
+    ).simulate_fault(fault)
+    large = BaselineSimulator(
+        circuit, patterns, BaselineConfig(n_states=64)
+    ).simulate_fault(fault)
+    if small.detected:
+        assert large.detected

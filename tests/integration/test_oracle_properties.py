@@ -1,0 +1,118 @@
+"""Property-based end-to-end validation on random circuits.
+
+For thousands of (random Moore machine, random fault, random sequence)
+triples, the MOT procedures must stay sound with respect to the
+exhaustive oracle.  This is the strongest correctness statement the test
+suite makes: the oracle implements the *definition* of restricted-MOT
+detection by brute force, while the procedures implement the paper's
+algorithms -- any over-report is a real bug.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits.generators import random_moore, reconvergent_fsm
+from repro.faults.sites import all_faults
+from repro.mot.baseline import BaselineSimulator
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.sim.sequential import simulate_sequence
+from repro.verify.exhaustive import exhaustive_restricted_mot
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 100_000),
+    pattern_seed=st.integers(0, 1_000),
+    fault_index=st.integers(0, 10_000),
+)
+def test_proposed_soundness_random_moore(seed, pattern_seed, fault_index):
+    circuit = random_moore(seed, num_inputs=2, num_flops=4, num_gates=16)
+    patterns = random_patterns(2, 8, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    verdict = ProposedSimulator(circuit, patterns).simulate_fault(fault)
+    if verdict.detected:
+        assert exhaustive_restricted_mot(circuit, fault, patterns)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 100_000),
+    pattern_seed=st.integers(0, 1_000),
+    fault_index=st.integers(0, 10_000),
+)
+def test_baseline_soundness_random_moore(seed, pattern_seed, fault_index):
+    circuit = random_moore(seed, num_inputs=2, num_flops=4, num_gates=16)
+    patterns = random_patterns(2, 8, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    verdict = BaselineSimulator(circuit, patterns).simulate_fault(fault)
+    if verdict.detected:
+        assert exhaustive_restricted_mot(circuit, fault, patterns)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 100_000),
+    pattern_seed=st.integers(0, 1_000),
+    fault_index=st.integers(0, 10_000),
+)
+def test_proposed_soundness_reconvergent(seed, pattern_seed, fault_index):
+    """Reconvergent FSMs exercise the conflict paths of backward
+    implications far more often than generic random machines."""
+    circuit = reconvergent_fsm(seed, num_flops=3, num_inputs=2)
+    patterns = random_patterns(2, 8, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    verdict = ProposedSimulator(circuit, patterns).simulate_fault(fault)
+    if verdict.detected:
+        assert exhaustive_restricted_mot(circuit, fault, patterns)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 100_000),
+    pattern_seed=st.integers(0, 1_000),
+    fault_index=st.integers(0, 10_000),
+    depth=st.integers(1, 3),
+)
+def test_proposed_soundness_multiframe_depth(
+    seed, pattern_seed, fault_index, depth
+):
+    """The multi-frame backward-implication extension must stay sound."""
+    circuit = reconvergent_fsm(seed, num_flops=3, num_inputs=2)
+    patterns = random_patterns(2, 6, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    config = MotConfig(backward_depth=depth)
+    verdict = ProposedSimulator(circuit, patterns, config).simulate_fault(fault)
+    if verdict.detected:
+        assert exhaustive_restricted_mot(circuit, fault, patterns)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 100_000),
+    pattern_seed=st.integers(0, 1_000),
+)
+def test_proposed_detects_superset_of_conventional(seed, pattern_seed):
+    """The MOT procedure never loses a conventional detection (it runs
+    conventional simulation first)."""
+    from repro.fsim.conventional import run_conventional
+
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=12)
+    patterns = random_patterns(2, 6, seed=pattern_seed)
+    faults = all_faults(circuit)[:20]
+    conventional = run_conventional(circuit, faults, patterns)
+    proposed = ProposedSimulator(circuit, patterns).run(faults)
+    for conv_verdict, mot_verdict in zip(
+        conventional.verdicts, proposed.verdicts
+    ):
+        if conv_verdict.detected:
+            assert mot_verdict.detected

@@ -1,0 +1,150 @@
+"""The paper's worked examples (Figures 1-4) as executable assertions.
+
+The paper demonstrates its machinery on s27 under a single input pattern
+with a fully unspecified state.  (The paper prints the pattern as "(1001)"
+in its own line numbering; on the standard ``.bench`` input order
+``G0..G3`` the unique pattern that leaves every next-state variable and
+the output unspecified -- Figure 1's premise -- is ``1,0,1,1``, which
+also reproduces every count in Figures 2 and 3 exactly.)
+"""
+
+import pytest
+
+from repro.circuits.library import fig4, s27
+from repro.logic.implication import Conflict
+from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.mot.implication import FrameEngine
+from repro.sim.frame import eval_frame
+
+#: The Figure 1-3 input pattern on (G0, G1, G2, G3).
+PATTERN = [1, 0, 1, 1]
+
+#: Primary output plus the three next-state lines of s27.
+WATCHED = ("G17", "G10", "G11", "G13")
+
+
+def _specified_count_after_expansion(circuit, flop_name):
+    """Number of specified watched values summed over both expansion
+    branches of *flop_name* at time 0 (the paper's counting)."""
+    index = {"G5": 0, "G6": 1, "G7": 2}[flop_name]
+    count = 0
+    for alpha in (0, 1):
+        state = [UNKNOWN] * 3
+        state[index] = alpha
+        values = eval_frame(circuit, PATTERN, state)
+        count += sum(
+            1
+            for name in WATCHED
+            if values[circuit.line_id(name)] != UNKNOWN
+        )
+    return count
+
+
+def test_figure1_conventional_simulation_all_unspecified():
+    circuit = s27()
+    values = eval_frame(circuit, PATTERN, [UNKNOWN] * 3)
+    for name in WATCHED:
+        assert values[circuit.line_id(name)] == UNKNOWN
+
+
+def test_figure1_pattern_is_unique():
+    """No other input pattern leaves all four watched lines unspecified
+    -- pinning down the Figure 1 premise."""
+    import itertools
+
+    circuit = s27()
+    matches = []
+    for pattern in itertools.product((0, 1), repeat=4):
+        values = eval_frame(circuit, list(pattern), [UNKNOWN] * 3)
+        if all(
+            values[circuit.line_id(name)] == UNKNOWN for name in WATCHED
+        ):
+            matches.append(list(pattern))
+    assert matches == [PATTERN]
+
+
+def test_figure2_expansion_counts():
+    """Expanding G7 yields five specified values; G6 none; G5 three --
+    exactly the paper's comparison of candidate variables."""
+    circuit = s27()
+    assert _specified_count_after_expansion(circuit, "G7") == 5
+    assert _specified_count_after_expansion(circuit, "G6") == 0
+    assert _specified_count_after_expansion(circuit, "G5") == 3
+
+
+def test_figure2_output_specified_only_for_one_branch():
+    """"The primary output becomes partially specified (specified only
+    when line 7 assumes the value 1)"."""
+    circuit = s27()
+    values0 = eval_frame(circuit, PATTERN, [UNKNOWN, UNKNOWN, 0])
+    values1 = eval_frame(circuit, PATTERN, [UNKNOWN, UNKNOWN, 1])
+    out = circuit.line_id("G17")
+    assert values0[out] == UNKNOWN
+    assert values1[out] != UNKNOWN
+
+
+def test_figure3_backward_implication_counts():
+    """Backward implication of state variable G6 at time 1 (setting its
+    next-state line G11 at time 0) specifies seven watched values
+    across the two branches -- versus at most five by expansion at time
+    0."""
+    circuit = s27()
+    engine = FrameEngine(circuit)
+    base = eval_frame(circuit, PATTERN, [UNKNOWN] * 3)
+    total = 0
+    fully = {}
+    for alpha in (0, 1):
+        values = base.copy()
+        engine.imply(values, [(circuit.line_id("G11"), alpha)])
+        for name in WATCHED:
+            if values[circuit.line_id(name)] != UNKNOWN:
+                total += 1
+                fully[name] = fully.get(name, 0) + 1
+    assert total == 7
+    # Output and one next-state variable fully specified, one partially.
+    assert fully["G17"] == 2
+    assert fully["G11"] == 2
+    assert fully["G10"] == 2
+    assert fully["G13"] == 1
+
+
+def test_figure3_implies_present_state_at_previous_time():
+    """The G11 = 1 branch also specifies present-state variable G7 at
+    time 0 -- the "additional present-state variables" the paper uses
+    for multi-frame backward implications."""
+    circuit = s27()
+    engine = FrameEngine(circuit)
+    values = eval_frame(circuit, PATTERN, [UNKNOWN] * 3)
+    engine.imply(values, [(circuit.line_id("G11"), ONE)])
+    assert values[circuit.line_id("G7")] == ZERO
+
+
+def test_figure4_conflict():
+    """Under input 0, next-state 1 is inconsistent: the state variable
+    can only assume 0 at the next time unit, so a single state survives
+    expansion."""
+    circuit = fig4()
+    engine = FrameEngine(circuit)
+    base = eval_frame(circuit, [0], [UNKNOWN])
+    with pytest.raises(Conflict):
+        engine.imply(base.copy(), [(circuit.line_id("L11"), ONE)])
+    survivor = base.copy()
+    engine.imply(survivor, [(circuit.line_id("L11"), ZERO)])
+
+
+def test_figure4_conflict_pins_both_state_branches():
+    """When line 11 is forced to 1, lines 5 and 6 (the reconvergent
+    branches of the state variable) receive opposite requirements."""
+    circuit = fig4()
+    engine = FrameEngine(circuit)
+    base = eval_frame(circuit, [0], [UNKNOWN])
+    # Apply the implications step by step through the OR/NOR gates.
+    values = base.copy()
+    try:
+        engine.imply(values, [(circuit.line_id("L11"), ONE)])
+    except Conflict:
+        pass
+    # Before the conflict surfaced, L9 and L10 must both have been
+    # driven to 1 (AND backward rule).
+    assert values[circuit.line_id("L9")] == ONE
+    assert values[circuit.line_id("L10")] == ONE

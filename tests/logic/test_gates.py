@@ -1,0 +1,112 @@
+"""Tests for n-ary three-valued gate evaluation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.gates import GateType, eval_gate, gate_type_from_name
+from repro.logic.values import ONE, UNKNOWN, ZERO
+
+from tests.helpers import completions
+
+_BINARY_FUNCS = {
+    GateType.AND: lambda vals: int(all(vals)),
+    GateType.NAND: lambda vals: int(not all(vals)),
+    GateType.OR: lambda vals: int(any(vals)),
+    GateType.NOR: lambda vals: int(not any(vals)),
+    GateType.XOR: lambda vals: sum(vals) % 2,
+    GateType.XNOR: lambda vals: 1 - sum(vals) % 2,
+    GateType.NOT: lambda vals: 1 - vals[0],
+    GateType.BUF: lambda vals: vals[0],
+}
+
+
+def test_gate_type_from_name_aliases():
+    assert gate_type_from_name("BUFF") is GateType.BUF
+    assert gate_type_from_name("inv") is GateType.NOT
+    assert gate_type_from_name("nand") is GateType.NAND
+
+
+def test_gate_type_from_name_rejects_unknown():
+    with pytest.raises(ValueError):
+        gate_type_from_name("MAJ")
+
+
+def test_and_controlling_value_beats_unknown():
+    assert eval_gate(GateType.AND, [ZERO, UNKNOWN]) == ZERO
+    assert eval_gate(GateType.NAND, [ZERO, UNKNOWN]) == ONE
+
+
+def test_or_controlling_value_beats_unknown():
+    assert eval_gate(GateType.OR, [ONE, UNKNOWN]) == ONE
+    assert eval_gate(GateType.NOR, [ONE, UNKNOWN]) == ZERO
+
+
+def test_xor_with_any_unknown_is_unknown():
+    assert eval_gate(GateType.XOR, [ONE, UNKNOWN]) == UNKNOWN
+    assert eval_gate(GateType.XNOR, [UNKNOWN, ZERO]) == UNKNOWN
+
+
+def test_not_buf():
+    assert eval_gate(GateType.NOT, [ZERO]) == ONE
+    assert eval_gate(GateType.BUF, [UNKNOWN]) == UNKNOWN
+
+
+def test_not_rejects_multiple_inputs():
+    with pytest.raises(ValueError):
+        eval_gate(GateType.NOT, [ZERO, ONE])
+
+
+def test_constants():
+    assert eval_gate(GateType.CONST0, []) == ZERO
+    assert eval_gate(GateType.CONST1, []) == ONE
+
+
+def test_single_input_and_or_behave_as_buffer():
+    for value in (ZERO, ONE, UNKNOWN):
+        assert eval_gate(GateType.AND, [value]) == value
+        assert eval_gate(GateType.OR, [value]) == value
+
+
+@pytest.mark.parametrize("gate_type", list(_BINARY_FUNCS))
+def test_binary_semantics_exhaustive(gate_type):
+    """On fully specified inputs, 3v evaluation equals the boolean
+    function, for all input widths up to 3."""
+    widths = (1,) if gate_type in (GateType.NOT, GateType.BUF) else (1, 2, 3)
+    for width in widths:
+        for vals in itertools.product((0, 1), repeat=width):
+            assert eval_gate(gate_type, list(vals)) == _BINARY_FUNCS[gate_type](vals)
+
+
+@pytest.mark.parametrize("gate_type", list(_BINARY_FUNCS))
+def test_three_valued_abstraction_exhaustive(gate_type):
+    """The 3v result is the join of all binary completions: specified iff
+    every completion agrees, in which case it equals that value."""
+    width = 1 if gate_type in (GateType.NOT, GateType.BUF) else 3
+    for vals in itertools.product((ZERO, ONE, UNKNOWN), repeat=width):
+        result = eval_gate(gate_type, list(vals))
+        outcomes = {
+            _BINARY_FUNCS[gate_type](c) for c in completions(vals)
+        }
+        if len(outcomes) == 1:
+            assert result == outcomes.pop()
+        else:
+            assert result == UNKNOWN
+
+
+@given(
+    gate=st.sampled_from(
+        [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+         GateType.XOR, GateType.XNOR]
+    ),
+    vals=st.lists(st.sampled_from([ZERO, ONE, UNKNOWN]), min_size=1, max_size=6),
+)
+def test_three_valued_abstraction_property(gate, vals):
+    """Property form of the abstraction test for wider gates."""
+    result = eval_gate(gate, vals)
+    outcomes = {_BINARY_FUNCS[gate](c) for c in completions(vals)}
+    if result == UNKNOWN:
+        assert len(outcomes) == 2
+    else:
+        assert outcomes == {result}

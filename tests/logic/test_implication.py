@@ -1,0 +1,118 @@
+"""Unit tests for per-gate forward/backward implication rules."""
+
+import pytest
+
+from repro.logic.gates import GateType
+from repro.logic.implication import Conflict, propagate_gate
+from repro.logic.values import ONE, UNKNOWN, ZERO
+
+
+def test_forward_implication_sets_output():
+    out, ins = propagate_gate(GateType.AND, UNKNOWN, [ONE, ONE])
+    assert out == ONE
+    assert ins == [ONE, ONE]
+
+
+def test_forward_conflict_detected():
+    with pytest.raises(Conflict):
+        propagate_gate(GateType.AND, ONE, [ZERO, ONE])
+
+
+def test_and_output_one_forces_all_inputs():
+    out, ins = propagate_gate(GateType.AND, ONE, [UNKNOWN, UNKNOWN, UNKNOWN])
+    assert out == ONE
+    assert ins == [ONE, ONE, ONE]
+
+
+def test_and_output_zero_last_unknown_forced():
+    out, ins = propagate_gate(GateType.AND, ZERO, [ONE, UNKNOWN, ONE])
+    assert ins == [ONE, ZERO, ONE]
+    assert out == ZERO
+
+
+def test_and_output_zero_two_unknowns_not_forced():
+    _out, ins = propagate_gate(GateType.AND, ZERO, [UNKNOWN, UNKNOWN])
+    assert ins == [UNKNOWN, UNKNOWN]
+
+
+def test_and_output_zero_unjustifiable_conflicts():
+    with pytest.raises(Conflict):
+        propagate_gate(GateType.AND, ZERO, [ONE, ONE])
+
+
+def test_nand_backward():
+    # NAND out 0 -> all inputs 1.
+    out, ins = propagate_gate(GateType.NAND, ZERO, [UNKNOWN, UNKNOWN])
+    assert ins == [ONE, ONE]
+    # NAND out 1 with all-but-one input 1 -> remaining input 0.
+    _out, ins = propagate_gate(GateType.NAND, ONE, [ONE, UNKNOWN])
+    assert ins == [ONE, ZERO]
+
+
+def test_or_backward():
+    out, ins = propagate_gate(GateType.OR, ZERO, [UNKNOWN, UNKNOWN])
+    assert ins == [ZERO, ZERO]
+    _out, ins = propagate_gate(GateType.OR, ONE, [ZERO, UNKNOWN])
+    assert ins == [ZERO, ONE]
+
+
+def test_nor_backward():
+    out, ins = propagate_gate(GateType.NOR, ONE, [UNKNOWN, UNKNOWN])
+    assert ins == [ZERO, ZERO]
+    _out, ins = propagate_gate(GateType.NOR, ZERO, [ZERO, UNKNOWN])
+    assert ins == [ZERO, ONE]
+
+
+def test_or_satisfied_output_does_not_force():
+    # OR out 1 with one input already 1: the other input stays unknown.
+    _out, ins = propagate_gate(GateType.OR, ONE, [ONE, UNKNOWN])
+    assert ins == [ONE, UNKNOWN]
+
+
+def test_xor_backward_single_unknown():
+    _out, ins = propagate_gate(GateType.XOR, ONE, [ONE, UNKNOWN])
+    assert ins == [ONE, ZERO]
+    _out, ins = propagate_gate(GateType.XNOR, ONE, [ONE, UNKNOWN])
+    assert ins == [ONE, ONE]
+
+
+def test_xor_backward_multiple_unknowns_not_forced():
+    _out, ins = propagate_gate(GateType.XOR, ONE, [UNKNOWN, UNKNOWN])
+    assert ins == [UNKNOWN, UNKNOWN]
+
+
+def test_not_bidirectional():
+    out, ins = propagate_gate(GateType.NOT, UNKNOWN, [ONE])
+    assert out == ZERO
+    out, ins = propagate_gate(GateType.NOT, ZERO, [UNKNOWN])
+    assert ins == [ONE]
+
+
+def test_buf_bidirectional():
+    out, ins = propagate_gate(GateType.BUF, ONE, [UNKNOWN])
+    assert ins == [ONE]
+
+
+def test_buf_conflict():
+    with pytest.raises(Conflict):
+        propagate_gate(GateType.BUF, ONE, [ZERO])
+
+
+def test_const_gate_conflicts_with_opposite_output():
+    with pytest.raises(Conflict):
+        propagate_gate(GateType.CONST0, ONE, [])
+    out, _ins = propagate_gate(GateType.CONST1, UNKNOWN, [])
+    assert out == ONE
+
+
+def test_specified_values_never_change():
+    out, ins = propagate_gate(GateType.OR, ONE, [ONE, ZERO])
+    assert (out, ins) == (ONE, [ONE, ZERO])
+
+
+def test_iterated_local_fixpoint():
+    # Backward then forward in one call: NAND out=1, ins (1, X) forces the
+    # X input to 0, which forward-confirms the output.
+    out, ins = propagate_gate(GateType.NAND, ONE, [ONE, UNKNOWN])
+    assert out == ONE
+    assert ins == [ONE, ZERO]

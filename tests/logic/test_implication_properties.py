@@ -1,0 +1,122 @@
+"""Property-based tests: per-gate implications vs brute-force enumeration.
+
+For a single gate, the set of *models* is the set of binary assignments
+to (inputs, output) satisfying the gate function and consistent with the
+given partial values.  The implication rules must be:
+
+* **sound** -- every value they assign holds in every model;
+* **locally complete for conflicts** -- they raise
+  :class:`~repro.logic.implication.Conflict` exactly when no model
+  exists;
+* **locally complete for implications** -- every position that has the
+  same value in all models gets assigned.  (This stronger property holds
+  for single gates of the supported types and is what makes the frame
+  engine's per-gate steps maximal.)
+"""
+
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro.logic.gates import GateType, eval_gate
+from repro.logic.implication import Conflict, propagate_gate
+from repro.logic.values import ONE, UNKNOWN, ZERO
+
+from tests.helpers import completions
+
+_MULTI = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+values_st = st.sampled_from([ZERO, ONE, UNKNOWN])
+
+
+def _models(gate_type, out, ins):
+    """All binary (out, ins) assignments satisfying the gate and the
+    given partial values."""
+    result = []
+    for in_completion in completions(ins):
+        value = eval_gate(gate_type, list(in_completion))
+        if out == UNKNOWN or out == value:
+            result.append((value, in_completion))
+    return result
+
+
+@given(
+    gate=st.sampled_from(_MULTI),
+    out=values_st,
+    ins=st.lists(values_st, min_size=1, max_size=4),
+)
+def test_propagate_matches_enumeration(gate, out, ins):
+    models = _models(gate, out, ins)
+    try:
+        new_out, new_ins = propagate_gate(gate, out, ins)
+    except Conflict:
+        assert not models, "conflict raised but a model exists"
+        return
+    assert models, "no conflict raised but no model exists"
+    # Soundness + local completeness, position by position.
+    out_values = {m[0] for m in models}
+    if len(out_values) == 1:
+        assert new_out == out_values.pop()
+    else:
+        assert new_out == UNKNOWN
+    for position in range(len(ins)):
+        position_values = {m[1][position] for m in models}
+        if len(position_values) == 1:
+            assert new_ins[position] == position_values.pop()
+        else:
+            assert new_ins[position] == UNKNOWN
+
+
+@given(out=values_st, in0=values_st)
+def test_propagate_not_matches_enumeration(out, in0):
+    models = _models(GateType.NOT, out, [in0])
+    try:
+        new_out, new_ins = propagate_gate(GateType.NOT, out, [in0])
+    except Conflict:
+        assert not models
+        return
+    assert models
+    out_values = {m[0] for m in models}
+    in_values = {m[1][0] for m in models}
+    assert new_out == (out_values.pop() if len(out_values) == 1 else UNKNOWN)
+    assert new_ins[0] == (in_values.pop() if len(in_values) == 1 else UNKNOWN)
+
+
+@given(out=values_st, in0=values_st)
+def test_propagate_buf_matches_enumeration(out, in0):
+    models = _models(GateType.BUF, out, [in0])
+    try:
+        new_out, new_ins = propagate_gate(GateType.BUF, out, [in0])
+    except Conflict:
+        assert not models
+        return
+    assert new_out == new_ins[0] or UNKNOWN in (new_out, new_ins[0])
+
+
+def test_exhaustive_two_input_gates():
+    """Deterministic exhaustive sweep of every 2-input case (no
+    hypothesis shrinking surprises): the same oracle as above."""
+    for gate in _MULTI:
+        for out, a, b in itertools.product((ZERO, ONE, UNKNOWN), repeat=3):
+            models = _models(gate, out, [a, b])
+            try:
+                new_out, new_ins = propagate_gate(gate, out, [a, b])
+            except Conflict:
+                assert not models, (gate, out, a, b)
+                continue
+            assert models, (gate, out, a, b)
+            for position in range(2):
+                position_values = {m[1][position] for m in models}
+                expected = (
+                    position_values.pop()
+                    if len(position_values) == 1
+                    else UNKNOWN
+                )
+                assert new_ins[position] == expected, (gate, out, a, b)

@@ -1,0 +1,88 @@
+"""Tests for the three-valued value algebra."""
+
+import pytest
+
+from repro.logic.values import (
+    ONE,
+    UNKNOWN,
+    ZERO,
+    inv,
+    is_specified,
+    value_from_char,
+    value_to_char,
+    values_from_string,
+    values_to_string,
+)
+
+
+def test_value_constants_are_distinct():
+    assert len({ZERO, ONE, UNKNOWN}) == 3
+
+
+def test_encoding_is_stable():
+    # Lookup tables in the simulators index by these exact integers.
+    assert (ZERO, ONE, UNKNOWN) == (0, 1, 2)
+
+
+def test_inv_of_binary_values():
+    assert inv(ZERO) == ONE
+    assert inv(ONE) == ZERO
+
+
+def test_inv_of_unknown_is_unknown():
+    assert inv(UNKNOWN) == UNKNOWN
+
+
+def test_inv_is_involution():
+    for value in (ZERO, ONE, UNKNOWN):
+        assert inv(inv(value)) == value
+
+
+def test_is_specified():
+    assert is_specified(ZERO)
+    assert is_specified(ONE)
+    assert not is_specified(UNKNOWN)
+
+
+@pytest.mark.parametrize(
+    "char,value",
+    [("0", ZERO), ("1", ONE), ("x", UNKNOWN), ("X", UNKNOWN), ("u", UNKNOWN)],
+)
+def test_value_from_char(char, value):
+    assert value_from_char(char) == value
+
+
+def test_value_from_char_rejects_garbage():
+    with pytest.raises(ValueError):
+        value_from_char("2")
+    with pytest.raises(ValueError):
+        value_from_char("")
+
+
+def test_value_to_char_roundtrip():
+    for value in (ZERO, ONE, UNKNOWN):
+        assert value_from_char(value_to_char(value)) == value
+
+
+def test_value_to_char_rejects_non_values():
+    with pytest.raises(ValueError):
+        value_to_char(3)
+    with pytest.raises(ValueError):
+        value_to_char(-1)
+
+
+def test_values_from_string():
+    assert values_from_string("10x") == [ONE, ZERO, UNKNOWN]
+
+
+def test_values_from_string_skips_whitespace():
+    assert values_from_string(" 1 0\tx ") == [ONE, ZERO, UNKNOWN]
+
+
+def test_values_to_string():
+    assert values_to_string([ONE, ZERO, UNKNOWN]) == "10x"
+
+
+def test_string_roundtrip():
+    text = "010x1x"
+    assert values_to_string(values_from_string(text)) == text

@@ -1,0 +1,61 @@
+"""Tests for cross-campaign fault-level analysis."""
+
+import pytest
+
+from repro.circuits.registry import get_entry
+from repro.experiments.runner import sample_faults
+from repro.faults.collapse import collapse_faults
+from repro.mot.analysis import diff_campaigns, render_diff
+from repro.mot.baseline import BaselineSimulator
+from repro.mot.simulator import ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+
+
+def _campaigns(name="s344_like", cap=120):
+    entry = get_entry(name)
+    circuit = entry.build()
+    faults = sample_faults(collapse_faults(circuit), cap)
+    patterns = random_patterns(
+        circuit.num_inputs, entry.sequence_length, seed=entry.seed
+    )
+    proposed = ProposedSimulator(circuit, patterns).run(faults)
+    baseline = BaselineSimulator(circuit, patterns).run(faults)
+    return circuit, proposed, baseline
+
+
+def test_diff_counts_partition():
+    _circuit, proposed, baseline = _campaigns()
+    diff = diff_campaigns(proposed, baseline)
+    assert (
+        diff.both_detected
+        + diff.neither_detected
+        + len(diff.only_left)
+        + len(diff.only_right)
+        == proposed.total
+    )
+
+
+def test_containment_proposed_over_baseline():
+    _circuit, proposed, baseline = _campaigns()
+    diff = diff_campaigns(proposed, baseline)
+    assert diff.containment_holds
+    assert sum(diff.right_failure_modes.values()) == len(diff.only_left)
+
+
+def test_render_diff():
+    circuit, proposed, baseline = _campaigns()
+    diff = diff_campaigns(proposed, baseline)
+    text = render_diff(diff, circuit)
+    assert "campaign diff" in text
+    assert "detected by both" in text
+    assert "VIOLATED" not in text
+
+
+def test_mismatched_campaigns_rejected():
+    _circuit, proposed, baseline = _campaigns(cap=40)
+    shorter = type(baseline)(
+        circuit_name=baseline.circuit_name,
+        verdicts=baseline.verdicts[:-1],
+    )
+    with pytest.raises(ValueError):
+        diff_campaigns(proposed, shorter)

@@ -1,0 +1,93 @@
+"""Tests for the [4] baseline simulator."""
+
+import pytest
+
+from repro.circuits.library import s27
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.logic.values import ONE
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.patterns.random_gen import random_patterns
+
+from tests.helpers import toggle_circuit
+
+
+def test_toggle_fault_detected_by_expansion():
+    circuit = toggle_circuit()
+    verdict = BaselineSimulator(circuit, [[1]] * 6).simulate_fault(
+        Fault(circuit.line_id("Z"), ONE)
+    )
+    assert verdict.status == "mot"
+    assert verdict.how == "expansion"
+    assert verdict.num_expansions >= 1
+
+
+def test_conventional_short_circuit():
+    circuit = s27()
+    verdict = BaselineSimulator(
+        circuit, random_patterns(4, 16, seed=0)
+    ).simulate_fault(Fault(circuit.line_id("G17"), 0))
+    assert verdict.status == "conv"
+
+
+def test_condition_c_drop():
+    circuit = toggle_circuit()
+    verdict = BaselineSimulator(circuit, [[1]] * 4).simulate_fault(
+        Fault(circuit.line_id("Z"), 0)
+    )
+    assert verdict.status == "dropped"
+
+
+def test_abort_flag_when_limit_hit():
+    """With a sequence limit of 2 the toggle fault still resolves (one
+    variable suffices), but with limit 1 nothing can be expanded."""
+    circuit = toggle_circuit()
+    config = BaselineConfig(n_states=1)
+    verdict = BaselineSimulator(circuit, [[1]] * 6, config).simulate_fault(
+        Fault(circuit.line_id("Z"), ONE)
+    )
+    assert verdict.status == "undetected"
+
+
+def test_iterative_schedule_also_detects():
+    circuit = toggle_circuit()
+    config = BaselineConfig(schedule="iterative")
+    verdict = BaselineSimulator(circuit, [[1]] * 6, config).simulate_fault(
+        Fault(circuit.line_id("Z"), ONE)
+    )
+    assert verdict.status == "mot"
+
+
+def test_unknown_schedule_rejected():
+    with pytest.raises(ValueError):
+        BaselineSimulator(
+            toggle_circuit(), [[1]], BaselineConfig(schedule="magic")
+        )
+
+
+def test_campaign_statuses():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    campaign = BaselineSimulator(circuit, random_patterns(4, 24, seed=1)).run(
+        faults
+    )
+    assert campaign.total == len(faults)
+    assert {v.status for v in campaign.verdicts} <= {
+        "conv",
+        "mot",
+        "dropped",
+        "undetected",
+    }
+
+
+def test_no_counters_for_baseline():
+    """The baseline has no backward implications, so its Table-3 counters
+    stay zero -- the paper's point about the N_extra ceiling."""
+    circuit = toggle_circuit()
+    campaign = BaselineSimulator(circuit, [[1]] * 6).run(
+        collapse_faults(circuit)
+    )
+    for verdict in campaign.verdicts:
+        assert verdict.counters.n_det == 0
+        assert verdict.counters.n_conf == 0
+        assert verdict.counters.n_extra == 0

@@ -1,0 +1,77 @@
+"""Tests for N_sv / N_out and the necessary condition (C)."""
+
+import pytest
+
+from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.mot.conditions import mot_profile
+
+
+def test_table_1a_example():
+    """The paper's Table 1(a): N_out(0)=4, N_out(1)=3, N_out(2)=1,
+    N_out(3)=0."""
+    reference_outputs = [
+        [UNKNOWN, UNKNOWN, ZERO],
+        [ZERO, UNKNOWN, ONE],
+        [ONE, ONE, ONE],
+        [ZERO, ONE, ONE],
+    ]
+    faulty_outputs = [
+        [UNKNOWN, ZERO, UNKNOWN],
+        [UNKNOWN, UNKNOWN, UNKNOWN],
+        [ONE, UNKNOWN, ONE],
+        [ZERO, ONE, ONE],
+    ]
+    faulty_states = [
+        [UNKNOWN, UNKNOWN],
+        [UNKNOWN, UNKNOWN],
+        [ZERO, UNKNOWN],
+        [UNKNOWN, ONE],
+        [UNKNOWN, UNKNOWN],
+    ]
+    profile = mot_profile(faulty_states, reference_outputs, faulty_outputs)
+    assert profile.n_out == [4, 3, 1, 0, 0]
+    assert profile.length == 4
+    assert profile.condition_c()
+
+
+def test_n_sv_counts_unknowns():
+    profile = mot_profile(
+        faulty_states=[[UNKNOWN, ZERO], [ONE, ONE], [UNKNOWN, UNKNOWN]],
+        reference_outputs=[[ONE], [ZERO]],
+        faulty_outputs=[[UNKNOWN], [UNKNOWN]],
+    )
+    assert profile.n_sv == [1, 0, 2]
+
+
+def test_condition_c_fails_when_everything_specified():
+    profile = mot_profile(
+        faulty_states=[[ZERO], [ONE]],
+        reference_outputs=[[ONE]],
+        faulty_outputs=[[UNKNOWN]],
+    )
+    assert not profile.condition_c()
+
+
+def test_condition_c_fails_without_resolvable_outputs():
+    profile = mot_profile(
+        faulty_states=[[UNKNOWN], [UNKNOWN]],
+        reference_outputs=[[UNKNOWN]],
+        faulty_outputs=[[UNKNOWN]],
+    )
+    assert not profile.condition_c()
+
+
+def test_faulty_specified_where_reference_unspecified_does_not_count():
+    profile = mot_profile(
+        faulty_states=[[UNKNOWN], [UNKNOWN]],
+        reference_outputs=[[UNKNOWN]],
+        faulty_outputs=[[ONE]],
+    )
+    assert profile.n_out == [0, 0]
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        mot_profile([[0], [0]], [[1], [1]], [[1]])
+    with pytest.raises(ValueError):
+        mot_profile([[0]], [[1]], [[1]])

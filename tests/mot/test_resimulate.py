@@ -1,0 +1,127 @@
+"""Tests for Section 3.4 resimulation."""
+
+from repro.faults.injection import inject_fault
+from repro.faults.model import Fault
+from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.mot.expansion import StateSequence
+from repro.mot.resimulate import SequenceStatus, resimulate_sequence
+from repro.sim.sequential import simulate_injected, simulate_sequence
+
+from tests.helpers import loop_circuit, pair_circuit, toggle_circuit
+
+
+def _sequence_from(states):
+    return StateSequence(states=[list(row) for row in states])
+
+
+def test_unresolved_when_nothing_marked():
+    circuit = toggle_circuit()
+    injected = inject_fault(circuit, Fault(circuit.line_id("Z"), ONE))
+    patterns = [[1]] * 4
+    reference = simulate_sequence(circuit, patterns)
+    faulty = simulate_injected(injected, patterns)
+    seq = _sequence_from(faulty.states)
+    status = resimulate_sequence(
+        injected.circuit, patterns, reference.outputs, seq, injected.forced_ps
+    )
+    assert status is SequenceStatus.UNRESOLVED
+
+
+def test_detection_after_specifying_state():
+    """Specifying Q = 1 at time 0 on the faulty toggle circuit makes the
+    output 1 against a reference of 0."""
+    circuit = toggle_circuit()
+    injected = inject_fault(circuit, Fault(circuit.line_id("Z"), ONE))
+    patterns = [[1]] * 4
+    reference = simulate_sequence(circuit, patterns)
+    faulty = simulate_injected(injected, patterns)
+    seq = _sequence_from(faulty.states)
+    seq.assign(0, 0, ONE)
+    status = resimulate_sequence(
+        injected.circuit, patterns, reference.outputs, seq, injected.forced_ps
+    )
+    assert status is SequenceStatus.DETECTED
+
+
+def test_detection_propagates_forward():
+    """Q = 0 at time 0 detects one cycle later (Q toggles to 1)."""
+    circuit = toggle_circuit()
+    injected = inject_fault(circuit, Fault(circuit.line_id("Z"), ONE))
+    patterns = [[1]] * 4
+    reference = simulate_sequence(circuit, patterns)
+    faulty = simulate_injected(injected, patterns)
+    seq = _sequence_from(faulty.states)
+    seq.assign(0, 0, ZERO)
+    status = resimulate_sequence(
+        injected.circuit, patterns, reference.outputs, seq, injected.forced_ps
+    )
+    assert status is SequenceStatus.DETECTED
+    # The forward propagation also filled in later state values.
+    assert seq.states[1][0] == ONE
+
+
+def test_infeasible_sequence_dropped():
+    """A state assignment contradicting the circuit's own next-state
+    function is recognized as infeasible."""
+    circuit = loop_circuit()  # Q' = AND(NOT Q, EN)
+    # Observed-output stuck-at-1 agrees with the reference (O = 1 under
+    # EN = 1), so no detection interferes with the infeasibility check.
+    injected = inject_fault(
+        circuit,
+        Fault(
+            circuit.line_id("O"),
+            ONE,
+            next(
+                p
+                for p in circuit.fanout_pins[circuit.line_id("O")]
+                if p.kind == "output"
+            ),
+        ),
+    )
+    patterns = [[1], [1]]
+    reference = simulate_sequence(circuit, patterns)
+    faulty = simulate_injected(injected, patterns)
+    seq = _sequence_from(faulty.states)
+    # Q=1 at time 0 forces Q=0 at time 1; assigning Q=1 at both times is
+    # infeasible.
+    seq.assign(0, 0, ONE)
+    seq.assign(1, 0, ONE)
+    status = resimulate_sequence(
+        injected.circuit, patterns, reference.outputs, seq, injected.forced_ps
+    )
+    assert status is SequenceStatus.INFEASIBLE
+
+
+def test_resimulation_only_touches_marked_units():
+    circuit = pair_circuit()
+    injected = inject_fault(circuit, Fault(circuit.line_id("O"), ONE))
+    patterns = [[0, 0]] * 3
+    reference = simulate_sequence(circuit, patterns)
+    faulty = simulate_injected(injected, patterns)
+    seq = _sequence_from(faulty.states)
+    # Nothing marked: no work, no crash, unresolved.
+    assert (
+        resimulate_sequence(
+            injected.circuit,
+            patterns,
+            reference.outputs,
+            seq,
+            injected.forced_ps,
+        )
+        is SequenceStatus.UNRESOLVED
+    )
+    assert seq.marked == set()
+
+
+def test_marked_at_sequence_end_is_harmless():
+    circuit = pair_circuit()
+    injected = inject_fault(circuit, Fault(circuit.line_id("O"), ONE))
+    patterns = [[0, 0]] * 2
+    reference = simulate_sequence(circuit, patterns)
+    faulty = simulate_injected(injected, patterns)
+    seq = _sequence_from(faulty.states)
+    seq.assign(2, 0, ONE)  # time unit L: no frame to simulate
+    status = resimulate_sequence(
+        injected.circuit, patterns, reference.outputs, seq, injected.forced_ps
+    )
+    assert status is SequenceStatus.UNRESOLVED

@@ -1,0 +1,124 @@
+"""Tests for unrestricted MOT simulation (fault-free expansion)."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.bench import parse_bench
+from repro.circuits.generators import random_moore
+from repro.faults.model import Fault
+from repro.faults.sites import all_faults
+from repro.logic.values import UNKNOWN, ZERO
+from repro.mot.simulator import ProposedSimulator
+from repro.mot.unrestricted import (
+    UnrestrictedConfig,
+    UnrestrictedSimulator,
+    expand_fault_free_references,
+)
+from repro.patterns.random_gen import random_patterns
+from repro.verify.exhaustive import (
+    exhaustive_restricted_mot,
+    exhaustive_unrestricted_mot,
+)
+
+#: Fault-free: the output follows a toggling flop (responses 0101... or
+#: 1010... depending on the unknown initial state).  With A stuck at 0
+#: the flop holds instead (responses 0000... or 1111...).  The response
+#: sets are disjoint -- detected under unrestricted MOT -- but the single
+#: three-valued reference is all-x, so the restricted approach cannot
+#: detect anything.
+TOGGLE_OBS = """
+INPUT(A)
+OUTPUT(O)
+Q = DFF(QN)
+QN = XOR(Q, A)
+O = BUFF(Q)
+"""
+
+
+def _circuit():
+    return parse_bench(TOGGLE_OBS, "toggle_obs")
+
+
+def test_reference_expansion_produces_specified_outputs():
+    circuit = _circuit()
+    references = expand_fault_free_references(circuit, [[1]] * 4, 8)
+    assert len(references) == 2
+    flat = [tuple(v for row in r for v in row) for r in references]
+    assert (0, 1, 0, 1) in flat
+    assert (1, 0, 1, 0) in flat
+
+
+def test_reference_expansion_covers_every_response():
+    """Every concrete fault-free response must complete one reference."""
+    import itertools
+
+    from repro.sim.sequential import simulate_sequence
+
+    circuit = _circuit()
+    patterns = [[1]] * 4
+    references = expand_fault_free_references(circuit, patterns, 8)
+    for q0 in (0, 1):
+        run = simulate_sequence(circuit, patterns, initial_state=[q0])
+        assert any(
+            all(
+                ref[u][o] in (UNKNOWN, run.outputs[u][o])
+                for u in range(4)
+                for o in range(1)
+            )
+            for ref in references
+        )
+
+
+def test_unrestricted_detects_what_restricted_cannot():
+    circuit = _circuit()
+    patterns = [[1]] * 4
+    fault = Fault(circuit.line_id("A"), ZERO, None)
+    # Ground truth: unrestricted-detectable, not restricted-detectable.
+    assert exhaustive_unrestricted_mot(circuit, fault, patterns)
+    assert not exhaustive_restricted_mot(circuit, fault, patterns)
+    # Simulators agree.
+    restricted = ProposedSimulator(circuit, patterns).simulate_fault(fault)
+    assert not restricted.detected
+    unrestricted = UnrestrictedSimulator(circuit, patterns).simulate_fault(fault)
+    assert unrestricted.status == "mot"
+    assert unrestricted.how == "unrestricted"
+
+
+def test_unrestricted_subsumes_restricted_detections():
+    circuit = _circuit()
+    patterns = [[1], [0], [1], [1]]
+    faults = all_faults(circuit)
+    restricted = ProposedSimulator(circuit, patterns).run(faults)
+    unrestricted = UnrestrictedSimulator(circuit, patterns).run(faults)
+    for r_verdict, u_verdict in zip(restricted.verdicts, unrestricted.verdicts):
+        if r_verdict.detected:
+            assert u_verdict.detected, r_verdict.fault.describe(circuit)
+
+
+def test_reference_limit_respected():
+    circuit = random_moore(3, num_inputs=2, num_flops=5, num_gates=20)
+    patterns = random_patterns(2, 6, seed=0)
+    config = UnrestrictedConfig(n_references=4)
+    simulator = UnrestrictedSimulator(circuit, patterns, config)
+    assert simulator.n_references <= 4
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 50_000),
+    pattern_seed=st.integers(0, 500),
+    fault_index=st.integers(0, 5_000),
+)
+def test_unrestricted_soundness_random(seed, pattern_seed, fault_index):
+    """Unrestricted detections must satisfy the disjoint-response-set
+    definition (exhaustive oracle)."""
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=14)
+    patterns = random_patterns(2, 6, seed=pattern_seed)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    verdict = UnrestrictedSimulator(circuit, patterns).simulate_fault(fault)
+    if verdict.detected:
+        assert exhaustive_unrestricted_mot(circuit, fault, patterns)

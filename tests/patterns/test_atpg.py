@@ -1,0 +1,74 @@
+"""Tests for the PODEM-driven deterministic sequence builder."""
+
+from repro.circuits.library import s27
+from repro.circuits.registry import build_circuit
+from repro.faults.collapse import collapse_faults
+from repro.fsim.conventional import run_conventional
+from repro.patterns.atpg import podem_deterministic_sequence
+from repro.patterns.random_gen import random_patterns
+
+from tests.helpers import toggle_circuit
+
+
+def test_deterministic_for_seed():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    a = podem_deterministic_sequence(circuit, faults, max_length=12, seed=4)
+    b = podem_deterministic_sequence(circuit, faults, max_length=12, seed=4)
+    assert a.patterns == b.patterns
+    assert [f.describe(circuit) for f in a.detected] == [
+        f.describe(circuit) for f in b.detected
+    ]
+
+
+def test_incremental_detection_matches_full_simulation():
+    """The incremental per-fault state tracking must agree with a full
+    conventional re-simulation of the produced sequence."""
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    result = podem_deterministic_sequence(circuit, faults, max_length=16, seed=1)
+    campaign = run_conventional(circuit, faults, result.patterns)
+    full = {v.fault for v in campaign.verdicts if v.detected}
+    assert set(result.detected) == full
+
+
+def test_uses_podem_patterns():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    result = podem_deterministic_sequence(circuit, faults, max_length=16, seed=0)
+    assert result.deterministic_patterns > 0
+    assert len(result.patterns) <= 16
+
+
+def test_beats_or_matches_random_coverage():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    result = podem_deterministic_sequence(circuit, faults, max_length=16, seed=2)
+    det_cov = len(result.detected)
+    rand_cov = run_conventional(
+        circuit, faults, random_patterns(4, len(result.patterns), seed=2)
+    ).detected
+    assert det_cov >= rand_cov
+
+
+def test_stops_when_all_detected():
+    circuit = s27()
+    faults = [
+        f
+        for f in collapse_faults(circuit)
+        # an easily detectable target: the output inverter stuck-at-0
+        if f.describe(circuit) == "G17/0"
+    ]
+    result = podem_deterministic_sequence(circuit, faults, max_length=32, seed=0)
+    assert set(result.detected) == set(faults)
+    assert len(result.patterns) < 32
+
+
+def test_runs_on_standin_sample():
+    circuit = build_circuit("s208_like")
+    faults = collapse_faults(circuit)[::9]
+    result = podem_deterministic_sequence(
+        circuit, faults, max_length=20, targets_per_step=3, seed=5
+    )
+    assert len(result.patterns) <= 20
+    assert result.detected

@@ -1,0 +1,74 @@
+"""Tests for static test-sequence compaction."""
+
+from repro.circuits.library import s27
+from repro.faults.collapse import collapse_faults
+from repro.fsim.conventional import run_conventional
+from repro.patterns.compaction import (
+    last_useful_pattern,
+    omit_patterns,
+    truncate_sequence,
+)
+from repro.patterns.random_gen import random_patterns
+
+
+def _setup(length=48, seed=0):
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(4, length, seed=seed)
+    return circuit, faults, patterns
+
+
+def _coverage(circuit, faults, patterns):
+    return {
+        v.fault
+        for v in run_conventional(circuit, faults, patterns).verdicts
+        if v.detected
+    }
+
+
+def test_last_useful_pattern_bounds():
+    circuit, faults, patterns = _setup()
+    last = last_useful_pattern(circuit, faults, patterns)
+    assert -1 <= last < len(patterns)
+
+
+def test_truncation_preserves_coverage():
+    circuit, faults, patterns = _setup()
+    full = _coverage(circuit, faults, patterns)
+    truncated = truncate_sequence(circuit, faults, patterns)
+    assert len(truncated) <= len(patterns)
+    assert _coverage(circuit, faults, truncated) == full
+
+
+def test_truncation_is_tight():
+    """One pattern fewer than the truncation point loses coverage."""
+    circuit, faults, patterns = _setup()
+    truncated = truncate_sequence(circuit, faults, patterns)
+    if truncated:
+        full = _coverage(circuit, faults, truncated)
+        shorter = _coverage(circuit, faults, truncated[:-1])
+        assert shorter != full
+
+
+def test_omission_preserves_coverage():
+    circuit, faults, patterns = _setup(length=32, seed=3)
+    full = _coverage(circuit, faults, patterns)
+    compacted, omitted = omit_patterns(circuit, faults, patterns)
+    assert len(compacted) + omitted == len(patterns)
+    assert _coverage(circuit, faults, compacted) >= full
+
+
+def test_omission_actually_shrinks_random_sequences():
+    """Random sequences on s27 are redundant; compaction must find some
+    slack."""
+    circuit, faults, patterns = _setup(length=40, seed=5)
+    compacted, omitted = omit_patterns(circuit, faults, patterns)
+    assert omitted > 0
+    assert len(compacted) < len(patterns)
+
+
+def test_empty_and_useless_sequences():
+    circuit, faults, _ = _setup()
+    assert truncate_sequence(circuit, faults, []) == []
+    compacted, omitted = omit_patterns(circuit, faults, [])
+    assert compacted == [] and omitted == 0

@@ -1,0 +1,147 @@
+"""Tests for the PODEM engine against brute-force enumeration."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.bench import parse_bench
+from repro.circuits.generators import random_moore
+from repro.circuits.library import s27
+from repro.faults.injection import inject_fault
+from repro.faults.model import Fault
+from repro.faults.sites import all_faults
+from repro.logic.values import UNKNOWN
+from repro.patterns.podem import podem_frame
+from repro.sim.frame import eval_frame
+
+
+def _frame_detects(circuit, injected, pi_values, state):
+    good = eval_frame(circuit, pi_values, state)
+    faulty = eval_frame(injected.circuit, pi_values, state)
+    for g_line, f_line in zip(circuit.outputs, injected.circuit.outputs):
+        g, f = good[g_line], faulty[f_line]
+        if g != UNKNOWN and f != UNKNOWN and g != f:
+            return True
+    return False
+
+
+def _brute_force_testable(circuit, fault, state):
+    injected = inject_fault(circuit, fault)
+    for bits in itertools.product((0, 1), repeat=circuit.num_inputs):
+        if _frame_detects(circuit, injected, list(bits), state):
+            return True
+    return False
+
+
+def _check_podem_matches_brute_force(circuit, state, faults):
+    for fault in faults:
+        truth = _brute_force_testable(circuit, fault, state)
+        result = podem_frame(circuit, fault, state, max_backtracks=400)
+        if result.success:
+            # The returned assignment must genuinely detect (complete X
+            # inputs both ways).
+            injected = inject_fault(circuit, fault)
+            free = [
+                k for k, v in enumerate(result.assignment) if v == UNKNOWN
+            ]
+            for bits in itertools.product((0, 1), repeat=len(free)):
+                assignment = list(result.assignment)
+                for k, bit in zip(free, bits):
+                    assignment[k] = bit
+                assert _frame_detects(circuit, injected, assignment, state)
+            assert truth
+        else:
+            # PODEM is complete on these sizes (no backtrack-limit
+            # aborts): failure must mean untestable.
+            assert not truth, fault.describe(circuit)
+
+
+def test_podem_combinational_exhaustive():
+    circuit = parse_bench(
+        """
+        INPUT(a)
+        INPUT(b)
+        INPUT(c)
+        OUTPUT(y)
+        OUTPUT(z)
+        n1 = NAND(a, b)
+        n2 = NOR(b, c)
+        y = XOR(n1, n2)
+        z = AND(n1, c)
+        """,
+        "comb3",
+    )
+    _check_podem_matches_brute_force(circuit, [], all_faults(circuit))
+
+
+def test_podem_with_redundant_logic():
+    """Faults on the consensus term are untestable; PODEM must prove it."""
+    circuit = parse_bench(
+        """
+        INPUT(x)
+        INPUT(y)
+        OUTPUT(o)
+        nx = NOT(x)
+        t1 = AND(x, y)
+        t2 = AND(nx, y)
+        t3 = AND(x, x)
+        o = OR(t1, t2, t3)
+        """,
+        "redundant",
+    )
+    # t1 stuck-at-0 is redundant here? Check against brute force instead
+    # of hand-reasoning: the helper asserts agreement either way.
+    _check_podem_matches_brute_force(circuit, [], all_faults(circuit))
+
+
+def test_podem_s27_frame_with_known_state():
+    circuit = s27()
+    state = [0, 1, 0]
+    _check_podem_matches_brute_force(circuit, state, all_faults(circuit))
+
+
+def test_podem_s27_frame_with_unknown_state():
+    """With all-X state the present-state cones are uncontrollable; PODEM
+    must still agree with brute force over PI assignments."""
+    circuit = s27()
+    state = [UNKNOWN] * 3
+    _check_podem_matches_brute_force(circuit, state, all_faults(circuit))
+
+
+def test_assignment_width_and_values():
+    circuit = s27()
+    result = podem_frame(circuit, Fault(circuit.line_id("G17"), 0), [0, 1, 0])
+    assert len(result.assignment) == 4
+    assert all(v in (0, 1, UNKNOWN) for v in result.assignment)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 50_000),
+    fault_index=st.integers(0, 5_000),
+    data=st.data(),
+)
+def test_podem_property_random_frames(seed, fault_index, data):
+    circuit = random_moore(seed, num_inputs=3, num_flops=2, num_gates=12)
+    faults = all_faults(circuit)
+    fault = faults[fault_index % len(faults)]
+    state = data.draw(
+        st.lists(
+            st.sampled_from([0, 1, UNKNOWN]), min_size=2, max_size=2
+        )
+    )
+    truth = _brute_force_testable(circuit, fault, state)
+    result = podem_frame(circuit, fault, state, max_backtracks=500)
+    if result.success:
+        assert truth
+        injected = inject_fault(circuit, fault)
+        assignment = [
+            v if v != UNKNOWN else 0 for v in result.assignment
+        ]
+        assert _frame_detects(circuit, injected, assignment, state)
+    else:
+        assert not truth

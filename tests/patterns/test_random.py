@@ -1,0 +1,52 @@
+"""Tests for random test-sequence generation."""
+
+import pytest
+
+from repro.patterns.random_gen import random_patterns, weighted_random_patterns
+
+
+def test_dimensions():
+    patterns = random_patterns(5, 12, seed=0)
+    assert len(patterns) == 12
+    assert all(len(p) == 5 for p in patterns)
+
+
+def test_binary_values_only():
+    for pattern in random_patterns(4, 50, seed=1):
+        assert set(pattern) <= {0, 1}
+
+
+def test_deterministic_per_seed():
+    assert random_patterns(4, 20, seed=7) == random_patterns(4, 20, seed=7)
+    assert random_patterns(4, 20, seed=7) != random_patterns(4, 20, seed=8)
+
+
+def test_rejects_negative_dimensions():
+    with pytest.raises(ValueError):
+        random_patterns(-1, 4)
+    with pytest.raises(ValueError):
+        random_patterns(4, -1)
+
+
+def test_weighted_bias():
+    heavy = weighted_random_patterns(8, 200, one_probability=0.9, seed=0)
+    light = weighted_random_patterns(8, 200, one_probability=0.1, seed=0)
+    assert sum(map(sum, heavy)) > sum(map(sum, light))
+
+
+def test_weighted_bounds_checked():
+    with pytest.raises(ValueError):
+        weighted_random_patterns(4, 4, one_probability=1.5)
+
+
+def test_weighted_extremes():
+    assert all(
+        bit == 1
+        for p in weighted_random_patterns(3, 10, one_probability=1.0)
+        for bit in p
+    )
+    assert all(
+        bit == 0
+        for p in weighted_random_patterns(3, 10, one_probability=0.0)
+        for bit in p
+    )

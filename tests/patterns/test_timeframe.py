@@ -1,0 +1,97 @@
+"""Tests for time-frame-expansion sequential test generation."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits.generators import random_moore
+from repro.circuits.library import s27
+from repro.faults.injection import inject_fault
+from repro.faults.model import Fault
+from repro.faults.sites import all_faults
+from repro.patterns.timeframe import generate_sequential_test
+from repro.sim.sequential import (
+    outputs_conflict,
+    simulate_injected,
+    simulate_sequence,
+)
+
+
+def _conventionally_detects(circuit, fault, patterns):
+    reference = simulate_sequence(circuit, patterns)
+    response = simulate_injected(inject_fault(circuit, fault), patterns)
+    return outputs_conflict(reference.outputs, response.outputs) is not None
+
+
+def _brute_force_testable(circuit, fault, frames):
+    """Does ANY sequence of this length conventionally detect the fault?"""
+    for flat in itertools.product((0, 1), repeat=frames * circuit.num_inputs):
+        patterns = [
+            list(flat[f * circuit.num_inputs: (f + 1) * circuit.num_inputs])
+            for f in range(frames)
+        ]
+        if _conventionally_detects(circuit, fault, patterns):
+            return True
+    return False
+
+
+def test_generated_tests_verified_on_s27():
+    """Every test the generator finds must really detect the fault
+    conventionally (from the all-unknown state)."""
+    circuit = s27()
+    found = 0
+    for fault in all_faults(circuit):
+        if fault.pin is not None:
+            continue
+        test = generate_sequential_test(circuit, fault, max_frames=4)
+        if test is not None:
+            found += 1
+            assert len(test.patterns) == test.frames
+            assert _conventionally_detects(circuit, fault, test.patterns)
+    assert found >= 5, "expected tests for several s27 faults"
+
+
+def test_branch_faults_return_none():
+    circuit = s27()
+    line = circuit.line_id("G11")
+    pin = circuit.fanout_pins[line][0]
+    assert generate_sequential_test(circuit, Fault(line, 0, pin)) is None
+
+
+def test_multi_frame_needed_for_state_faults():
+    """Some s27 faults need more than one frame (state must first be
+    set up); the generator finds multi-frame tests for at least one."""
+    circuit = s27()
+    multi = [
+        test
+        for fault in all_faults(circuit)
+        if fault.pin is None
+        for test in [generate_sequential_test(circuit, fault, max_frames=4)]
+        if test is not None and test.frames > 1
+    ]
+    assert multi, "expected at least one multi-frame test"
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 20_000),
+    fault_index=st.integers(0, 1_000),
+)
+def test_soundness_and_completeness_random(seed, fault_index):
+    """Generated tests verify; 2-frame failures imply no 1-frame test
+    exists (PODEM is complete per window on these sizes)."""
+    circuit = random_moore(seed, num_inputs=2, num_flops=2, num_gates=10)
+    stems = [f for f in all_faults(circuit) if f.pin is None]
+    fault = stems[fault_index % len(stems)]
+    test = generate_sequential_test(
+        circuit, fault, max_frames=2, max_backtracks=2000
+    )
+    if test is not None:
+        assert _conventionally_detects(circuit, fault, test.patterns)
+    else:
+        assert not _brute_force_testable(circuit, fault, 1)
+        assert not _brute_force_testable(circuit, fault, 2)

@@ -1,0 +1,104 @@
+"""Tests for single-frame evaluation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.generators import random_moore
+from repro.circuits.library import s27
+from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.sim.frame import eval_frame, frame_plan
+
+from tests.helpers import comb_circuit, completions, consistent
+
+
+def test_eval_frame_comb():
+    circuit = comb_circuit()
+    values = eval_frame(circuit, [1, 1], [])
+    assert values[circuit.line_id("N")] == ZERO
+    assert values[circuit.line_id("Y")] == ONE
+
+
+def test_eval_frame_validates_widths():
+    circuit = comb_circuit()
+    with pytest.raises(ValueError):
+        eval_frame(circuit, [1], [])
+    with pytest.raises(ValueError):
+        eval_frame(circuit, [1, 1], [0])
+
+
+def test_eval_frame_unknown_state_s27():
+    # Paper Figure 1: input (G0..G3) = 1,0,1,1, state all-X -> every
+    # next-state line and the output stay unspecified.
+    circuit = s27()
+    values = eval_frame(circuit, [1, 0, 1, 1], [UNKNOWN] * 3)
+    for name in ("G10", "G11", "G13", "G17"):
+        assert values[circuit.line_id(name)] == UNKNOWN
+
+
+def test_frame_plan_cached():
+    circuit = comb_circuit()
+    assert frame_plan(circuit) is frame_plan(circuit)
+
+
+def test_plan_covers_all_gates():
+    circuit = s27()
+    assert len(frame_plan(circuit)) == circuit.num_gates
+
+
+def _brute_force_frame(circuit, pi_values, ps_values):
+    """Abstraction oracle: join of all binary completions."""
+    source_vals = list(pi_values) + list(ps_values)
+    joined = None
+    for completion in completions(source_vals):
+        pis = completion[: len(pi_values)]
+        pss = completion[len(pi_values):]
+        values = eval_frame(circuit, list(pis), list(pss))
+        if joined is None:
+            joined = list(values)
+        else:
+            joined = [
+                a if a == b else UNKNOWN for a, b in zip(joined, values)
+            ]
+    return joined
+
+
+def test_three_valued_frame_is_abstraction_s27():
+    """Whenever the 3v frame specifies a line, every binary completion of
+    the unknown sources computes that same value."""
+    circuit = s27()
+    for pattern in ([1, 0, 1, 1], [0, 1, 0, 1], [1, 1, 1, 0]):
+        for state in ([UNKNOWN] * 3, [0, UNKNOWN, 1], [UNKNOWN, 1, UNKNOWN]):
+            values = eval_frame(circuit, pattern, state)
+            for line, (got, exact) in enumerate(
+                zip(values, _brute_force_frame(circuit, pattern, state))
+            ):
+                if got != UNKNOWN:
+                    assert got == exact, circuit.line_names[line]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    data=st.data(),
+)
+def test_three_valued_frame_is_abstraction_random(seed, data):
+    """Property form on random Moore machines: 3v eval never specifies a
+    value that some completion contradicts."""
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=12)
+    pis = data.draw(
+        st.lists(
+            st.sampled_from([ZERO, ONE]), min_size=2, max_size=2
+        )
+    )
+    state = data.draw(
+        st.lists(
+            st.sampled_from([ZERO, ONE, UNKNOWN]), min_size=3, max_size=3
+        )
+    )
+    values = eval_frame(circuit, pis, state)
+    exact = _brute_force_frame(circuit, pis, state)
+    for got, truth in zip(values, exact):
+        if got != UNKNOWN:
+            assert got == truth

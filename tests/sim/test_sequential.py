@@ -1,0 +1,116 @@
+"""Tests for sequential (multi-frame) simulation."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.library import s27
+from repro.faults.injection import inject_fault
+from repro.faults.model import Fault
+from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.sim.sequential import (
+    outputs_conflict,
+    simulate_injected,
+    simulate_sequence,
+)
+
+from tests.helpers import loop_circuit, pair_circuit, toggle_circuit
+
+
+def test_lengths():
+    circuit = pair_circuit()
+    result = simulate_sequence(circuit, [[0, 1]] * 5)
+    assert result.length == 5
+    assert len(result.states) == 6
+    assert len(result.outputs) == 5
+    assert result.frames is None
+
+
+def test_keep_frames():
+    circuit = pair_circuit()
+    result = simulate_sequence(circuit, [[0, 1]] * 3, keep_frames=True)
+    assert result.frames is not None
+    assert len(result.frames) == 3
+    assert all(len(f) == circuit.num_lines for f in result.frames)
+
+
+def test_default_initial_state_is_unknown():
+    result = simulate_sequence(pair_circuit(), [[1, 0]])
+    assert result.states[0] == [UNKNOWN, UNKNOWN]
+
+
+def test_explicit_initial_state():
+    circuit = loop_circuit()
+    result = simulate_sequence(circuit, [[1], [1], [1]], initial_state=[0])
+    # D = AND(NOT Q, EN): Q alternates 0,1,0,1 under EN=1.
+    assert [row[0] for row in result.states] == [0, 1, 0, 1]
+    # O = OR(Q, EN) = 1 under EN=1.
+    assert [row[0] for row in result.outputs] == [1, 1, 1]
+
+
+def test_initial_state_width_checked():
+    with pytest.raises(ValueError):
+        simulate_sequence(pair_circuit(), [[0, 0]], initial_state=[0])
+
+
+def test_state_consistency_with_frames():
+    circuit = pair_circuit()
+    result = simulate_sequence(
+        circuit, [[1, 0], [0, 1], [1, 1]], keep_frames=True
+    )
+    for u in range(result.length):
+        for flop_index, flop in enumerate(circuit.flops):
+            assert result.states[u + 1][flop_index] == result.frames[u][flop.ns]
+
+
+def test_binary_simulation_stays_binary():
+    circuit = toggle_circuit()
+    result = simulate_sequence(circuit, [[1]] * 8, initial_state=[1])
+    for row in result.states:
+        assert UNKNOWN not in row
+    for row in result.outputs:
+        assert UNKNOWN not in row
+
+
+def test_abstraction_over_initial_states():
+    """3v simulation from all-X is an abstraction of every binary run."""
+    circuit = s27()
+    patterns = [[1, 0, 1, 1], [0, 1, 1, 0], [1, 1, 0, 1], [0, 0, 1, 1]]
+    unknown_run = simulate_sequence(circuit, patterns)
+    for bits in itertools.product((0, 1), repeat=3):
+        run = simulate_sequence(circuit, patterns, initial_state=list(bits))
+        for u in range(len(patterns)):
+            for a, b in zip(unknown_run.outputs[u], run.outputs[u]):
+                if a != UNKNOWN:
+                    assert a == b
+            for a, b in zip(unknown_run.states[u + 1], run.states[u + 1]):
+                if a != UNKNOWN:
+                    assert a == b
+
+
+def test_forced_ps_pins_state():
+    circuit = toggle_circuit()
+    injected = inject_fault(circuit, Fault(circuit.line_id("Q"), ONE, None))
+    assert injected.forced_ps == {0: ONE}
+    result = simulate_injected(injected, [[1]] * 4)
+    assert all(row[0] == ONE for row in result.states)
+
+
+def test_outputs_conflict_detection():
+    ref = [[ONE, ZERO], [UNKNOWN, ONE]]
+    same = [[ONE, UNKNOWN], [ZERO, ONE]]
+    assert outputs_conflict(ref, same) is None
+    differs = [[ONE, ONE], [ZERO, ONE]]
+    assert outputs_conflict(ref, differs) == (0, 1)
+
+
+def test_outputs_conflict_reports_first_site():
+    ref = [[ONE], [ZERO], [ZERO]]
+    resp = [[ONE], [ONE], [ONE]]
+    assert outputs_conflict(ref, resp) == (1, 0)
+
+
+def test_empty_sequence():
+    result = simulate_sequence(pair_circuit(), [])
+    assert result.length == 0
+    assert len(result.states) == 1

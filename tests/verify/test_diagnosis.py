@@ -1,0 +1,106 @@
+"""Tests for fault dictionaries and diagnosis."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits.generators import random_moore
+from repro.circuits.library import s27
+from repro.diagnosis import (
+    build_fault_dictionary,
+    diagnose,
+    observed_from_chip,
+    per_state_signatures,
+)
+from repro.faults.collapse import collapse_faults
+from repro.patterns.random_gen import random_patterns
+
+
+def _dictionary(seed=0, length=24):
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(4, length, seed=seed)
+    return circuit, faults, patterns, build_fault_dictionary(
+        circuit, faults, patterns
+    )
+
+
+def test_dictionary_covers_all_faults():
+    _circuit, faults, _patterns, dictionary = _dictionary()
+    assert dictionary.num_faults == len(faults)
+
+
+def test_true_fault_always_among_candidates():
+    """Diagnosis never eliminates the actual culprit (its observed
+    response completes its three-valued signature by construction)."""
+    circuit, faults, patterns, dictionary = _dictionary()
+    for fault in faults[::3]:
+        for state in ([0, 0, 0], [1, 1, 1], [1, 0, 1]):
+            observed = observed_from_chip(circuit, fault, patterns, state)
+            candidates = diagnose(dictionary, observed)
+            assert any(c.fault == fault for c in candidates), fault.describe(
+                circuit
+            )
+
+
+def test_inconsistent_faults_eliminated():
+    """A chip failing with a strongly observable fault rules out faults
+    with opposite specified signatures."""
+    circuit, faults, patterns, dictionary = _dictionary()
+    target = next(
+        f for f in faults if f.describe(circuit) == "G17/0"
+    )
+    observed = observed_from_chip(circuit, target, patterns, [0, 1, 0])
+    candidates = diagnose(dictionary, observed)
+    surviving = {c.fault for c in candidates}
+    opposite = next(f for f in faults if f.describe(circuit) == "G17/1")
+    assert opposite not in surviving
+
+
+def test_ranking_prefers_more_confirmations():
+    _circuit, _faults, _patterns, dictionary = _dictionary()
+    observed = [list(row) for row in dictionary.reference]
+    candidates = diagnose(dictionary, observed)
+    assert candidates == sorted(candidates, key=lambda c: c.score)
+
+
+def test_observed_length_checked():
+    _circuit, _faults, _patterns, dictionary = _dictionary(length=8)
+    with pytest.raises(ValueError):
+        diagnose(dictionary, [[0]])
+
+
+def test_per_state_signatures_complete():
+    circuit, faults, patterns, _dictionary_ = _dictionary(length=8)
+    fault = faults[0]
+    signatures = per_state_signatures(circuit, fault, patterns)
+    assert 1 <= len(signatures) <= 8
+    # Every concrete response is in the set.
+    for state in ([0, 0, 0], [0, 1, 1], [1, 1, 0]):
+        observed = observed_from_chip(circuit, fault, patterns, state)
+        assert tuple(tuple(r) for r in observed) in signatures
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 20_000),
+    pattern_seed=st.integers(0, 200),
+    fault_index=st.integers(0, 1_000),
+    state_bits=st.integers(0, 7),
+)
+def test_diagnosis_property_random(seed, pattern_seed, fault_index, state_bits):
+    """On random machines: the culprit is never eliminated."""
+    from repro.faults.sites import all_faults
+
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=12)
+    faults = all_faults(circuit)[:25]
+    patterns = random_patterns(2, 6, seed=pattern_seed)
+    dictionary = build_fault_dictionary(circuit, faults, patterns)
+    fault = faults[fault_index % len(faults)]
+    state = [(state_bits >> k) & 1 for k in range(3)]
+    observed = observed_from_chip(circuit, fault, patterns, state)
+    candidates = diagnose(dictionary, observed)
+    assert any(c.fault == fault for c in candidates)

@@ -1,0 +1,60 @@
+"""Tests for the equivalence checkers."""
+
+import pytest
+
+from repro.circuit.bench import parse_bench
+from repro.circuits.library import s27, s27_isc
+from repro.patterns.random_gen import random_patterns
+from repro.verify.equivalence import frames_equivalent, sequentially_equivalent
+
+
+def test_s27_isc_equivalent_to_bench():
+    assert frames_equivalent(s27(), s27_isc()) is None
+
+
+def test_demorgan_equivalence():
+    a = parse_bench("INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = NAND(x, y)\n", "a")
+    b = parse_bench(
+        "INPUT(x)\nINPUT(y)\nOUTPUT(o)\nnx = NOT(x)\nny = NOT(y)\n"
+        "o = OR(nx, ny)\n",
+        "b",
+    )
+    assert frames_equivalent(a, b) is None
+
+
+def test_inequivalence_returns_counterexample():
+    a = parse_bench("INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = AND(x, y)\n", "a")
+    b = parse_bench("INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = OR(x, y)\n", "b")
+    counterexample = frames_equivalent(a, b)
+    assert counterexample is not None
+    pis, _state = counterexample
+    assert sum(pis) == 1  # AND and OR differ exactly on single-1 inputs
+
+
+def test_interface_mismatch_rejected():
+    a = parse_bench("INPUT(x)\nOUTPUT(o)\no = NOT(x)\n", "a")
+    b = parse_bench("INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = AND(x, y)\n", "b")
+    with pytest.raises(ValueError):
+        frames_equivalent(a, b)
+
+
+def test_max_vars_guard():
+    with pytest.raises(ValueError):
+        frames_equivalent(s27(), s27_isc(), max_vars=3)
+
+
+def test_sequential_equivalence_s27_variants():
+    sequences = [random_patterns(4, 12, seed=s) for s in range(3)]
+    assert sequentially_equivalent(s27(), s27_isc(), sequences) is None
+
+
+def test_sequential_inequivalence_found():
+    a = parse_bench(
+        "INPUT(x)\nOUTPUT(o)\nq = DFF(d)\nd = NOT(q)\no = AND(q, x)\n", "a"
+    )
+    b = parse_bench(
+        "INPUT(x)\nOUTPUT(o)\nq = DFF(d)\nd = BUFF(q)\no = AND(q, x)\n", "b"
+    )
+    sequences = [[[1], [1], [1]]]
+    counterexample = sequentially_equivalent(a, b, sequences)
+    assert counterexample is not None

@@ -1,0 +1,82 @@
+"""Tests for the three-valued pessimism quantifier."""
+
+import pytest
+
+from repro.circuit.bench import parse_bench
+from repro.circuits.modules import ModuleKit
+from repro.verify.pessimism import measure_pessimism
+
+from tests.helpers import toggle_circuit
+
+#: XOR of two branches of the same flop: always 0 in truth, X in 3v --
+#: the canonical pessimism structure.
+XORQQ = """
+INPUT(A)
+OUTPUT(O)
+Q = DFF(D)
+D = NOT(Q)
+B1 = BUFF(Q)
+B2 = BUFF(Q)
+O = XOR(B1, B2)
+"""
+
+
+def test_pure_pessimism():
+    circuit = parse_bench(XORQQ, "xorqq")
+    report = measure_pessimism(circuit, [[1]] * 4)
+    assert report.specified == 0
+    assert report.pessimistic == 4
+    assert report.genuine == 0
+    assert report.pessimism_ratio == 1.0
+
+
+def test_genuine_unknowns():
+    """The toggle circuit's Z/1-free output O = AND(Q, 0) is specified;
+    observing Q directly is genuinely unknown."""
+    circuit = parse_bench(
+        "INPUT(A)\nOUTPUT(O)\nQ = DFF(D)\nD = XOR(Q, A)\nO = BUFF(Q)\n",
+        "obsq",
+    )
+    report = measure_pessimism(circuit, [[1]] * 4)
+    assert report.specified == 0
+    assert report.pessimistic == 0
+    assert report.genuine == 4
+    assert report.pessimism_ratio == 0.0
+
+
+def test_specified_positions_counted():
+    circuit = toggle_circuit()  # fault-free output is constant 0
+    report = measure_pessimism(circuit, [[1]] * 5)
+    assert report.specified == 5
+    assert report.total == 5
+
+
+def test_opaque_cell_is_maximally_pessimistic_after_reset_event():
+    """The module kit's opaque cell: after a (pa,pb)=(1,0) frame its
+    binary value is state-independent, yet 3v simulation keeps X --
+    every subsequent observed position is pessimistic."""
+    kit = ModuleKit("oc")
+    pa = kit.input("pa")
+    pb = kit.input("pb")
+    cell = kit.opaque_cell(pa, pb)
+    kit.output(kit.or_(cell, kit.and_(pa, pb)))
+    circuit = kit.build()
+    patterns = [[1, 0]] + [[0, 0]] * 3  # reset event, then hold
+    report = measure_pessimism(circuit, patterns)
+    # After the (1,0) frame the cell is 0 for every initial state; the
+    # first frame's output is genuinely state-dependent.
+    assert report.genuine == 1
+    assert report.pessimistic == 3
+
+
+def test_max_flops_guard():
+    from repro.circuits.registry import build_circuit
+
+    with pytest.raises(ValueError):
+        measure_pessimism(build_circuit("s5378_like"), [[0] * 7])
+
+
+def test_render():
+    report = measure_pessimism(toggle_circuit(), [[1]] * 3)
+    text = report.render()
+    assert "pessimistic" in text and "toggle" in text
