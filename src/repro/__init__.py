@@ -29,6 +29,13 @@ from repro.circuit import (
     save_bench,
     write_bench,
 )
+from repro.errors import (
+    BudgetExceeded,
+    CampaignInterrupted,
+    FaultModelError,
+    JournalError,
+    ReproError,
+)
 from repro.circuits import fig4, s27
 from repro.faults import Fault, all_faults, collapse_faults, inject_fault
 from repro.fsim import run_conventional
@@ -51,6 +58,13 @@ from repro.patterns import (
     random_patterns,
     weighted_random_patterns,
 )
+from repro.runner import (
+    CampaignHarness,
+    CampaignJournal,
+    FaultBudget,
+    HarnessConfig,
+    run_campaign,
+)
 from repro.sim import simulate_injected, simulate_sequence
 from repro.verify import exhaustive_restricted_mot, exhaustive_unrestricted_mot
 
@@ -60,6 +74,16 @@ __all__ = [
     "Circuit",
     "CircuitBuilder",
     "CircuitError",
+    "ReproError",
+    "FaultModelError",
+    "BudgetExceeded",
+    "CampaignInterrupted",
+    "JournalError",
+    "FaultBudget",
+    "CampaignHarness",
+    "HarnessConfig",
+    "CampaignJournal",
+    "run_campaign",
     "parse_bench",
     "load_bench",
     "write_bench",

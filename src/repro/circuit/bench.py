@@ -25,13 +25,40 @@ _GATE_RE = re.compile(r"^([^()=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(([^()]*)\)$")
 def parse_bench(text: str, name: str = "bench") -> Circuit:
     """Parse ``.bench`` *text* into a :class:`Circuit`.
 
+    Every diagnostic carries *name* (conventionally the file path) plus
+    the offending line number.  Beyond syntax, the parser itself rejects
+    duplicate definitions (a signal declared ``INPUT`` or defined by a
+    gate/DFF twice) and dangling fanin references (a gate input or
+    declared ``OUTPUT`` that no line ever defines), so malformed
+    netlists fail here with a precise message instead of as a later
+    structural error or ``KeyError``.
+
     Raises
     ------
     CircuitError
-        On syntax errors or structural problems (undriven lines, cycles,
-        double drivers).
+        On syntax errors or structural problems (duplicate definitions,
+        dangling references, undriven lines, cycles, double drivers).
     """
     builder = CircuitBuilder(name)
+    defined = {}  # signal -> line number of its INPUT decl / definition
+    referenced = {}  # signal -> first line number that consumes it
+
+    def err(line_number: int, message: str) -> CircuitError:
+        return CircuitError(f"{name}: line {line_number}: {message}")
+
+    def define(signal: str, line_number: int) -> None:
+        previous = defined.get(signal)
+        if previous is not None:
+            raise err(
+                line_number,
+                f"duplicate definition of {signal!r} "
+                f"(first defined at line {previous})",
+            )
+        defined[signal] = line_number
+
+    def refer(signal: str, line_number: int) -> None:
+        referenced.setdefault(signal, line_number)
+
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
         if not line:
@@ -40,28 +67,40 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
         if decl:
             keyword, signal = decl.group(1).upper(), decl.group(2)
             if keyword == "INPUT":
+                define(signal, line_number)
                 builder.add_input(signal)
             else:
+                refer(signal, line_number)
                 builder.add_output(signal)
             continue
         gate = _GATE_RE.match(line)
         if gate:
             output, op, args = gate.group(1), gate.group(2).upper(), gate.group(3)
             input_names = [a.strip() for a in args.split(",") if a.strip()]
+            define(output, line_number)
+            for input_name in input_names:
+                refer(input_name, line_number)
             if op == "DFF":
                 if len(input_names) != 1:
-                    raise CircuitError(
-                        f"line {line_number}: DFF takes exactly one input"
-                    )
+                    raise err(line_number, "DFF takes exactly one input")
                 builder.add_flop(output, input_names[0])
             else:
                 try:
                     builder.add_gate(op, output, input_names)
-                except ValueError as exc:
-                    raise CircuitError(f"line {line_number}: {exc}") from None
+                except (ValueError, CircuitError) as exc:
+                    raise err(line_number, str(exc)) from None
             continue
-        raise CircuitError(f"line {line_number}: cannot parse {raw_line!r}")
-    return builder.build()
+        raise err(line_number, f"cannot parse {raw_line!r}")
+    for signal, line_number in sorted(referenced.items(), key=lambda i: i[1]):
+        if signal not in defined:
+            raise err(
+                line_number,
+                f"reference to {signal!r}, which is never defined",
+            )
+    try:
+        return builder.build()
+    except CircuitError as exc:
+        raise CircuitError(f"{name}: {exc}") from None
 
 
 def load_bench(path: str, name: str = "") -> Circuit:

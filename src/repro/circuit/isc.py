@@ -72,64 +72,100 @@ class _Entry:
     fanin_addresses: List[str]
     stem: Optional[str]  # for "from" entries
     stuck: List[int]
+    line_number: int = 0
 
 
-def _tokenize(text: str) -> List[List[str]]:
+def _tokenize(text: str) -> List[Tuple[int, List[str]]]:
     rows = []
-    for raw in text.splitlines():
+    for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("*"):
             continue
-        rows.append(line.split())
+        rows.append((line_number, line.split()))
     return rows
 
 
 def parse_isc(text: str, name: str = "isc") -> IscCircuit:
-    """Parse ``.isc`` *text* into a circuit and its fault list."""
+    """Parse ``.isc`` *text* into a circuit and its fault list.
+
+    Diagnostics carry *name* (conventionally the file path) and the
+    offending line number; duplicate entry addresses/names and dangling
+    fanin references are rejected here with a precise message instead
+    of surfacing as a later structural error or ``KeyError``.
+    """
+
+    def err(line_number: int, message: str) -> CircuitError:
+        return CircuitError(f"{name}: line {line_number}: {message}")
+
     rows = _tokenize(text)
     entries: List[_Entry] = []
     index = 0
     while index < len(rows):
-        tokens = rows[index]
+        line_number, tokens = rows[index]
         index += 1
         if len(tokens) < 3:
-            raise CircuitError(f"malformed .isc entry: {' '.join(tokens)}")
+            raise err(line_number, f"malformed .isc entry: {' '.join(tokens)}")
         address, entry_name, kind = tokens[0], tokens[1], tokens[2].lower()
         stuck = [int(m) for m in _SA_RE.findall(" ".join(tokens))]
         if kind == "from":
             if len(tokens) < 4:
-                raise CircuitError(f"'from' entry needs a stem: {tokens}")
+                raise err(line_number, f"'from' entry needs a stem: {tokens}")
             entries.append(
-                _Entry(address, entry_name, kind, 1, 1, [], tokens[3], stuck)
+                _Entry(address, entry_name, kind, 1, 1, [], tokens[3], stuck,
+                       line_number)
             )
             continue
         if len(tokens) < 5:
-            raise CircuitError(f"malformed .isc entry: {' '.join(tokens)}")
-        fanout, fanin = int(tokens[3]), int(tokens[4])
+            raise err(line_number, f"malformed .isc entry: {' '.join(tokens)}")
+        try:
+            fanout, fanin = int(tokens[3]), int(tokens[4])
+        except ValueError:
+            raise err(
+                line_number,
+                f"fanout/fanin counts must be integers: {' '.join(tokens)}",
+            ) from None
         fanin_addresses: List[str] = []
         if kind != "inpt" and fanin > 0:
             if index >= len(rows):
-                raise CircuitError(f"missing fanin list for {entry_name}")
-            fanin_addresses = rows[index][:fanin]
+                raise err(line_number, f"missing fanin list for {entry_name}")
+            fanin_line, fanin_tokens = rows[index]
+            fanin_addresses = fanin_tokens[:fanin]
             if len(fanin_addresses) != fanin:
-                raise CircuitError(
+                raise err(
+                    fanin_line,
                     f"{entry_name}: expected {fanin} fanins, got "
-                    f"{len(fanin_addresses)}"
+                    f"{len(fanin_addresses)}",
                 )
             index += 1
         entries.append(
             _Entry(address, entry_name, kind, fanout, fanin,
-                   fanin_addresses, None, stuck)
+                   fanin_addresses, None, stuck, line_number)
         )
 
-    by_address = {e.address: e for e in entries}
-    by_name = {e.name: e for e in entries}
+    by_address: dict = {}
+    by_name: dict = {}
+    for entry in entries:
+        for table, key in ((by_address, entry.address), (by_name, entry.name)):
+            previous = table.get(key)
+            if previous is not None and previous is not entry:
+                # The same string may serve as both the address and the
+                # name of one entry, but two entries must not collide.
+                raise err(
+                    entry.line_number,
+                    f"duplicate entry {key!r} "
+                    f"(first defined at line {previous.line_number})",
+                )
+            table[key] = entry
     builder = CircuitBuilder(name)
 
-    def resolve(addr: str) -> str:
+    def resolve(addr: str, referrer: _Entry) -> str:
         entry = by_address.get(addr) or by_name.get(addr)
         if entry is None:
-            raise CircuitError(f"unknown fanin reference {addr!r}")
+            raise err(
+                referrer.line_number,
+                f"{referrer.name}: fanin reference {addr!r} "
+                "does not match any entry",
+            )
         return entry.name
 
     for entry in entries:
@@ -138,24 +174,34 @@ def parse_isc(text: str, name: str = "isc") -> IscCircuit:
             builder.add_input(entry.name)
         elif kind == "from":
             assert entry.stem is not None
-            builder.add_gate("BUFF", entry.name, [resolve(entry.stem)])
+            builder.add_gate("BUFF", entry.name, [resolve(entry.stem, entry)])
         elif kind == "dff":
             if entry.fanin != 1:
-                raise CircuitError(f"dff {entry.name} needs exactly one fanin")
-            builder.add_flop(entry.name, resolve(entry.fanin_addresses[0]))
+                raise err(
+                    entry.line_number,
+                    f"dff {entry.name} needs exactly one fanin",
+                )
+            builder.add_flop(
+                entry.name, resolve(entry.fanin_addresses[0], entry)
+            )
         elif kind in _GATE_TYPES:
             builder.add_gate(
                 _GATE_TYPES[kind],
                 entry.name,
-                [resolve(a) for a in entry.fanin_addresses],
+                [resolve(a, entry) for a in entry.fanin_addresses],
             )
         else:
-            raise CircuitError(f"unknown .isc entry type {kind!r}")
+            raise err(
+                entry.line_number, f"unknown .isc entry type {kind!r}"
+            )
     # ISCAS convention: zero-fanout entries are primary outputs.
     for entry in entries:
         if entry.kind != "from" and entry.fanout == 0:
             builder.add_output(entry.name)
-    circuit = builder.build()
+    try:
+        circuit = builder.build()
+    except CircuitError as exc:
+        raise CircuitError(f"{name}: {exc}") from None
     faults = [
         Fault(circuit.line_id(entry.name), value, None)
         for entry in entries

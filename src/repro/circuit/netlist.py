@@ -24,11 +24,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import CircuitError
 from repro.logic.gates import GATE_ARITY_MIN, GateType
 
-
-class CircuitError(Exception):
-    """Raised for structurally invalid netlists (undriven lines, cycles...)."""
+__all__ = [
+    "CircuitError",  # re-exported from repro.errors (the taxonomy root)
+    "Gate",
+    "Flop",
+    "Pin",
+    "Circuit",
+    "CircuitBuilder",
+    "subcircuit_names",
+]
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,16 @@ Subcommands:
 External circuits are given as ``.bench`` files with ``--bench``;
 registered circuits by name with ``--circuit`` (see ``stats`` for the
 list).
+
+Campaign resilience (``mot`` subcommand): ``--budget-ms`` /
+``--budget-events`` bound the work spent on any one fault,
+``--checkpoint FILE`` journals verdicts so ``--resume`` continues an
+interrupted run, and ``--fail-fast`` turns off crash quarantine.
+
+Exit codes: 0 success; 1 usage or input error (taxonomy:
+:class:`repro.errors.ReproError`); 2 argparse errors; 3 campaign
+completed but quarantined at least one errored fault; 130 interrupted
+(SIGINT) with the checkpoint journal flushed.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ import sys
 from typing import List, Optional
 
 from repro.circuit.bench import load_bench
+from repro.errors import CampaignInterrupted, ReproError
 from repro.circuit.netlist import Circuit
 from repro.circuit.stats import circuit_stats
 from repro.circuits.registry import benchmark_entries, build_circuit
@@ -38,6 +49,23 @@ from repro.mot.baseline import BaselineConfig, BaselineSimulator
 from repro.mot.simulator import MotConfig, ProposedSimulator
 from repro.patterns.random_gen import random_patterns
 from repro.reporting.tables import Table
+from repro.runner.budget import FaultBudget
+from repro.runner.harness import CampaignHarness, HarnessConfig
+
+#: Exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_ERRORED_FAULTS = 3
+EXIT_INTERRUPTED = 130
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
 
 
 def _resolve_circuit(args: argparse.Namespace) -> Circuit:
@@ -108,7 +136,18 @@ def cmd_fsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _mot_budget(args: argparse.Namespace) -> Optional[FaultBudget]:
+    if args.budget_ms is None and args.budget_events is None:
+        return None
+    return FaultBudget(
+        wall_clock_ms=args.budget_ms, max_events=args.budget_events
+    )
+
+
 def cmd_mot(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return EXIT_FAILURE
     circuit = _resolve_circuit(args)
     faults = _faults(circuit, args.uncollapsed)
     patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
@@ -143,12 +182,35 @@ def cmd_mot(args: argparse.Namespace) -> int:
             ),
         )
         label = "proposed procedure"
-    campaign = simulator.run(faults)
+    harness = CampaignHarness(
+        simulator,
+        HarnessConfig(
+            budget=_mot_budget(args),
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            fail_fast=args.fail_fast,
+        ),
+    )
+    campaign = harness.run(faults)
     print(
         f"{circuit.name} ({label}): conventional {campaign.conv_detected}, "
         f"MOT extra {campaign.mot_detected}, total "
         f"{campaign.total_detected} of {campaign.total}"
     )
+    if harness.stats.reused:
+        print(
+            f"  resumed from {args.checkpoint}: {harness.stats.reused} "
+            f"verdicts reused, {harness.stats.simulated} simulated"
+        )
+    if campaign.aborted_budget:
+        print(f"  aborted (budget): {campaign.aborted_budget}")
+    if campaign.errored:
+        print(
+            f"  errored (quarantined): {campaign.errored} -- see the "
+            "report/CSV detail column",
+            file=sys.stderr,
+        )
     if not args.baseline and not args.unrestricted:
         averages = campaign.average_counters()
         print(
@@ -173,7 +235,7 @@ def cmd_mot(args: argparse.Namespace) -> int:
         with open(args.csv, "w") as handle:
             handle.write(campaign_csv(campaign, circuit))
         print(f"per-fault verdicts written to {args.csv}")
-    return 0
+    return EXIT_ERRORED_FAULTS if campaign.errored else EXIT_OK
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -316,6 +378,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", metavar="FILE",
         help="write per-fault verdicts to FILE as CSV",
     )
+    p_mot.add_argument(
+        "--budget-ms", type=float, default=None, metavar="MS",
+        help="per-fault wall-clock budget in milliseconds; over-budget "
+             "faults become explicit aborted verdicts",
+    )
+    p_mot.add_argument(
+        "--budget-events", type=int, default=None, metavar="N",
+        help="per-fault work-event budget (simulations, implication "
+             "pairs, expanded/resimulated sequences)",
+    )
+    p_mot.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="journal verdicts to FILE (JSONL) for --resume",
+    )
+    p_mot.add_argument(
+        "--checkpoint-every", type=_positive_int, default=25, metavar="N",
+        help="flush the checkpoint journal every N verdicts",
+    )
+    p_mot.add_argument(
+        "--resume", action="store_true",
+        help="reuse verdicts from an existing --checkpoint journal "
+             "(validated against circuit, config, patterns and faults)",
+    )
+    p_mot.add_argument(
+        "--fail-fast", action="store_true",
+        help="re-raise the first per-fault exception instead of "
+             "quarantining it as an errored verdict",
+    )
     p_mot.set_defaults(func=cmd_mot)
 
     for name, func, help_text in (
@@ -372,7 +462,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        if exc.journal_path:
+            print(
+                f"resume with: --checkpoint {exc.journal_path} --resume",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

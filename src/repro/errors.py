@@ -1,0 +1,105 @@
+"""Shared error taxonomy.
+
+Every exception the package raises deliberately derives from
+:class:`ReproError`, so callers (the CLI, the campaign harness, test
+drivers) can distinguish *our* diagnostics from genuine bugs with one
+``except`` clause:
+
+``ReproError``
+    Root of the taxonomy.  Catching it means "anything this package
+    reports as a user-facing problem".
+
+``CircuitError``
+    Structurally invalid netlists and parse errors (``.bench`` /
+    ``.isc`` syntax, undriven lines, duplicate drivers, combinational
+    cycles).  Re-exported from :mod:`repro.circuit.netlist` for
+    backward compatibility.
+
+``FaultModelError``
+    Invalid fault specifications (stuck value outside {0, 1}, unknown
+    pin kinds, empty injection lists).  Also derives from
+    :class:`ValueError` so pre-taxonomy callers that caught
+    ``ValueError`` keep working.
+
+``BudgetExceeded``
+    A per-fault work or wall-clock budget ran out
+    (:mod:`repro.runner.budget`).  The simulators convert it into an
+    explicit ``aborted``/``budget`` verdict; it only escapes when a
+    caller meters work outside a simulator.
+
+``CampaignInterrupted``
+    A campaign stopped early on SIGINT / KeyboardInterrupt after
+    flushing its checkpoint journal (:mod:`repro.runner.harness`).
+
+``JournalError``
+    A checkpoint journal could not be read, or its manifest does not
+    match the run being resumed (:mod:`repro.runner.journal`).
+
+This module is intentionally a leaf (stdlib imports only): ``circuit``,
+``faults``, ``mot`` and ``runner`` all import from it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by this package."""
+
+
+class CircuitError(ReproError):
+    """Raised for structurally invalid netlists (undriven lines, cycles,
+    double drivers) and netlist parse errors."""
+
+
+class FaultModelError(ReproError, ValueError):
+    """Raised for invalid fault specifications.
+
+    Derives from :class:`ValueError` as well: fault validation predates
+    the taxonomy and existing callers catch ``ValueError``.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """Raised when a per-fault work or wall-clock budget runs out.
+
+    Attributes
+    ----------
+    reason:
+        ``"events"`` or ``"wall_clock"``.
+    spent_events / elapsed_ms:
+        Work performed before the budget tripped.
+    """
+
+    def __init__(self, reason: str, spent_events: int, elapsed_ms: float) -> None:
+        self.reason = reason
+        self.spent_events = spent_events
+        self.elapsed_ms = elapsed_ms
+        super().__init__(
+            f"fault budget exceeded ({reason}): {spent_events} events, "
+            f"{elapsed_ms:.1f} ms elapsed"
+        )
+
+
+class CampaignInterrupted(ReproError):
+    """Raised when a campaign is interrupted (SIGINT) at a fault boundary.
+
+    Attributes
+    ----------
+    completed:
+        Number of verdicts recorded before the interruption.
+    journal_path:
+        Checkpoint journal holding them (``None`` when checkpointing was
+        off -- the partial results are lost, as before the harness).
+    """
+
+    def __init__(self, completed: int, journal_path: "str | None" = None) -> None:
+        self.completed = completed
+        self.journal_path = journal_path
+        where = f"; journal: {journal_path}" if journal_path else ""
+        super().__init__(
+            f"campaign interrupted after {completed} verdicts{where}"
+        )
+
+
+class JournalError(ReproError):
+    """Raised for unreadable or mismatched checkpoint journals."""

@@ -5,6 +5,11 @@ fault list (optionally sampled for the largest circuits), generate the
 registered random sequence, and run conventional + [4] + proposed
 simulation.  Both the Table 2 and Table 3 drivers need the same runs, so
 results are memoized per process.
+
+Campaigns run through the resilient harness
+(:mod:`repro.runner.harness`): a fault that crashes or exceeds its
+budget becomes an ``errored`` / ``aborted`` verdict in the tables
+instead of killing the whole experiment.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from repro.faults.model import Fault
 from repro.mot.baseline import BaselineConfig, BaselineSimulator
 from repro.mot.simulator import Campaign, MotConfig, ProposedSimulator
 from repro.patterns.random_gen import random_patterns
+from repro.runner.budget import FaultBudget
+from repro.runner.harness import CampaignHarness, HarnessConfig
 
 
 def sample_faults(faults: List[Fault], limit: Optional[int]) -> List[Fault]:
@@ -45,9 +52,24 @@ class CircuitRun:
         return self.simulated_faults < self.total_faults
 
 
+def _harnessed(simulator, faults, budget_ms: Optional[float]) -> Campaign:
+    """Run *simulator* over *faults* with quarantine (and a budget)."""
+    budget = (
+        FaultBudget(wall_clock_ms=budget_ms) if budget_ms is not None else None
+    )
+    harness = CampaignHarness(
+        simulator,
+        HarnessConfig(budget=budget, handle_sigint=False),
+    )
+    return harness.run(faults)
+
+
 @lru_cache(maxsize=None)
 def _run_circuit_cached(
-    name: str, n_states: int, fault_cap: Optional[int]
+    name: str,
+    n_states: int,
+    fault_cap: Optional[int],
+    budget_ms: Optional[float],
 ) -> CircuitRun:
     entry = get_entry(name)
     circuit = entry.build()
@@ -59,14 +81,20 @@ def _run_circuit_cached(
     patterns = random_patterns(
         circuit.num_inputs, entry.sequence_length, seed=entry.seed
     )
-    proposed = ProposedSimulator(
-        circuit, patterns, MotConfig(n_states=n_states)
-    ).run(simulated)
+    proposed = _harnessed(
+        ProposedSimulator(circuit, patterns, MotConfig(n_states=n_states)),
+        simulated,
+        budget_ms,
+    )
     baseline = None
     if entry.run_baseline:
-        baseline = BaselineSimulator(
-            circuit, patterns, BaselineConfig(n_states=n_states)
-        ).run(simulated)
+        baseline = _harnessed(
+            BaselineSimulator(
+                circuit, patterns, BaselineConfig(n_states=n_states)
+            ),
+            simulated,
+            budget_ms,
+        )
     return CircuitRun(
         entry=entry,
         total_faults=len(faults),
@@ -77,10 +105,17 @@ def _run_circuit_cached(
 
 
 def run_circuit(
-    name: str, n_states: int = 64, fault_cap: Optional[int] = None
+    name: str,
+    n_states: int = 64,
+    fault_cap: Optional[int] = None,
+    budget_ms: Optional[float] = None,
 ) -> CircuitRun:
-    """Run (or fetch the memoized run of) one benchmark circuit."""
-    return _run_circuit_cached(name, n_states, fault_cap)
+    """Run (or fetch the memoized run of) one benchmark circuit.
+
+    *budget_ms* optionally bounds the wall-clock time spent on each
+    fault; over-budget faults appear as ``aborted`` verdicts.
+    """
+    return _run_circuit_cached(name, n_states, fault_cap, budget_ms)
 
 
 def clear_cache() -> None:

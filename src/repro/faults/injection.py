@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.circuit.netlist import Circuit, Flop, Gate, Pin
+from repro.errors import FaultModelError
 from repro.faults.model import Fault
 from repro.logic.gates import GateType
 from repro.logic.values import ONE
@@ -83,10 +84,12 @@ def inject_fault_list(circuit: Circuit, faults: "list[Fault]") -> InjectedFault:
     first fault (the representative) -- ``faults`` holds them all.
     """
     if not faults:
-        raise ValueError("need at least one fault to inject")
+        raise FaultModelError("need at least one fault to inject")
     line_names = list(circuit.line_names)
     if CONST_LINE_NAME in circuit.line_ids:
-        raise ValueError(f"circuit already uses reserved name {CONST_LINE_NAME!r}")
+        raise FaultModelError(
+            f"circuit already uses reserved name {CONST_LINE_NAME!r}"
+        )
 
     gates = [Gate(g.gate_type, g.output, g.inputs) for g in circuit.gates]
     flops = list(circuit.flops)
@@ -104,6 +107,11 @@ def inject_fault_list(circuit: Circuit, faults: "list[Fault]") -> InjectedFault:
         return line
 
     for fault in faults:
+        if not 0 <= fault.line < circuit.num_lines:
+            raise FaultModelError(
+                f"fault site line {fault.line} outside circuit "
+                f"{circuit.name!r} ({circuit.num_lines} lines)"
+            )
         const_line = const_line_for(fault.stuck_at)
         pins = (
             list(circuit.fanout_pins[fault.line])

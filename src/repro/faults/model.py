@@ -17,6 +17,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.circuit.netlist import Circuit, Pin
+from repro.errors import FaultModelError
+
+_PIN_KINDS = ("gate", "flop", "output")
 
 
 @dataclass(frozen=True)
@@ -32,11 +35,29 @@ class Fault:
     pin:
         ``None`` for a stem fault; otherwise the consumer pin whose view
         of the line is stuck (branch fault).
+
+    Raises
+    ------
+    FaultModelError
+        On a stuck value outside {0, 1} or an unknown pin kind --
+        rejected at construction so a malformed fault list fails loudly
+        instead of as a late ``KeyError`` deep in a simulator.
     """
 
     line: int
     stuck_at: int
     pin: Optional[Pin] = None
+
+    def __post_init__(self) -> None:
+        if self.stuck_at not in (0, 1):
+            raise FaultModelError(
+                f"stuck-at value must be 0 or 1, got {self.stuck_at!r}"
+            )
+        if self.pin is not None and self.pin.kind not in _PIN_KINDS:
+            raise FaultModelError(
+                f"unknown fault pin kind {self.pin.kind!r} "
+                f"(expected one of {_PIN_KINDS})"
+            )
 
     @property
     def is_stem(self) -> bool:

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
+from repro.errors import BudgetExceeded
 from repro.faults.injection import InjectedFault, inject_fault
 from repro.faults.model import Fault
 from repro.logic.values import UNKNOWN
@@ -40,6 +41,7 @@ from repro.mot.conditions import MotProfile, mot_profile
 from repro.mot.expansion import DEFAULT_N_STATES, StateSequence
 from repro.mot.resimulate import SequenceStatus, resimulate_sequence
 from repro.mot.simulator import Campaign, FaultVerdict
+from repro.runner.budget import BudgetMeter, FaultBudget
 from repro.sim.frame import eval_frame
 from repro.sim.sequential import (
     outputs_conflict,
@@ -54,6 +56,9 @@ class BaselineConfig:
 
     n_states: int = DEFAULT_N_STATES
     schedule: str = "oneshot"  # or "iterative"
+    #: Optional per-fault work / wall-clock budget (see
+    #: :class:`repro.mot.simulator.MotConfig`).
+    budget: Optional[FaultBudget] = None
 
 
 class BaselineSimulator:
@@ -169,27 +174,57 @@ class BaselineSimulator:
         sequences.extend(doubled)
 
     def _resolve(
-        self, injected: InjectedFault, sequences: List[StateSequence]
+        self,
+        injected: InjectedFault,
+        sequences: List[StateSequence],
+        meter: Optional[BudgetMeter] = None,
     ) -> List[StateSequence]:
         """Resimulate and keep only unresolved sequences."""
-        return [
-            seq
-            for seq in sequences
-            if resimulate_sequence(
+        unresolved: List[StateSequence] = []
+        for seq in sequences:
+            if meter is not None:
+                meter.charge()
+            status = resimulate_sequence(
                 injected.circuit,
                 self.patterns,
                 self.reference_outputs,
                 seq,
                 injected.forced_ps,
             )
-            is SequenceStatus.UNRESOLVED
-        ]
+            if status is SequenceStatus.UNRESOLVED:
+                unresolved.append(seq)
+        return unresolved
 
     # ------------------------------------------------------------------
-    def simulate_fault(self, fault: Fault) -> FaultVerdict:
-        """Run the baseline procedure for one fault."""
+    def simulate_fault(
+        self, fault: Fault, meter: Optional[BudgetMeter] = None
+    ) -> FaultVerdict:
+        """Run the baseline procedure for one fault.
+
+        Budget semantics match
+        :meth:`repro.mot.simulator.ProposedSimulator.simulate_fault`:
+        an exhausted own-config budget becomes an ``"aborted"``
+        verdict; an externally supplied *meter* propagates
+        :class:`BudgetExceeded` to its owner.
+        """
+        owned = meter is None
+        if owned and self.config.budget is not None and self.config.budget.bounded:
+            meter = BudgetMeter(self.config.budget)
+        if not owned:
+            return self._procedure(fault, meter)
+        try:
+            return self._procedure(fault, meter)
+        except BudgetExceeded as exc:
+            return FaultVerdict(fault, "aborted", how="budget",
+                                detail=str(exc))
+
+    def _procedure(
+        self, fault: Fault, meter: Optional[BudgetMeter]
+    ) -> FaultVerdict:
         injected = inject_fault(self.circuit, fault)
         faulty = simulate_injected(injected, self.patterns)
+        if meter is not None:
+            meter.charge()
         if outputs_conflict(self.reference_outputs, faulty.outputs) is not None:
             return FaultVerdict(fault, "conv")
         profile = mot_profile(
@@ -199,8 +234,12 @@ class BaselineSimulator:
             return FaultVerdict(fault, "dropped")
         sequences = [StateSequence(states=[list(r) for r in faulty.states])]
         if self.config.schedule == "oneshot":
-            return self._simulate_oneshot(fault, injected, profile, sequences)
-        return self._simulate_iterative(fault, injected, profile, sequences)
+            return self._simulate_oneshot(
+                fault, injected, profile, sequences, meter
+            )
+        return self._simulate_iterative(
+            fault, injected, profile, sequences, meter
+        )
 
     def _simulate_oneshot(
         self,
@@ -208,6 +247,7 @@ class BaselineSimulator:
         injected: InjectedFault,
         profile: MotProfile,
         sequences: List[StateSequence],
+        meter: Optional[BudgetMeter] = None,
     ) -> FaultVerdict:
         expansions = 0
         while len(sequences) < self.config.n_states:
@@ -215,9 +255,11 @@ class BaselineSimulator:
             if pair is None:
                 break
             expansions += 1
+            if meter is not None:
+                meter.charge(len(sequences))  # sequences about to be created
             self._expand_all(sequences, *pair)
         total = len(sequences)
-        unresolved = self._resolve(injected, sequences)
+        unresolved = self._resolve(injected, sequences, meter)
         if not unresolved:
             return FaultVerdict(
                 fault, "mot", how="expansion", num_expansions=expansions,
@@ -237,6 +279,7 @@ class BaselineSimulator:
         injected: InjectedFault,
         profile: MotProfile,
         sequences: List[StateSequence],
+        meter: Optional[BudgetMeter] = None,
     ) -> FaultVerdict:
         expansions = 0
         aborted = False
@@ -248,8 +291,10 @@ class BaselineSimulator:
             if pair is None:
                 break
             expansions += 1
+            if meter is not None:
+                meter.charge(len(sequences))
             self._expand_all(sequences, *pair)
-            sequences = self._resolve(injected, sequences)
+            sequences = self._resolve(injected, sequences, meter)
         if not sequences:
             return FaultVerdict(
                 fault, "mot", how="expansion", num_expansions=expansions

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.logic.values import UNKNOWN
 from repro.mot.backward import PairInfo, PairKey
 from repro.mot.conditions import MotProfile
+from repro.runner.budget import BudgetMeter
 
 #: Default limit on the number of state sequences (paper Section 4).
 DEFAULT_N_STATES = 64
@@ -124,6 +125,7 @@ def expand(
     info: Dict[PairKey, PairInfo],
     profile: MotProfile,
     n_states: int = DEFAULT_N_STATES,
+    meter: Optional[BudgetMeter] = None,
 ) -> ExpansionOutcome:
     """Run Procedure 2 and return the expanded sequence set.
 
@@ -139,6 +141,11 @@ def expand(
         ``N_sv`` / ``N_out`` profile of the same conventional results.
     n_states:
         The ``N_STATES`` sequence limit.
+    meter:
+        Optional budget meter; every sequence created by a phase-2
+        duplication is charged as one work event, so an expansion
+        blow-up trips :class:`~repro.errors.BudgetExceeded` instead of
+        exhausting memory and time.
     """
     base = StateSequence(states=[list(row) for row in conventional_states])
     sequences = [base]
@@ -188,6 +195,8 @@ def expand(
         phase2_pairs.append(chosen)
         pair = info[chosen]
         u = chosen[0]
+        if meter is not None:
+            meter.charge(len(sequences))  # one event per sequence created
         duplicates: List[StateSequence] = []
         for seq in sequences:
             twin = seq.copy()

@@ -36,12 +36,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.circuit.netlist import Circuit
+from repro.errors import BudgetExceeded
 from repro.faults.injection import inject_fault
 from repro.faults.model import Fault
 from repro.mot.backward import BackwardCollector, detection_from_info
 from repro.mot.conditions import mot_profile
 from repro.mot.expansion import DEFAULT_N_STATES, expand
 from repro.mot.resimulate import SequenceStatus, resimulate_sequence
+from repro.runner.budget import BudgetMeter, FaultBudget
 from repro.sim.sequential import (
     outputs_conflict,
     simulate_injected,
@@ -62,11 +64,17 @@ class MotConfig:
         exact two-sweep schedule).
     backward_depth:
         How many time units backward implications may cross (paper: 1).
+    budget:
+        Optional per-fault work / wall-clock budget
+        (:class:`~repro.runner.budget.FaultBudget`).  An exhausted
+        budget yields an explicit ``"aborted"``/``"budget"`` verdict
+        instead of an unbounded simulation.
     """
 
     n_states: int = DEFAULT_N_STATES
     implication_mode: str = "fixpoint"
     backward_depth: int = 1
+    budget: Optional[FaultBudget] = None
     #: When the backward-driven expansion fails to resolve every sequence,
     #: retry once with the forward trial-gain selection of [4] (the
     #: proposed tool subsumes the [4] expansion, so its detections are a
@@ -95,7 +103,12 @@ class FaultVerdict:
     * ``"conv"``       -- detected by conventional simulation;
     * ``"mot"``        -- detected by the MOT procedure;
     * ``"dropped"``    -- failed the necessary condition (C), not detected;
-    * ``"undetected"`` -- survived the full procedure.
+    * ``"undetected"`` -- survived the full procedure;
+    * ``"aborted"``    -- the per-fault budget ran out (``how`` is
+      ``"budget"``, ``detail`` says which limit tripped);
+    * ``"errored"``    -- the simulation raised and was quarantined by
+      the campaign harness (``how`` is the exception class, ``detail``
+      the captured traceback).
 
     ``how`` records the step that established a ``"mot"`` detection
     (``"info"`` for Section 3.2, ``"phase1"`` for mutually conflicting
@@ -108,6 +121,7 @@ class FaultVerdict:
     counters: FaultCounters = field(default_factory=FaultCounters)
     num_sequences: int = 0
     num_expansions: int = 0
+    detail: str = ""
 
     @property
     def detected(self) -> bool:
@@ -139,6 +153,16 @@ class Campaign:
     @property
     def total_detected(self) -> int:
         return self.conv_detected + self.mot_detected
+
+    @property
+    def errored(self) -> int:
+        """Faults quarantined after an exception."""
+        return self.count("errored")
+
+    @property
+    def aborted_budget(self) -> int:
+        """Faults that ran out of their per-fault budget."""
+        return self.count("aborted")
 
     def mot_verdicts(self) -> List[FaultVerdict]:
         return [v for v in self.verdicts if v.status == "mot"]
@@ -185,10 +209,39 @@ class ProposedSimulator:
         self._fallback = None  # lazily built [4]-style expander
 
     # ------------------------------------------------------------------
-    def simulate_fault(self, fault: Fault) -> FaultVerdict:
-        """Run Procedure 1 for one fault."""
+    def simulate_fault(
+        self, fault: Fault, meter: Optional[BudgetMeter] = None
+    ) -> FaultVerdict:
+        """Run Procedure 1 for one fault.
+
+        With a budget configured (or an external *meter* supplied), work
+        is charged at every phase; when the budget runs out the fault is
+        reported as ``"aborted"``/``"budget"`` rather than simulated to
+        the bitter end.  An externally supplied meter lets the caller
+        (the campaign harness, the forward fallback) pool the budget
+        across simulators -- in that case :class:`BudgetExceeded`
+        propagates so the owner converts it exactly once.
+        """
+        owned = meter is None
+        if owned and self.config.budget is not None and self.config.budget.bounded:
+            meter = BudgetMeter(self.config.budget)
+        if not owned:
+            return self._procedure(fault, meter)
+        try:
+            return self._procedure(fault, meter)
+        except BudgetExceeded as exc:
+            return FaultVerdict(fault, "aborted", how="budget",
+                                detail=str(exc))
+
+    def _procedure(
+        self, fault: Fault, meter: Optional[BudgetMeter]
+    ) -> FaultVerdict:
+        """Procedure 1 proper; raises :class:`BudgetExceeded` on an
+        exhausted *meter*."""
         injected = inject_fault(self.circuit, fault)
         faulty = simulate_injected(injected, self.patterns, keep_frames=True)
+        if meter is not None:
+            meter.charge()
         if outputs_conflict(self.reference_outputs, faulty.outputs) is not None:
             return FaultVerdict(fault, "conv")
         profile = mot_profile(
@@ -206,6 +259,8 @@ class ProposedSimulator:
             depth=self.config.backward_depth,
         )
         info = collector.collect()
+        if meter is not None:
+            meter.charge(len(info))
         counters = self._phase1_counters(info)
 
         witness = detection_from_info(info)
@@ -213,7 +268,8 @@ class ProposedSimulator:
             return FaultVerdict(fault, "mot", how="info", counters=counters)
 
         outcome = expand(
-            faulty.states, info, profile, n_states=self.config.n_states
+            faulty.states, info, profile, n_states=self.config.n_states,
+            meter=meter,
         )
         for key in outcome.phase2_pairs:
             pair = info[key]
@@ -229,6 +285,8 @@ class ProposedSimulator:
 
         all_resolved = True
         for sequence in outcome.sequences:
+            if meter is not None:
+                meter.charge()
             status = resimulate_sequence(
                 injected.circuit,
                 self.patterns,
@@ -248,7 +306,7 @@ class ProposedSimulator:
                 num_sequences=len(outcome.sequences),
                 num_expansions=len(outcome.phase2_pairs),
             )
-        if self.config.forward_fallback and self._fallback_detects(fault):
+        if self.config.forward_fallback and self._fallback_detects(fault, meter):
             return FaultVerdict(
                 fault,
                 "mot",
@@ -265,8 +323,14 @@ class ProposedSimulator:
             num_expansions=len(outcome.phase2_pairs),
         )
 
-    def _fallback_detects(self, fault: Fault) -> bool:
-        """Retry with the [4] forward trial-gain expansion (one shot)."""
+    def _fallback_detects(
+        self, fault: Fault, meter: Optional[BudgetMeter] = None
+    ) -> bool:
+        """Retry with the [4] forward trial-gain expansion (one shot).
+
+        The fallback shares the caller's *meter*, so the fault budget
+        bounds the combined effort of both procedures.
+        """
         from repro.mot.baseline import BaselineConfig, BaselineSimulator
 
         if self._fallback is None:
@@ -276,6 +340,8 @@ class ProposedSimulator:
                 BaselineConfig(n_states=self.config.n_states),
                 reference_outputs=self.reference_outputs,
             )
+        if meter is not None:
+            return self._fallback._procedure(fault, meter).status == "mot"
         return self._fallback.simulate_fault(fault).status == "mot"
 
     @staticmethod

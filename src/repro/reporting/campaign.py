@@ -9,17 +9,33 @@ recoveries, abort counts, expansion effort histograms.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.circuit.netlist import Circuit
 from repro.mot.simulator import Campaign
 from repro.reporting.tables import Table
 
+#: ``how`` tags an ``"undetected"`` verdict may legitimately carry:
+#: nothing, or the [4] sequence-limit abort.  Anything else is counted
+#: explicitly in :attr:`CampaignSummary.unclassified` rather than being
+#: silently folded into the undetected bucket.
+KNOWN_UNDETECTED_HOW = frozenset(("", "aborted"))
+
 
 @dataclass
 class CampaignSummary:
-    """Derived statistics of one MOT campaign."""
+    """Derived statistics of one MOT campaign.
+
+    ``undetected`` counts only cleanly undetected faults;
+    ``aborted_budget`` counts faults whose per-fault budget ran out,
+    ``errored`` counts faults quarantined after an exception, and
+    ``unclassified`` maps unknown ``how`` tags on undetected verdicts to
+    their counts.  The buckets partition the campaign::
+
+        conventional + mot_extra + dropped + undetected
+        + aborted_budget + errored + sum(unclassified.values()) == total
+    """
 
     circuit: str
     total: int
@@ -31,6 +47,9 @@ class CampaignSummary:
     coverage_percent: float
     how_breakdown: Dict[str, int]
     expansion_histogram: Dict[int, int]
+    errored: int = 0
+    aborted_budget: int = 0
+    unclassified: Dict[str, int] = field(default_factory=dict)
 
 
 def summarize_campaign(campaign: Campaign) -> CampaignSummary:
@@ -44,6 +63,11 @@ def summarize_campaign(campaign: Campaign) -> CampaignSummary:
         for v in campaign.verdicts
         if v.status == "undetected" and v.how == "aborted"
     )
+    unclassified = Counter(
+        v.how
+        for v in campaign.verdicts
+        if v.status == "undetected" and v.how not in KNOWN_UNDETECTED_HOW
+    )
     total = campaign.total
     detected = campaign.total_detected
     return CampaignSummary(
@@ -52,11 +76,14 @@ def summarize_campaign(campaign: Campaign) -> CampaignSummary:
         conventional=campaign.conv_detected,
         mot_extra=campaign.mot_detected,
         dropped=campaign.count("dropped"),
-        undetected=campaign.count("undetected"),
+        undetected=campaign.count("undetected") - sum(unclassified.values()),
         aborted=aborted,
         coverage_percent=100.0 * detected / total if total else 0.0,
         how_breakdown=dict(how),
         expansion_histogram=dict(expansions),
+        errored=campaign.errored,
+        aborted_budget=campaign.aborted_budget,
+        unclassified=dict(unclassified),
     )
 
 
@@ -78,6 +105,26 @@ def render_campaign_report(
            if summary.aborted else ""),
         f"  fault coverage         : {summary.coverage_percent:.2f}%",
     ]
+    if summary.aborted_budget:
+        lines.insert(
+            -1,
+            f"  aborted (budget)       : {summary.aborted_budget}",
+        )
+    if summary.errored:
+        lines.insert(
+            -1,
+            f"  errored (quarantined)  : {summary.errored}",
+        )
+    if summary.unclassified:
+        tags = ", ".join(
+            f"{tag!r}: {count}"
+            for tag, count in sorted(summary.unclassified.items())
+        )
+        lines.insert(
+            -1,
+            f"  unclassified verdicts  : "
+            f"{sum(summary.unclassified.values())} ({tags})",
+        )
     if summary.how_breakdown:
         lines.append("  MOT detections by mechanism:")
         labels = {
@@ -102,12 +149,18 @@ def render_campaign_report(
 
 
 def campaign_csv(campaign: Campaign, circuit: Circuit) -> str:
-    """Per-fault verdicts as CSV (fault, status, how, counters)."""
+    """Per-fault verdicts as CSV (fault, status, how, counters, detail).
+
+    ``detail`` carries the budget limit or the first line of the
+    quarantined traceback for ``aborted`` / ``errored`` rows (flattened
+    to one line so the CSV stays one row per fault).
+    """
     table = Table(
         ["fault", "status", "how", "n_det", "n_conf", "n_extra",
-         "sequences", "expansions"]
+         "sequences", "expansions", "detail"]
     )
     for verdict in campaign.verdicts:
+        detail = verdict.detail.strip().splitlines()
         table.add_row(
             {
                 "fault": verdict.fault.describe(circuit),
@@ -118,6 +171,7 @@ def campaign_csv(campaign: Campaign, circuit: Circuit) -> str:
                 "n_extra": verdict.counters.n_extra,
                 "sequences": verdict.num_sequences,
                 "expansions": verdict.num_expansions,
+                "detail": detail[-1] if detail else "",
             }
         )
     return table.render_csv()

@@ -1,0 +1,54 @@
+"""Campaign execution runner: budgets, journaling, quarantine, resume.
+
+Public surface:
+
+* :mod:`repro.runner.errors` -- the shared error taxonomy;
+* :mod:`repro.runner.budget` -- per-fault work/time budgets;
+* :mod:`repro.runner.journal` -- JSONL checkpoint journal;
+* :mod:`repro.runner.harness` -- the resilient campaign harness.
+
+Submodules are loaded lazily (PEP 562): the simulators in ``repro.mot``
+import :mod:`repro.runner.budget` while :mod:`repro.runner.harness`
+imports the simulators, so an eager ``__init__`` would create an import
+cycle.
+"""
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    # errors
+    "ReproError": "errors",
+    "CircuitError": "errors",
+    "FaultModelError": "errors",
+    "BudgetExceeded": "errors",
+    "CampaignInterrupted": "errors",
+    "JournalError": "errors",
+    # budget
+    "FaultBudget": "budget",
+    "BudgetMeter": "budget",
+    "UNLIMITED": "budget",
+    # journal
+    "CampaignJournal": "journal",
+    "campaign_manifest": "journal",
+    "JOURNAL_VERSION": "journal",
+    # harness
+    "CampaignHarness": "harness",
+    "HarnessConfig": "harness",
+    "HarnessStats": "harness",
+    "run_campaign": "harness",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(f"{__name__}.{submodule}")
+    return getattr(module, name)
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,98 @@
+"""Per-fault work and wall-clock budgets.
+
+A :class:`FaultBudget` bounds how much effort one fault may consume; a
+:class:`BudgetMeter` enforces it cooperatively.  The MOT simulators call
+:meth:`BudgetMeter.charge` at every unit of expensive work -- each
+conventional simulation, each collected implication pair, each sequence
+created by expansion, each resimulated sequence -- so a pathological
+fault (an expansion blow-up, a quadratic resimulation) trips
+:class:`~repro.errors.BudgetExceeded` at the next charge point instead
+of hanging the whole campaign.  The simulators convert the exception
+into an explicit ``aborted``/``budget`` verdict.
+
+Budgets are cooperative, not preemptive: the wall-clock deadline is
+checked whenever work is charged, so the granularity is one simulator
+phase, not one instruction.  That is enough to bound every loop the
+procedures contain (all of them charge per iteration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import BudgetExceeded
+
+__all__ = ["FaultBudget", "BudgetMeter", "UNLIMITED"]
+
+
+@dataclass(frozen=True)
+class FaultBudget:
+    """Limits applied to the simulation of a single fault.
+
+    Attributes
+    ----------
+    wall_clock_ms:
+        Wall-clock deadline in milliseconds (``None`` = unlimited).
+    max_events:
+        Work-event ceiling (``None`` = unlimited).  One *event* is one
+        unit of simulator effort: a sequential simulation, one collected
+        backward pair, one sequence created by expansion, one
+        resimulated sequence.
+    """
+
+    wall_clock_ms: Optional[float] = None
+    max_events: Optional[int] = None
+
+    @property
+    def bounded(self) -> bool:
+        """True when at least one limit is set."""
+        return self.wall_clock_ms is not None or self.max_events is not None
+
+
+#: The no-op budget (every limit off).
+UNLIMITED = FaultBudget()
+
+
+class BudgetMeter:
+    """Charges work against a :class:`FaultBudget` for one fault.
+
+    A fresh meter is created per fault (its clock starts at
+    construction).  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        budget: FaultBudget,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.budget = budget
+        self.events = 0
+        self._clock = clock
+        self._started = clock()
+        self._deadline = (
+            self._started + budget.wall_clock_ms / 1000.0
+            if budget.wall_clock_ms is not None
+            else None
+        )
+
+    def elapsed_ms(self) -> float:
+        """Wall-clock milliseconds since the meter started."""
+        return (self._clock() - self._started) * 1000.0
+
+    def charge(self, events: int = 1) -> None:
+        """Record *events* units of work; raise on an exhausted budget.
+
+        Raises
+        ------
+        BudgetExceeded
+            When the cumulative event count exceeds ``max_events`` or
+            the wall-clock deadline has passed.
+        """
+        self.events += events
+        maximum = self.budget.max_events
+        if maximum is not None and self.events > maximum:
+            raise BudgetExceeded("events", self.events, self.elapsed_ms())
+        if self._deadline is not None and self._clock() > self._deadline:
+            raise BudgetExceeded("wall_clock", self.events, self.elapsed_ms())

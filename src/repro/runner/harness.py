@@ -1,0 +1,280 @@
+"""Resilient campaign execution harness.
+
+Wraps the per-fault loop of any MOT simulator
+(:class:`~repro.mot.simulator.ProposedSimulator`,
+:class:`~repro.mot.baseline.BaselineSimulator`, or anything exposing
+``simulate_fault``) with the production behaviors a long campaign
+needs:
+
+* **per-fault budgets** -- wall-clock and work-event limits
+  (:mod:`repro.runner.budget`); a runaway fault becomes an explicit
+  ``aborted``/``budget`` verdict instead of a hang;
+* **crash quarantine** -- an exception while simulating one fault is
+  captured (class name + traceback) as an ``errored`` verdict and the
+  campaign continues (``fail_fast`` restores the old die-on-first-error
+  behavior);
+* **checkpoint/resume** -- verdicts stream to a JSONL journal
+  (:mod:`repro.runner.journal`) every ``checkpoint_every`` faults; an
+  interrupted run resumed from the journal re-simulates only the
+  remaining faults, after the journal manifest (circuit, simulator,
+  config, patterns, fault list) is validated against the new run;
+* **clean interruption** -- SIGINT is handled at fault boundaries: the
+  in-flight fault finishes, the journal is flushed, and
+  :class:`~repro.errors.CampaignInterrupted` reports how far the run
+  got and where the checkpoint lives.
+
+The harness is deliberately simulator-agnostic: budgets are passed via
+the optional ``meter`` argument of ``simulate_fault`` when the
+simulator supports it, so future sharded / multiprocess runners can
+reuse the same journal and quarantine machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import inspect
+import signal
+import threading
+import traceback
+from dataclasses import asdict, dataclass, is_dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import BudgetExceeded, CampaignInterrupted, JournalError
+from repro.faults.model import Fault
+from repro.mot.simulator import Campaign, FaultVerdict
+from repro.runner.budget import BudgetMeter, FaultBudget
+from repro.runner.journal import (
+    CampaignJournal,
+    campaign_manifest,
+    verdict_to_record,
+)
+
+__all__ = ["HarnessConfig", "HarnessStats", "CampaignHarness", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Behavior knobs of :class:`CampaignHarness`.
+
+    Attributes
+    ----------
+    budget:
+        Per-fault :class:`~repro.runner.budget.FaultBudget` (``None``
+        defers to the simulator's own configured budget, if any).
+    checkpoint_path:
+        JSONL journal file; ``None`` disables checkpointing.
+    checkpoint_every:
+        Flush the journal after this many new verdicts.
+    resume:
+        Reuse verdicts from an existing journal at ``checkpoint_path``
+        (validated against this run's manifest).  When the journal does
+        not exist yet, the run starts fresh and creates it.
+    fail_fast:
+        Re-raise the first simulation exception instead of quarantining
+        it as an ``errored`` verdict.
+    handle_sigint:
+        Install a SIGINT handler for the duration of the run so Ctrl-C
+        stops at the next fault boundary with the journal flushed.
+        Ignored off the main thread (signals cannot be installed there).
+    """
+
+    budget: Optional[FaultBudget] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 25
+    resume: bool = False
+    fail_fast: bool = False
+    handle_sigint: bool = True
+
+
+@dataclass
+class HarnessStats:
+    """What the harness did beyond the verdicts themselves."""
+
+    simulated: int = 0
+    reused: int = 0
+    errored: int = 0
+    aborted: int = 0
+
+
+class CampaignHarness:
+    """Run a fault campaign to completion, whatever the faults do."""
+
+    def __init__(self, simulator: Any, config: Optional[HarnessConfig] = None):
+        self.simulator = simulator
+        self.config = config or HarnessConfig()
+        if self.config.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.config.resume and not self.config.checkpoint_path:
+            raise ValueError("resume requires a checkpoint path")
+        self.stats = HarnessStats()
+        self._interrupted = False
+        self._supports_meter = self._probe_meter_support(simulator)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _probe_meter_support(simulator: Any) -> bool:
+        try:
+            parameters = inspect.signature(simulator.simulate_fault).parameters
+        except (TypeError, ValueError):  # builtins / exotic callables
+            return False
+        return "meter" in parameters
+
+    def _manifest(self, faults: List[Fault]) -> Dict[str, Any]:
+        config = getattr(self.simulator, "config", None)
+        config_fields = asdict(config) if is_dataclass(config) else {}
+        # The harness budget bounds *effort*, not the verdict semantics a
+        # journal identifies, so it is not part of the resume fingerprint
+        # (a resumed run may legitimately raise the budget).
+        config_fields.pop("budget", None)
+        return campaign_manifest(
+            circuit_name=self.simulator.circuit.name,
+            simulator_kind=type(self.simulator).__name__,
+            config_fields=config_fields,
+            patterns=[list(p) for p in self.simulator.patterns],
+            faults=faults,
+        )
+
+    # ------------------------------------------------------------------
+    def _simulate_one(self, fault: Fault) -> FaultVerdict:
+        """Simulate one fault with budget + quarantine semantics."""
+        kwargs: Dict[str, Any] = {}
+        budget = self.config.budget
+        if budget is not None and budget.bounded and self._supports_meter:
+            kwargs["meter"] = BudgetMeter(budget)
+        try:
+            verdict = self.simulator.simulate_fault(fault, **kwargs)
+        except BudgetExceeded as exc:
+            # Simulators convert this themselves; kept for simulators
+            # that let the meter's exception escape.
+            verdict = FaultVerdict(fault, "aborted", how="budget",
+                                   detail=str(exc))
+        except KeyboardInterrupt:
+            self._interrupted = True
+            raise
+        except Exception as exc:
+            if self.config.fail_fast:
+                raise
+            verdict = FaultVerdict(
+                fault,
+                "errored",
+                how=type(exc).__name__,
+                detail=traceback.format_exc(),
+            )
+        if verdict.status == "errored":
+            self.stats.errored += 1
+        elif verdict.status == "aborted":
+            self.stats.aborted += 1
+        return verdict
+
+    # ------------------------------------------------------------------
+    def run(self, faults: Iterable[Fault]) -> Campaign:
+        """Simulate every fault; always leaves a flushed journal behind.
+
+        Raises
+        ------
+        CampaignInterrupted
+            On SIGINT / KeyboardInterrupt, after flushing the journal.
+        JournalError
+            When ``resume`` finds a journal that does not match this
+            run.
+        """
+        fault_list = list(faults)
+        manifest = self._manifest(fault_list)
+        journal, reused = self._open_journal(fault_list, manifest)
+
+        verdicts: List[Optional[FaultVerdict]] = [None] * len(fault_list)
+        for index, verdict in reused.items():
+            if 0 <= index < len(fault_list):
+                verdicts[index] = verdict
+                self.stats.reused += 1
+
+        previous_handler = self._install_sigint()
+        try:
+            for index, fault in enumerate(fault_list):
+                if verdicts[index] is not None:
+                    continue
+                try:
+                    verdict = self._simulate_one(fault)
+                except KeyboardInterrupt:
+                    self._finish_journal(journal)
+                    raise CampaignInterrupted(
+                        completed=sum(v is not None for v in verdicts),
+                        journal_path=self.config.checkpoint_path,
+                    ) from None
+                verdicts[index] = verdict
+                self.stats.simulated += 1
+                if journal is not None:
+                    journal.append(verdict_to_record(index, verdict))
+                    if journal.pending >= self.config.checkpoint_every:
+                        journal.flush()
+                if self._interrupted:
+                    self._finish_journal(journal)
+                    raise CampaignInterrupted(
+                        completed=sum(v is not None for v in verdicts),
+                        journal_path=self.config.checkpoint_path,
+                    )
+            self._finish_journal(journal)
+        finally:
+            self._restore_sigint(previous_handler)
+        return Campaign(
+            circuit_name=self.simulator.circuit.name,
+            verdicts=[v for v in verdicts if v is not None],
+        )
+
+    # ------------------------------------------------------------------
+    def _open_journal(
+        self, fault_list: List[Fault], manifest: Dict[str, Any]
+    ):
+        """Create or resume the checkpoint journal.
+
+        Returns ``(journal or None, {index: reused verdict})``.
+        """
+        path = self.config.checkpoint_path
+        if path is None:
+            return None, {}
+        journal = CampaignJournal(path)
+        if self.config.resume:
+            try:
+                with open(path):
+                    pass
+            except OSError:
+                journal.create(manifest)  # first run of a resumable loop
+                return journal, {}
+            existing, reused = journal.load()
+            journal.validate_manifest(existing, manifest)
+            return journal, reused
+        journal.create(manifest)
+        return journal, {}
+
+    @staticmethod
+    def _finish_journal(journal: Optional[CampaignJournal]) -> None:
+        if journal is not None:
+            journal.flush()
+
+    # ------------------------------------------------------------------
+    def _install_sigint(self):
+        if not self.config.handle_sigint:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def _request_stop(_signum, _frame):
+            self._interrupted = True
+
+        try:
+            return signal.signal(signal.SIGINT, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            return None
+
+    @staticmethod
+    def _restore_sigint(previous) -> None:
+        if previous is not None:
+            signal.signal(signal.SIGINT, previous)
+
+
+def run_campaign(
+    simulator: Any,
+    faults: Iterable[Fault],
+    config: Optional[HarnessConfig] = None,
+) -> Campaign:
+    """One-shot convenience: ``CampaignHarness(simulator, config).run()``."""
+    return CampaignHarness(simulator, config).run(faults)

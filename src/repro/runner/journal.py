@@ -1,0 +1,240 @@
+"""JSONL checkpoint journal for campaign runs.
+
+A journal is an append-only JSONL file:
+
+* line 1 -- the **manifest**: journal format version, circuit name,
+  fault count, and a hash over everything that determines the campaign
+  (simulator class, config, pattern sequence, fault list).  Resumption
+  refuses a journal whose manifest does not match the run being resumed,
+  so stale or mismatched checkpoints can never be silently merged.
+* every further line -- one **verdict record**: the fault-list index,
+  the serialized fault (for cross-checking), and the full
+  :class:`~repro.mot.simulator.FaultVerdict` payload, so a resumed
+  campaign reproduces byte-identical reports without re-simulating.
+
+Records are buffered and flushed every ``checkpoint_every`` verdicts by
+the harness (and always on interruption), bounding both the I/O cost
+and the worst-case re-simulation after a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.circuit.netlist import Pin
+from repro.errors import JournalError
+from repro.faults.model import Fault
+from repro.mot.simulator import FaultCounters, FaultVerdict
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "CampaignJournal",
+    "campaign_manifest",
+    "fault_to_payload",
+    "fault_from_payload",
+    "verdict_to_record",
+    "verdict_from_record",
+]
+
+JOURNAL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def fault_to_payload(fault: Fault) -> Dict[str, Any]:
+    """JSON-serializable view of a :class:`Fault`."""
+    payload: Dict[str, Any] = {"line": fault.line, "stuck_at": fault.stuck_at}
+    if fault.pin is not None:
+        payload["pin"] = [fault.pin.kind, fault.pin.index, fault.pin.pos]
+    return payload
+
+
+def fault_from_payload(payload: Dict[str, Any]) -> Fault:
+    """Inverse of :func:`fault_to_payload`."""
+    pin = payload.get("pin")
+    return Fault(
+        line=int(payload["line"]),
+        stuck_at=int(payload["stuck_at"]),
+        pin=Pin(pin[0], int(pin[1]), int(pin[2])) if pin else None,
+    )
+
+
+def verdict_to_record(index: int, verdict: FaultVerdict) -> Dict[str, Any]:
+    """One journal line for *verdict* at fault-list position *index*."""
+    return {
+        "kind": "verdict",
+        "index": index,
+        "fault": fault_to_payload(verdict.fault),
+        "status": verdict.status,
+        "how": verdict.how,
+        "detail": verdict.detail,
+        "counters": [
+            verdict.counters.n_det,
+            verdict.counters.n_conf,
+            verdict.counters.n_extra,
+        ],
+        "num_sequences": verdict.num_sequences,
+        "num_expansions": verdict.num_expansions,
+    }
+
+
+def verdict_from_record(record: Dict[str, Any]) -> FaultVerdict:
+    """Inverse of :func:`verdict_to_record`."""
+    n_det, n_conf, n_extra = record["counters"]
+    return FaultVerdict(
+        fault=fault_from_payload(record["fault"]),
+        status=record["status"],
+        how=record["how"],
+        detail=record.get("detail", ""),
+        counters=FaultCounters(n_det=n_det, n_conf=n_conf, n_extra=n_extra),
+        num_sequences=record["num_sequences"],
+        num_expansions=record["num_expansions"],
+    )
+
+
+def _stable_digest(value: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of *value*."""
+    encoded = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def campaign_manifest(
+    circuit_name: str,
+    simulator_kind: str,
+    config_fields: Dict[str, Any],
+    patterns: List[List[int]],
+    faults: List[Fault],
+) -> Dict[str, Any]:
+    """Build the manifest identifying one campaign.
+
+    ``config_hash`` covers the simulator class, its configuration, the
+    pattern sequence and the fault list -- everything that changes the
+    verdicts.  The budget is deliberately *excluded* from the hash via
+    ``config_fields`` normalization by the caller when desired; by
+    default whatever is passed in is hashed.
+    """
+    fingerprint = {
+        "circuit": circuit_name,
+        "simulator": simulator_kind,
+        "config": config_fields,
+        "patterns": patterns,
+        "faults": [fault_to_payload(f) for f in faults],
+    }
+    return {
+        "kind": "manifest",
+        "version": JOURNAL_VERSION,
+        "circuit": circuit_name,
+        "simulator": simulator_kind,
+        "num_faults": len(faults),
+        "config_hash": _stable_digest(fingerprint),
+    }
+
+
+# ----------------------------------------------------------------------
+# The journal file
+# ----------------------------------------------------------------------
+class CampaignJournal:
+    """Buffered append-only JSONL checkpoint file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._buffer: List[str] = []
+
+    # -------------------------------------------------------------- write
+    def create(self, manifest: Dict[str, Any]) -> None:
+        """Start a fresh journal (truncates any existing file)."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w") as handle:
+            handle.write(json.dumps(manifest, sort_keys=True) + "\n")
+        self._buffer = []
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Buffer one verdict record (written on the next flush)."""
+        self._buffer.append(json.dumps(record, sort_keys=True))
+
+    def flush(self) -> None:
+        """Durably append every buffered record."""
+        if not self._buffer:
+            return
+        with open(self.path, "a") as handle:
+            handle.write("\n".join(self._buffer) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._buffer = []
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered, not-yet-flushed records."""
+        return len(self._buffer)
+
+    # --------------------------------------------------------------- read
+    def load(self) -> Tuple[Dict[str, Any], Dict[int, FaultVerdict]]:
+        """Read the journal back: ``(manifest, {fault index: verdict})``.
+
+        A trailing partial line (from a crash mid-write) is tolerated
+        and dropped; any other malformed content raises
+        :class:`~repro.errors.JournalError`.
+        """
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {self.path}: {exc}") from None
+        if not lines:
+            raise JournalError(f"journal {self.path} is empty")
+        manifest = self._parse_line(lines[0], line_number=1)
+        if manifest.get("kind") != "manifest":
+            raise JournalError(
+                f"journal {self.path} does not start with a manifest"
+            )
+        if manifest.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal {self.path} has version {manifest.get('version')!r}, "
+                f"expected {JOURNAL_VERSION}"
+            )
+        verdicts: Dict[int, FaultVerdict] = {}
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = self._parse_line(line, line_number=number)
+            except JournalError:
+                if number == len(lines):  # torn tail write: drop it
+                    break
+                raise
+            if record.get("kind") != "verdict":
+                raise JournalError(
+                    f"journal {self.path}: line {number}: unexpected record "
+                    f"kind {record.get('kind')!r}"
+                )
+            verdicts[int(record["index"])] = verdict_from_record(record)
+        return manifest, verdicts
+
+    def validate_manifest(self, manifest: Dict[str, Any],
+                          expected: Dict[str, Any]) -> None:
+        """Refuse resumption when *manifest* does not match *expected*."""
+        for key in ("circuit", "simulator", "num_faults", "config_hash"):
+            if manifest.get(key) != expected.get(key):
+                raise JournalError(
+                    f"journal {self.path} does not match this run: "
+                    f"{key} is {manifest.get(key)!r}, expected "
+                    f"{expected.get(key)!r} (refusing to resume)"
+                )
+
+    def _parse_line(self, line: str, line_number: int) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {self.path}: line {line_number}: {exc}"
+            ) from None
+        if not isinstance(parsed, dict):
+            raise JournalError(
+                f"journal {self.path}: line {line_number}: not an object"
+            )
+        return parsed

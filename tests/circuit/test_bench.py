@@ -61,6 +61,41 @@ def test_parse_rejects_unknown_gate():
         parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n", "c")
 
 
+def test_parse_rejects_duplicate_definition_with_both_lines():
+    with pytest.raises(
+        CircuitError,
+        match=r"c\.bench: line 4: duplicate definition of 'y' "
+              r"\(first defined at line 3\)",
+    ):
+        parse_bench(
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n", "c.bench"
+        )
+
+
+def test_parse_rejects_redefined_input():
+    with pytest.raises(CircuitError, match="line 2: duplicate definition"):
+        parse_bench("INPUT(a)\nINPUT(a)\n", "c.bench")
+
+
+def test_parse_rejects_dangling_fanin_reference():
+    with pytest.raises(
+        CircuitError,
+        match=r"c\.bench: line 3: reference to 'ghost', "
+              r"which is never defined",
+    ):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "c.bench")
+
+
+def test_parse_rejects_undefined_output_declaration():
+    with pytest.raises(CircuitError, match="'nowhere', which is never defined"):
+        parse_bench("INPUT(a)\nOUTPUT(nowhere)\ny = NOT(a)\n", "c.bench")
+
+
+def test_parse_errors_carry_file_name_and_line():
+    with pytest.raises(CircuitError, match=r"^my/file\.bench: line 2: "):
+        parse_bench("INPUT(a)\nq = DFF(a, a)\n", "my/file.bench")
+
+
 def test_roundtrip_s27():
     original = parse_bench(S27_BENCH, "s27")
     reparsed = parse_bench(write_bench(original), "s27rt")

@@ -93,3 +93,38 @@ def test_unknown_type_rejected():
 def test_unknown_reference_rejected():
     with pytest.raises(CircuitError):
         parse_isc("1 A inpt 1 0\n2 Y not 0 1\n99\n")
+
+
+def test_duplicate_address_rejected_with_both_lines():
+    with pytest.raises(
+        CircuitError,
+        match=r"c\.isc: line 2: duplicate entry '1' "
+              r"\(first defined at line 1\)",
+    ):
+        parse_isc("1 A inpt 1 0\n1 B inpt 1 0\n", "c.isc")
+
+
+def test_duplicate_name_rejected():
+    with pytest.raises(CircuitError, match="duplicate entry 'A'"):
+        parse_isc("1 A inpt 1 0\n2 A not 0 1\n1\n", "c.isc")
+
+
+def test_dangling_reference_cites_referrer_line():
+    with pytest.raises(
+        CircuitError,
+        match=r"c\.isc: line 2: Y: fanin reference '99' "
+              r"does not match any entry",
+    ):
+        parse_isc("1 A inpt 1 0\n2 Y not 0 1\n99\n", "c.isc")
+
+
+def test_non_integer_counts_rejected_with_line():
+    with pytest.raises(
+        CircuitError, match="line 2: fanout/fanin counts must be integers"
+    ):
+        parse_isc("1 A inpt 1 0\n2 Y not zero one\n1\n", "c.isc")
+
+
+def test_errors_carry_file_name():
+    with pytest.raises(CircuitError, match=r"^toggle\.isc: line 1: "):
+        parse_isc("1 A\n", "toggle.isc")

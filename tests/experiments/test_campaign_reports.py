@@ -5,7 +5,7 @@ from repro.faults.collapse import collapse_faults
 from repro.faults.injection import inject_fault
 from repro.faults.model import Fault
 from repro.logic.values import ONE
-from repro.mot.simulator import ProposedSimulator
+from repro.mot.simulator import Campaign, FaultVerdict, ProposedSimulator
 from repro.patterns.random_gen import random_patterns
 from repro.reporting.campaign import (
     campaign_csv,
@@ -40,6 +40,65 @@ def test_summary_consistency():
     )
     assert 0.0 <= summary.coverage_percent <= 100.0
     assert summary.circuit == "s27"
+
+
+def test_summary_counts_unknown_how_tags_explicitly():
+    """An ``undetected`` verdict with an unrecognized ``how`` tag must
+    not be silently folded into the undetected bucket (regression: a
+    misspelled or future tag used to vanish into the coverage math)."""
+    circuit = s27()
+    faults = collapse_faults(circuit)[:4]
+    campaign = Campaign(
+        circuit_name=circuit.name,
+        verdicts=[
+            FaultVerdict(faults[0], "conv"),
+            FaultVerdict(faults[1], "undetected"),
+            FaultVerdict(faults[2], "undetected", how="aborted"),
+            FaultVerdict(faults[3], "undetected", how="mystery"),
+        ],
+    )
+    summary = summarize_campaign(campaign)
+    assert summary.unclassified == {"mystery": 1}
+    assert summary.undetected == 2  # plain + aborted-at-limit only
+    assert summary.aborted == 1
+    text = render_campaign_report(campaign, circuit)
+    assert "unclassified verdicts  : 1 ('mystery': 1)" in text
+
+
+def test_summary_partitions_errored_and_aborted_budget():
+    circuit = s27()
+    faults = collapse_faults(circuit)[:4]
+    campaign = Campaign(
+        circuit_name=circuit.name,
+        verdicts=[
+            FaultVerdict(faults[0], "conv"),
+            FaultVerdict(faults[1], "errored", how="RuntimeError",
+                         detail="Traceback...\nRuntimeError: boom"),
+            FaultVerdict(faults[2], "aborted", how="budget",
+                         detail="budget exceeded (events)"),
+            FaultVerdict(faults[3], "undetected"),
+        ],
+    )
+    summary = summarize_campaign(campaign)
+    assert summary.errored == 1
+    assert summary.aborted_budget == 1
+    assert (
+        summary.conventional
+        + summary.mot_extra
+        + summary.dropped
+        + summary.undetected
+        + summary.aborted_budget
+        + summary.errored
+        + sum(summary.unclassified.values())
+        == summary.total
+    )
+    text = render_campaign_report(campaign, circuit)
+    assert "aborted (budget)       : 1" in text
+    assert "errored (quarantined)  : 1" in text
+    # CSV flattens the detail to its last line, one row per fault.
+    csv_text = campaign_csv(campaign, circuit)
+    assert "RuntimeError: boom" in csv_text
+    assert len(csv_text.strip().splitlines()) == campaign.total + 1
 
 
 def test_report_render():

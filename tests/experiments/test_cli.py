@@ -146,6 +146,51 @@ def test_mot_csv_flag(tmp_path, capsys):
     assert "fault,status" in target.read_text()
 
 
+def test_mot_budget_flag_reports_aborts(capsys):
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--budget-events", "2", "--report"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "aborted (budget)" in out
+
+
+def test_mot_checkpoint_and_resume(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    base = ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+            "--checkpoint", str(journal)]
+    assert main(base) == 0
+    capsys.readouterr()
+    first_lines = journal.read_text().splitlines()
+    assert len(first_lines) > 1  # manifest + verdicts
+
+    assert main(base + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "verdicts reused, 0 simulated" in out
+
+
+def test_mot_resume_refuses_mismatched_journal(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--checkpoint", str(journal)]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "2",
+         "--checkpoint", str(journal), "--resume"]
+    ) == 1
+    err = capsys.readouterr().err
+    assert "refusing to resume" in err
+
+
+def test_mot_resume_requires_checkpoint(capsys):
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "8", "--resume"]
+    ) == 1
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
 def test_scan_subcommand(capsys):
     assert main(["scan", "s27", "--fault-cap", "30"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Tests for per-fault budgets and the aborted:budget verdict path."""
+
+import pytest
+
+from repro.circuits.library import s27
+from repro.errors import BudgetExceeded
+from repro.faults.collapse import collapse_faults
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.runner.budget import UNLIMITED, BudgetMeter, FaultBudget
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_unbounded_budget_never_trips():
+    meter = BudgetMeter(UNLIMITED)
+    meter.charge(10**9)
+    meter.charge(10**9)
+    assert not UNLIMITED.bounded
+
+
+def test_event_budget_trips_past_limit():
+    meter = BudgetMeter(FaultBudget(max_events=3))
+    meter.charge(3)  # exactly at the limit: fine
+    with pytest.raises(BudgetExceeded) as excinfo:
+        meter.charge()
+    assert excinfo.value.reason == "events"
+    assert excinfo.value.spent_events == 4
+
+
+def test_wall_clock_budget_trips_on_deadline():
+    clock = FakeClock()
+    meter = BudgetMeter(FaultBudget(wall_clock_ms=50.0), clock=clock)
+    meter.charge()
+    clock.now += 0.051  # 51 ms
+    with pytest.raises(BudgetExceeded) as excinfo:
+        meter.charge()
+    assert excinfo.value.reason == "wall_clock"
+    assert excinfo.value.elapsed_ms == pytest.approx(51.0)
+
+
+def _patterns():
+    return random_patterns(4, 16, seed=1)
+
+
+def test_proposed_budget_yields_aborted_verdicts():
+    """An event budget too small for expansion turns the expensive
+    faults into explicit aborted:budget verdicts; cheap (conventional /
+    dropped) faults are untouched and the campaign completes."""
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    tight = ProposedSimulator(
+        circuit, _patterns(), MotConfig(budget=FaultBudget(max_events=2))
+    ).run(faults)
+    free = ProposedSimulator(circuit, _patterns()).run(faults)
+
+    assert tight.total == free.total == len(faults)
+    assert tight.aborted_budget > 0
+    aborted = [v for v in tight.verdicts if v.status == "aborted"]
+    assert all(v.how == "budget" for v in aborted)
+    assert all("budget exceeded" in v.detail for v in aborted)
+    assert not any(v.detected for v in aborted)
+    # Faults decided before the budget charge points agree exactly.
+    for tight_v, free_v in zip(tight.verdicts, free.verdicts):
+        if free_v.status in ("conv", "dropped"):
+            assert tight_v.status == free_v.status
+
+
+def test_proposed_generous_budget_changes_nothing():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    budgeted = ProposedSimulator(
+        circuit, _patterns(), MotConfig(budget=FaultBudget(max_events=10**9))
+    ).run(faults)
+    free = ProposedSimulator(circuit, _patterns()).run(faults)
+    assert [v.status for v in budgeted.verdicts] == [
+        v.status for v in free.verdicts
+    ]
+
+
+def test_baseline_budget_yields_aborted_verdicts():
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    campaign = BaselineSimulator(
+        circuit,
+        _patterns(),
+        BaselineConfig(budget=FaultBudget(max_events=2)),
+    ).run(faults)
+    assert campaign.total == len(faults)
+    assert campaign.aborted_budget > 0
+
+
+def test_external_meter_propagates_budget_exceeded():
+    """A caller-owned meter is the caller's to convert: the simulator
+    must not swallow the exception (the harness pools budgets across
+    the proposed procedure and its forward fallback this way)."""
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    simulator = ProposedSimulator(circuit, _patterns())
+    meter = BudgetMeter(FaultBudget(max_events=1))
+    with pytest.raises(BudgetExceeded):
+        for fault in faults:
+            simulator.simulate_fault(fault, meter=meter)

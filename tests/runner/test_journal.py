@@ -1,0 +1,129 @@
+"""Tests for the JSONL checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.circuit.netlist import Pin
+from repro.circuits.library import s27
+from repro.errors import JournalError
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.mot.simulator import FaultCounters, FaultVerdict
+from repro.runner.journal import (
+    JOURNAL_VERSION,
+    CampaignJournal,
+    campaign_manifest,
+    fault_from_payload,
+    fault_to_payload,
+    verdict_from_record,
+    verdict_to_record,
+)
+
+
+def test_fault_payload_roundtrip_stem_and_branch():
+    stem = Fault(7, 1, None)
+    branch = Fault(7, 0, Pin("gate", 3, 1))
+    for fault in (stem, branch):
+        assert fault_from_payload(fault_to_payload(fault)) == fault
+    # Payloads must survive a JSON encode/decode cycle too.
+    assert fault_from_payload(
+        json.loads(json.dumps(fault_to_payload(branch)))
+    ) == branch
+
+
+def test_verdict_record_roundtrip():
+    verdict = FaultVerdict(
+        fault=Fault(3, 0, Pin("flop", 1, 0)),
+        status="errored",
+        how="RuntimeError",
+        detail="Traceback...\nRuntimeError: boom",
+        counters=FaultCounters(n_det=2, n_conf=1, n_extra=4),
+        num_sequences=5,
+        num_expansions=6,
+    )
+    record = verdict_to_record(11, verdict)
+    assert record["index"] == 11
+    assert verdict_from_record(json.loads(json.dumps(record))) == verdict
+
+
+def _manifest(seed=1):
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    return campaign_manifest(
+        circuit_name=circuit.name,
+        simulator_kind="ProposedSimulator",
+        config_fields={"seed": seed},
+        patterns=[[0, 1, 0, 1]],
+        faults=faults,
+    )
+
+
+def test_manifest_hash_tracks_config():
+    assert _manifest(seed=1) == _manifest(seed=1)
+    a, b = _manifest(seed=1), _manifest(seed=2)
+    assert a["config_hash"] != b["config_hash"]
+
+
+def test_journal_roundtrip_and_flush(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    journal = CampaignJournal(path)
+    manifest = _manifest()
+    journal.create(manifest)
+    verdict = FaultVerdict(Fault(1, 0, None), "conv")
+    journal.append(verdict_to_record(0, verdict))
+    assert journal.pending == 1
+    # Not yet flushed: a reader sees only the manifest.
+    _, before = CampaignJournal(path).load()
+    assert before == {}
+    journal.flush()
+    assert journal.pending == 0
+    loaded_manifest, verdicts = CampaignJournal(path).load()
+    assert loaded_manifest == manifest
+    assert verdicts == {0: verdict}
+
+
+def test_journal_tolerates_torn_tail_line(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    journal = CampaignJournal(path)
+    journal.create(_manifest())
+    journal.append(verdict_to_record(0, FaultVerdict(Fault(1, 0, None), "conv")))
+    journal.flush()
+    with open(path, "a") as handle:
+        handle.write('{"kind": "verdict", "index": 1, "stat')  # crash mid-write
+    _, verdicts = CampaignJournal(path).load()
+    assert set(verdicts) == {0}
+
+
+def test_journal_rejects_garbage_in_the_middle(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    journal = CampaignJournal(path)
+    journal.create(_manifest())
+    with open(path, "a") as handle:
+        handle.write("not json\n")
+        handle.write(
+            json.dumps(verdict_to_record(0, FaultVerdict(Fault(1, 0, None),
+                                                         "conv"))) + "\n"
+        )
+    with pytest.raises(JournalError):
+        CampaignJournal(path).load()
+
+
+def test_journal_rejects_missing_manifest_and_bad_version(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"kind": "verdict", "index": 0}) + "\n")
+    with pytest.raises(JournalError, match="manifest"):
+        CampaignJournal(path).load()
+    bad = dict(_manifest(), version=JOURNAL_VERSION + 1)
+    with open(path, "w") as handle:
+        handle.write(json.dumps(bad) + "\n")
+    with pytest.raises(JournalError, match="version"):
+        CampaignJournal(path).load()
+
+
+def test_validate_manifest_refuses_mismatch(tmp_path):
+    journal = CampaignJournal(str(tmp_path / "run.jsonl"))
+    with pytest.raises(JournalError, match="config_hash.*refusing to resume"):
+        journal.validate_manifest(_manifest(seed=1), _manifest(seed=2))
+    journal.validate_manifest(_manifest(seed=1), _manifest(seed=1))
