@@ -1,11 +1,15 @@
 """Microbenchmarks of the simulation substrate.
 
 Not a paper table -- these keep the hot paths honest: single-frame
-evaluation, sequential simulation, fault injection, implication runs and
-fault collapsing.  pytest-benchmark measures them with real rounds.
+evaluation, sequential simulation, fault injection, implication runs,
+fault collapsing, and serial-vs-sharded MOT campaign throughput.
+pytest-benchmark measures them with real rounds.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 from repro.circuits.registry import build_circuit
 from repro.faults.collapse import collapse_faults
@@ -96,6 +100,96 @@ def test_deductive_fault_sim_s208_like(benchmark):
         lambda: simulator.run(patterns, state), rounds=3, iterations=1
     )
     assert detected
+
+
+def _mot_workload():
+    circuit = build_circuit("s27")
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(4, 32, seed=3)
+    return circuit, faults, patterns
+
+
+def test_mot_campaign_serial_s27(benchmark):
+    """Serial MOT campaign through the harness: the reference point."""
+    from repro.mot.simulator import ProposedSimulator
+    from repro.runner.harness import CampaignHarness, HarnessConfig
+
+    circuit, faults, patterns = _mot_workload()
+    campaign = benchmark.pedantic(
+        lambda: CampaignHarness(
+            ProposedSimulator(circuit, patterns),
+            HarnessConfig(handle_sigint=False),
+        ).run(faults),
+        rounds=3,
+        iterations=1,
+    )
+    assert campaign.total == len(faults)
+
+
+def test_mot_campaign_parallel_s27(benchmark):
+    """Sharded campaign at --workers 4.
+
+    The verdict lists must be identical to the serial run on any host
+    (the correctness half of the acceptance criterion); the >= 2x
+    speedup half is only asserted when the host actually has the cores
+    to show it.
+    """
+    from repro.mot.simulator import ProposedSimulator
+    from repro.runner.harness import CampaignHarness, HarnessConfig
+    from repro.runner.parallel import ParallelConfig, run_parallel_campaign
+
+    circuit, faults, patterns = _mot_workload()
+    start = time.perf_counter()
+    serial = CampaignHarness(
+        ProposedSimulator(circuit, patterns),
+        HarnessConfig(handle_sigint=False),
+    ).run(faults)
+    serial_seconds = time.perf_counter() - start
+
+    parallel = benchmark.pedantic(
+        lambda: run_parallel_campaign(
+            ProposedSimulator(circuit, patterns),
+            faults,
+            ParallelConfig(workers=4),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert parallel.verdicts == serial.verdicts
+    if (os.cpu_count() or 1) >= 4:
+        assert benchmark.stats.stats.min <= serial_seconds / 2.0, (
+            f"expected >= 2x speedup at 4 workers: serial "
+            f"{serial_seconds:.3f}s, parallel best "
+            f"{benchmark.stats.stats.min:.3f}s"
+        )
+
+
+def test_goodcache_construction_s1423_like(benchmark):
+    """One good-machine simulation with per-frame values kept."""
+    from repro.sim.goodcache import GoodMachineCache
+
+    circuit = build_circuit("s1423_like")
+    patterns = random_patterns(circuit.num_inputs, 32, seed=0)
+    cache = benchmark(lambda: GoodMachineCache.compute(circuit, patterns))
+    assert cache.length == 32
+
+
+def test_simulator_setup_with_shared_goodcache_s1423_like(benchmark):
+    """Building several simulators against one shared cache: the cost
+    the cache exists to remove (compare with the construction bench)."""
+    from repro.mot.simulator import ProposedSimulator
+    from repro.sim.goodcache import GoodMachineCache
+
+    circuit = build_circuit("s1423_like")
+    patterns = random_patterns(circuit.num_inputs, 32, seed=0)
+    cache = GoodMachineCache.compute(circuit, patterns)
+    simulators = benchmark(
+        lambda: [
+            ProposedSimulator(circuit, patterns, good_cache=cache)
+            for _ in range(4)
+        ]
+    )
+    assert all(s.good_cache is cache for s in simulators)
 
 
 def test_pessimism_quantifier_s27(benchmark):

@@ -21,10 +21,18 @@ Campaign resilience (``mot`` subcommand): ``--budget-ms`` /
 ``--checkpoint FILE`` journals verdicts so ``--resume`` continues an
 interrupted run, and ``--fail-fast`` turns off crash quarantine.
 
+Campaign scale (``mot`` subcommand): ``--workers N`` shards the fault
+list over N worker processes (``--shard-strategy`` picks round-robin or
+size-aware shards); the fault-free response is computed once and shared
+with every worker, shard journals are merged back into the single
+``--checkpoint`` format, and verdicts are identical to a serial run.
+
 Exit codes: 0 success; 1 usage or input error (taxonomy:
-:class:`repro.errors.ReproError`); 2 argparse errors; 3 campaign
-completed but quarantined at least one errored fault; 130 interrupted
-(SIGINT) with the checkpoint journal flushed.
+:class:`repro.errors.ReproError`), including crashed campaign workers
+(journaled verdicts are merged first, so ``--resume`` completes the
+run); 2 argparse errors; 3 campaign completed but quarantined at least
+one errored fault; 130 interrupted (SIGINT) with the checkpoint journal
+flushed.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ import sys
 from typing import List, Optional
 
 from repro.circuit.bench import load_bench
-from repro.errors import CampaignInterrupted, ReproError
+from repro.errors import CampaignInterrupted, ReproError, WorkerCrashed
 from repro.circuit.netlist import Circuit
 from repro.circuit.stats import circuit_stats
 from repro.circuits.registry import benchmark_entries, build_circuit
@@ -51,6 +59,12 @@ from repro.patterns.random_gen import random_patterns
 from repro.reporting.tables import Table
 from repro.runner.budget import FaultBudget
 from repro.runner.harness import CampaignHarness, HarnessConfig
+from repro.runner.parallel import (
+    SHARD_STRATEGIES,
+    ParallelCampaignRunner,
+    ParallelConfig,
+)
+from repro.sim.goodcache import GoodMachineCache
 
 #: Exit codes (see module docstring).
 EXIT_OK = 0
@@ -151,6 +165,9 @@ def cmd_mot(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args)
     faults = _faults(circuit, args.uncollapsed)
     patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
+    # One good-machine simulation for the whole campaign -- shared by
+    # the simulator, its forward fallback, and every worker process.
+    good_cache = GoodMachineCache.compute(circuit, patterns)
     if args.unrestricted:
         from repro.mot.unrestricted import (
             UnrestrictedConfig,
@@ -164,11 +181,13 @@ def cmd_mot(args: argparse.Namespace) -> int:
                 n_references=args.n_references,
                 restricted=MotConfig(n_states=args.n_states),
             ),
+            good_cache=good_cache,
         )
         label = f"unrestricted MOT ({simulator.n_references} references)"
     elif args.baseline:
         simulator = BaselineSimulator(
-            circuit, patterns, BaselineConfig(n_states=args.n_states)
+            circuit, patterns, BaselineConfig(n_states=args.n_states),
+            good_cache=good_cache,
         )
         label = "[4] baseline"
     else:
@@ -180,28 +199,44 @@ def cmd_mot(args: argparse.Namespace) -> int:
                 implication_mode=args.implication_mode,
                 backward_depth=args.depth,
             ),
+            good_cache=good_cache,
         )
         label = "proposed procedure"
-    harness = CampaignHarness(
-        simulator,
-        HarnessConfig(
-            budget=_mot_budget(args),
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            resume=args.resume,
-            fail_fast=args.fail_fast,
-        ),
-    )
-    campaign = harness.run(faults)
+    if args.workers > 1:
+        runner = ParallelCampaignRunner(
+            simulator,
+            ParallelConfig(
+                workers=args.workers,
+                shard_strategy=args.shard_strategy,
+                budget=_mot_budget(args),
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                fail_fast=args.fail_fast,
+            ),
+        )
+        label += f", {args.workers} workers ({args.shard_strategy})"
+    else:
+        runner = CampaignHarness(
+            simulator,
+            HarnessConfig(
+                budget=_mot_budget(args),
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+                fail_fast=args.fail_fast,
+            ),
+        )
+    campaign = runner.run(faults)
     print(
         f"{circuit.name} ({label}): conventional {campaign.conv_detected}, "
         f"MOT extra {campaign.mot_detected}, total "
         f"{campaign.total_detected} of {campaign.total}"
     )
-    if harness.stats.reused:
+    if runner.stats.reused:
         print(
-            f"  resumed from {args.checkpoint}: {harness.stats.reused} "
-            f"verdicts reused, {harness.stats.simulated} simulated"
+            f"  resumed from {args.checkpoint}: {runner.stats.reused} "
+            f"verdicts reused, {runner.stats.simulated} simulated"
         )
     if campaign.aborted_budget:
         print(f"  aborted (budget): {campaign.aborted_budget}")
@@ -406,6 +441,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-raise the first per-fault exception instead of "
              "quarantining it as an errored verdict",
     )
+    p_mot.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="shard the fault list over N worker processes (verdicts "
+             "are identical to a serial run; shard journals merge into "
+             "the --checkpoint file)",
+    )
+    p_mot.add_argument(
+        "--shard-strategy", choices=SHARD_STRATEGIES,
+        default="round_robin",
+        help="how faults are assigned to workers: round_robin "
+             "(interleaved) or size_aware (balanced by a structural "
+             "cost estimate)",
+    )
     p_mot.set_defaults(func=cmd_mot)
 
     for name, func, help_text in (
@@ -472,6 +520,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
         return EXIT_INTERRUPTED
+    except WorkerCrashed as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.journal_path:
+            print(
+                f"resume with: --checkpoint {exc.journal_path} --resume",
+                file=sys.stderr,
+            )
+        return EXIT_FAILURE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_FAILURE

@@ -35,6 +35,12 @@ drivers) can distinguish *our* diagnostics from genuine bugs with one
     A checkpoint journal could not be read, or its manifest does not
     match the run being resumed (:mod:`repro.runner.journal`).
 
+``WorkerCrashed``
+    One or more worker processes of a sharded campaign died
+    (:mod:`repro.runner.parallel`); journaled verdicts were merged into
+    the campaign checkpoint before the error was raised, so the run can
+    be completed with ``--resume``.
+
 This module is intentionally a leaf (stdlib imports only): ``circuit``,
 ``faults``, ``mot`` and ``runner`` all import from it without cycles.
 """
@@ -103,3 +109,39 @@ class CampaignInterrupted(ReproError):
 
 class JournalError(ReproError):
     """Raised for unreadable or mismatched checkpoint journals."""
+
+
+class WorkerCrashed(ReproError):
+    """Raised when worker processes of a sharded campaign died.
+
+    The parent merges every verdict the dead workers journaled before
+    crashing into the campaign checkpoint first, so a checkpointed run
+    can be completed with ``--resume``.
+
+    Attributes
+    ----------
+    shards:
+        Shard ids whose worker process exited abnormally.
+    completed:
+        Verdicts recovered across all shards before the crash.
+    journal_path:
+        Merged checkpoint journal holding them (``None`` when
+        checkpointing was off -- the partial results are lost).
+    """
+
+    def __init__(
+        self,
+        shards: "list[int]",
+        completed: int,
+        journal_path: "str | None" = None,
+    ) -> None:
+        self.shards = list(shards)
+        self.completed = completed
+        self.journal_path = journal_path
+        where = f"; journal: {journal_path}" if journal_path else ""
+        plural = "s" if len(self.shards) != 1 else ""
+        super().__init__(
+            f"worker process{plural} for shard{plural} "
+            f"{', '.join(map(str, self.shards))} crashed; "
+            f"{completed} verdicts recovered{where}"
+        )

@@ -43,6 +43,7 @@ from repro.mot.resimulate import SequenceStatus, resimulate_sequence
 from repro.mot.simulator import Campaign, FaultVerdict
 from repro.runner.budget import BudgetMeter, FaultBudget
 from repro.sim.frame import eval_frame
+from repro.sim.goodcache import GoodMachineCache
 from repro.sim.sequential import (
     outputs_conflict,
     simulate_injected,
@@ -70,15 +71,25 @@ class BaselineSimulator:
         patterns: Sequence[Sequence[int]],
         config: Optional[BaselineConfig] = None,
         reference_outputs: Optional[Sequence[Sequence[int]]] = None,
+        good_cache: Optional[GoodMachineCache] = None,
     ) -> None:
-        """*reference_outputs* overrides the fault-free response (see
-        :class:`repro.mot.simulator.ProposedSimulator`)."""
+        """*reference_outputs* overrides the fault-free response and
+        *good_cache* supplies a precomputed fault-free trajectory (see
+        :class:`repro.mot.simulator.ProposedSimulator` for both)."""
         self.circuit = circuit
         self.patterns = [list(p) for p in patterns]
         self.config = config or BaselineConfig()
         if self.config.schedule not in ("oneshot", "iterative"):
             raise ValueError(f"unknown schedule {self.config.schedule!r}")
-        self.reference = simulate_sequence(circuit, self.patterns)
+        self.good_cache = (
+            good_cache.require_match(circuit, self.patterns)
+            if good_cache is not None
+            else None
+        )
+        if self.good_cache is not None:
+            self.reference = self.good_cache.result
+        else:
+            self.reference = simulate_sequence(circuit, self.patterns)
         if reference_outputs is not None:
             if len(reference_outputs) != len(self.patterns):
                 raise ValueError("reference response length mismatch")

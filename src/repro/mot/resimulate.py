@@ -27,6 +27,7 @@ from repro.circuit.netlist import Circuit
 from repro.logic.values import UNKNOWN
 from repro.mot.expansion import StateSequence
 from repro.sim.frame import eval_frame
+from repro.sim.goodcache import GoodMachineCache
 
 
 class SequenceStatus(enum.Enum):
@@ -40,10 +41,11 @@ class SequenceStatus(enum.Enum):
 def resimulate_sequence(
     circuit: Circuit,
     patterns: Sequence[Sequence[int]],
-    reference_outputs: Sequence[Sequence[int]],
+    reference_outputs: Optional[Sequence[Sequence[int]]],
     sequence: StateSequence,
     forced_ps: Optional[Dict[int, int]] = None,
     detail: Optional[dict] = None,
+    good: Optional[GoodMachineCache] = None,
 ) -> SequenceStatus:
     """Resimulate the marked time units of *sequence* (mutated in place).
 
@@ -56,7 +58,20 @@ def resimulate_sequence(
     witnessing ``(time unit, output position)`` under ``detail["site"]``
     -- used to build auditable detection certificates
     (:mod:`repro.mot.witness`).
+
+    *good* supplies the fault-free response from a shared
+    :class:`~repro.sim.goodcache.GoodMachineCache` instead; pass
+    ``reference_outputs=None`` then (an explicit ``reference_outputs``
+    wins -- the proposed simulator compares against *per-reference*
+    expanded responses that are not the plain good-machine outputs).
     """
+    if reference_outputs is None:
+        if good is None:
+            raise ValueError(
+                "resimulate_sequence needs reference_outputs or a "
+                "good-machine cache"
+            )
+        reference_outputs = good.outputs
     length = len(patterns)
     marked = sequence.marked
     output_lines = circuit.outputs

@@ -44,6 +44,7 @@ from repro.mot.conditions import mot_profile
 from repro.mot.expansion import DEFAULT_N_STATES, expand
 from repro.mot.resimulate import SequenceStatus, resimulate_sequence
 from repro.runner.budget import BudgetMeter, FaultBudget
+from repro.sim.goodcache import GoodMachineCache
 from repro.sim.sequential import (
     outputs_conflict,
     simulate_injected,
@@ -190,16 +191,32 @@ class ProposedSimulator:
         patterns: Sequence[Sequence[int]],
         config: Optional[MotConfig] = None,
         reference_outputs: Optional[Sequence[Sequence[int]]] = None,
+        good_cache: Optional[GoodMachineCache] = None,
     ) -> None:
         """*reference_outputs* overrides the fault-free response the
         faulty circuit is compared against.  The default is conventional
         simulation from the all-unspecified state (the restricted MOT
         setting); the unrestricted simulator passes each expanded
-        fault-free response here instead."""
+        fault-free response here instead.
+
+        *good_cache* supplies a precomputed fault-free trajectory
+        (:class:`~repro.sim.goodcache.GoodMachineCache`) so construction
+        skips the good-machine simulation entirely.  The cache is
+        validated against (circuit, patterns) and must match; it is
+        shared read-only with the forward fallback and, in sharded
+        campaigns, with every worker process."""
         self.circuit = circuit
         self.patterns = [list(p) for p in patterns]
         self.config = config or MotConfig()
-        self.reference = simulate_sequence(circuit, self.patterns)
+        self.good_cache = (
+            good_cache.require_match(circuit, self.patterns)
+            if good_cache is not None
+            else None
+        )
+        if self.good_cache is not None:
+            self.reference = self.good_cache.result
+        else:
+            self.reference = simulate_sequence(circuit, self.patterns)
         if reference_outputs is not None:
             if len(reference_outputs) != len(self.patterns):
                 raise ValueError("reference response length mismatch")
@@ -339,6 +356,7 @@ class ProposedSimulator:
                 self.patterns,
                 BaselineConfig(n_states=self.config.n_states),
                 reference_outputs=self.reference_outputs,
+                good_cache=self.good_cache,
             )
         if meter is not None:
             return self._fallback._procedure(fault, meter).status == "mot"

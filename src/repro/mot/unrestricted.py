@@ -47,7 +47,8 @@ from repro.mot.simulator import (
     ProposedSimulator,
 )
 from repro.sim.frame import eval_frame
-from repro.sim.sequential import simulate_sequence
+from repro.sim.goodcache import GoodMachineCache
+from repro.sim.sequential import SequentialResult, simulate_sequence
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,7 @@ def expand_fault_free_references(
     circuit: Circuit,
     patterns: Sequence[Sequence[int]],
     n_references: int = 8,
+    reference: Optional[SequentialResult] = None,
 ) -> List[List[List[int]]]:
     """Expand the fault-free circuit into multiple response sequences.
 
@@ -76,9 +78,12 @@ def expand_fault_free_references(
 
     Returns a list of output sequences (``L`` rows each).  Every concrete
     fault-free response is a completion of at least one returned
-    sequence.
+    sequence.  *reference* supplies a precomputed fault-free trajectory
+    (e.g. from a :class:`~repro.sim.goodcache.GoodMachineCache`) so the
+    good machine is not re-simulated here.
     """
-    reference = simulate_sequence(circuit, patterns)
+    if reference is None:
+        reference = simulate_sequence(circuit, patterns)
     base = StateSequence(states=[list(row) for row in reference.states])
     sequences: List[Tuple[StateSequence, List[List[int]]]] = [
         (base, [list(row) for row in reference.outputs])
@@ -168,12 +173,27 @@ class UnrestrictedSimulator:
         circuit: Circuit,
         patterns: Sequence[Sequence[int]],
         config: Optional[UnrestrictedConfig] = None,
+        good_cache: Optional[GoodMachineCache] = None,
     ) -> None:
+        """*good_cache* supplies the shared fault-free trajectory (see
+        :class:`~repro.mot.simulator.ProposedSimulator`): the reference
+        expansion and every per-reference runner reuse it instead of
+        re-simulating the good machine ``n_references + 1`` times."""
         self.circuit = circuit
         self.patterns = [list(p) for p in patterns]
         self.config = config or UnrestrictedConfig()
+        self.good_cache = (
+            good_cache.require_match(circuit, self.patterns)
+            if good_cache is not None
+            else None
+        )
         self.references = expand_fault_free_references(
-            circuit, self.patterns, self.config.n_references
+            circuit,
+            self.patterns,
+            self.config.n_references,
+            reference=(
+                self.good_cache.result if self.good_cache is not None else None
+            ),
         )
         self._runners = [
             ProposedSimulator(
@@ -181,6 +201,7 @@ class UnrestrictedSimulator:
                 self.patterns,
                 self.config.restricted,
                 reference_outputs=reference,
+                good_cache=self.good_cache,
             )
             for reference in self.references
         ]

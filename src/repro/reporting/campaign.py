@@ -8,12 +8,13 @@ recoveries, abort counts, expansion effort histograms.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.circuit.netlist import Circuit
-from repro.mot.simulator import Campaign
+from repro.mot.simulator import Campaign, FaultVerdict
 from repro.reporting.tables import Table
 
 #: ``how`` tags an ``"undetected"`` verdict may legitimately carry:
@@ -52,8 +53,45 @@ class CampaignSummary:
     unclassified: Dict[str, int] = field(default_factory=dict)
 
 
+def dedupe_verdicts(campaign: Campaign) -> Campaign:
+    """Collapse duplicate per-fault verdicts, last write wins.
+
+    A fault can legitimately appear twice when campaigns are merged
+    from overlapping journals -- e.g. the shard journals of a killed
+    sharded run plus the partially merged campaign journal.  Counting
+    both entries would corrupt every derived statistic (coverage over
+    an inflated total), so the summary keeps only the **last** verdict
+    recorded for each fault, with a warning naming the fault, and the
+    original campaign is left untouched.
+    """
+    by_fault: Dict[object, FaultVerdict] = {}
+    for verdict in campaign.verdicts:
+        fault = verdict.fault
+        key = (fault.line, fault.stuck_at, fault.pin)
+        if key in by_fault:
+            warnings.warn(
+                f"campaign {campaign.circuit_name!r} holds multiple "
+                f"verdicts for fault {fault}; keeping the last "
+                f"(last write wins)",
+                stacklevel=3,
+            )
+        by_fault[key] = verdict
+    if len(by_fault) == len(campaign.verdicts):
+        return campaign
+    return Campaign(
+        circuit_name=campaign.circuit_name,
+        verdicts=list(by_fault.values()),
+    )
+
+
 def summarize_campaign(campaign: Campaign) -> CampaignSummary:
-    """Compute :class:`CampaignSummary` for *campaign*."""
+    """Compute :class:`CampaignSummary` for *campaign*.
+
+    Duplicate per-fault verdicts (possible when shard journals are
+    merged by hand) are collapsed last-write-wins first, with a
+    warning, so no fault is ever double-counted.
+    """
+    campaign = dedupe_verdicts(campaign)
     how = Counter(v.how for v in campaign.verdicts if v.status == "mot")
     expansions = Counter(
         v.num_expansions for v in campaign.verdicts if v.status == "mot"

@@ -5,7 +5,8 @@ Public surface:
 * :mod:`repro.runner.errors` -- the shared error taxonomy;
 * :mod:`repro.runner.budget` -- per-fault work/time budgets;
 * :mod:`repro.runner.journal` -- JSONL checkpoint journal;
-* :mod:`repro.runner.harness` -- the resilient campaign harness.
+* :mod:`repro.runner.harness` -- the resilient campaign harness;
+* :mod:`repro.runner.parallel` -- sharded multi-process campaigns.
 
 Submodules are loaded lazily (PEP 562): the simulators in ``repro.mot``
 import :mod:`repro.runner.budget` while :mod:`repro.runner.harness`
@@ -24,6 +25,7 @@ _EXPORTS = {
     "BudgetExceeded": "errors",
     "CampaignInterrupted": "errors",
     "JournalError": "errors",
+    "WorkerCrashed": "errors",
     # budget
     "FaultBudget": "budget",
     "BudgetMeter": "budget",
@@ -37,6 +39,15 @@ _EXPORTS = {
     "HarnessConfig": "harness",
     "HarnessStats": "harness",
     "run_campaign": "harness",
+    "simulator_manifest": "harness",
+    # parallel
+    "ParallelCampaignRunner": "parallel",
+    "ParallelConfig": "parallel",
+    "ParallelStats": "parallel",
+    "run_parallel_campaign": "parallel",
+    "shard_faults": "parallel",
+    "merge_verdict_maps": "parallel",
+    "SHARD_STRATEGIES": "parallel",
 }
 
 __all__ = list(_EXPORTS)

@@ -13,6 +13,7 @@ from repro.errors import (
     FaultModelError,
     JournalError,
     ReproError,
+    WorkerCrashed,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "BudgetExceeded",
     "CampaignInterrupted",
     "JournalError",
+    "WorkerCrashed",
 ]

@@ -36,7 +36,7 @@ import signal
 import threading
 import traceback
 from dataclasses import asdict, dataclass, is_dataclass
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import BudgetExceeded, CampaignInterrupted, JournalError
 from repro.faults.model import Fault
@@ -48,7 +48,33 @@ from repro.runner.journal import (
     verdict_to_record,
 )
 
-__all__ = ["HarnessConfig", "HarnessStats", "CampaignHarness", "run_campaign"]
+__all__ = [
+    "HarnessConfig",
+    "HarnessStats",
+    "CampaignHarness",
+    "run_campaign",
+    "simulator_manifest",
+]
+
+
+def simulator_manifest(simulator: Any, faults: List[Fault]) -> Dict[str, Any]:
+    """The journal manifest identifying a campaign of *simulator*.
+
+    Shared by the serial harness and the sharded parallel runner so
+    both journal formats stay interchangeable.  The harness budget is
+    excluded: it bounds *effort*, not the verdict semantics a journal
+    identifies (a resumed run may legitimately raise the budget).
+    """
+    config = getattr(simulator, "config", None)
+    config_fields = asdict(config) if is_dataclass(config) else {}
+    config_fields.pop("budget", None)
+    return campaign_manifest(
+        circuit_name=simulator.circuit.name,
+        simulator_kind=type(simulator).__name__,
+        config_fields=config_fields,
+        patterns=[list(p) for p in simulator.patterns],
+        faults=faults,
+    )
 
 
 @dataclass(frozen=True)
@@ -75,6 +101,16 @@ class HarnessConfig:
         Install a SIGINT handler for the duration of the run so Ctrl-C
         stops at the next fault boundary with the journal flushed.
         Ignored off the main thread (signals cannot be installed there).
+    journal_indices:
+        Journal record index for each fault position (sharded runs:
+        the *global* campaign index of every fault in this shard, so
+        shard journals merge deterministically into the full-campaign
+        journal).  ``None`` journals positional indices, as before.
+    manifest_override:
+        Use this prebuilt manifest instead of deriving one from the
+        simulator and the (shard's) fault list.  Sharded runs pass the
+        *full-campaign* manifest plus shard metadata, so every shard
+        journal carries the campaign's ``config_hash``.
     """
 
     budget: Optional[FaultBudget] = None
@@ -83,6 +119,8 @@ class HarnessConfig:
     resume: bool = False
     fail_fast: bool = False
     handle_sigint: bool = True
+    journal_indices: Optional[Sequence[int]] = None
+    manifest_override: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -119,19 +157,14 @@ class CampaignHarness:
         return "meter" in parameters
 
     def _manifest(self, faults: List[Fault]) -> Dict[str, Any]:
-        config = getattr(self.simulator, "config", None)
-        config_fields = asdict(config) if is_dataclass(config) else {}
-        # The harness budget bounds *effort*, not the verdict semantics a
-        # journal identifies, so it is not part of the resume fingerprint
-        # (a resumed run may legitimately raise the budget).
-        config_fields.pop("budget", None)
-        return campaign_manifest(
-            circuit_name=self.simulator.circuit.name,
-            simulator_kind=type(self.simulator).__name__,
-            config_fields=config_fields,
-            patterns=[list(p) for p in self.simulator.patterns],
-            faults=faults,
-        )
+        if self.config.manifest_override is not None:
+            return dict(self.config.manifest_override)
+        return simulator_manifest(self.simulator, faults)
+
+    def _journal_index(self, position: int) -> int:
+        """Journal record index for fault-list *position*."""
+        indices = self.config.journal_indices
+        return position if indices is None else indices[position]
 
     # ------------------------------------------------------------------
     def _simulate_one(self, fault: Fault) -> FaultVerdict:
@@ -178,13 +211,23 @@ class CampaignHarness:
             run.
         """
         fault_list = list(faults)
+        indices = self.config.journal_indices
+        if indices is not None and len(indices) != len(fault_list):
+            raise ValueError(
+                f"journal_indices has {len(indices)} entries for "
+                f"{len(fault_list)} faults"
+            )
         manifest = self._manifest(fault_list)
         journal, reused = self._open_journal(fault_list, manifest)
 
         verdicts: List[Optional[FaultVerdict]] = [None] * len(fault_list)
+        position_of = {
+            self._journal_index(i): i for i in range(len(fault_list))
+        }
         for index, verdict in reused.items():
-            if 0 <= index < len(fault_list):
-                verdicts[index] = verdict
+            position = position_of.get(index)
+            if position is not None:
+                verdicts[position] = verdict
                 self.stats.reused += 1
 
         previous_handler = self._install_sigint()
@@ -203,7 +246,9 @@ class CampaignHarness:
                 verdicts[index] = verdict
                 self.stats.simulated += 1
                 if journal is not None:
-                    journal.append(verdict_to_record(index, verdict))
+                    journal.append(
+                        verdict_to_record(self._journal_index(index), verdict)
+                    )
                     if journal.pending >= self.config.checkpoint_every:
                         journal.flush()
                 if self._interrupted:

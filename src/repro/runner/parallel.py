@@ -1,0 +1,534 @@
+"""Sharded multi-process campaign execution.
+
+The MOT procedure is embarrassingly parallel across faults: each
+fault's state-expansion tree is independent given the one fault-free
+response.  This module fans a fault list out over ``workers`` OS
+processes while keeping every serial-campaign guarantee:
+
+* **shared good machine** -- the parent computes one
+  :class:`~repro.sim.goodcache.GoodMachineCache` and ships it (or the
+  simulator already holding it) to every worker, so ``N`` workers cost
+  one good-machine simulation instead of ``N``;
+* **per-worker resilience** -- each worker wraps its shard in the PR-1
+  :class:`~repro.runner.harness.CampaignHarness`, so per-fault budgets,
+  crash quarantine and ``fail_fast`` behave exactly as in a serial run;
+* **per-shard journals** -- each worker streams verdicts to its own
+  JSONL journal (``<checkpoint>.shard<k>``) carrying *global* fault
+  indices and the full-campaign ``config_hash``;
+* **deterministic merge** -- after the workers finish, shard journals
+  are merged (ordered by global fault index) into the existing
+  single-journal checkpoint format, so ``--resume`` and
+  ``summarize_campaign`` work unchanged on a sharded run, and the
+  merged campaign is **identical to the serial campaign** -- same
+  verdicts in the same order; only the order in which records were
+  *produced* differs;
+* **crash and interrupt recovery** -- a dead worker (OOM, SIGKILL)
+  loses at most ``checkpoint_every`` verdicts of its shard: the parent
+  merges everything the workers journaled, then raises
+  :class:`~repro.errors.WorkerCrashed`, and a later ``--resume`` run
+  re-simulates only the missing faults (with any worker count or shard
+  strategy).  Ctrl-C in the parent terminates the workers, merges, and
+  raises :class:`~repro.errors.CampaignInterrupted` like the serial
+  harness.
+
+Shard strategies:
+
+* ``round_robin`` -- fault ``i`` goes to shard ``i % workers``; cheap
+  and well-mixed.
+* ``size_aware``  -- faults are ordered by a structural cost proxy (the
+  combinational level of the fault site: deeper sites tend to need
+  more expansion work) and greedily assigned to the least-loaded shard
+  (longest-processing-time heuristic), evening out wall-clock per
+  worker on skewed fault populations.
+
+Both are pure functions of (fault list, workers, strategy) -- resuming
+with a different worker count or strategy is safe because recovery
+reads *verdicts by global index*, never shard layouts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CampaignInterrupted, JournalError, WorkerCrashed
+from repro.faults.model import Fault
+from repro.mot.simulator import Campaign, FaultVerdict
+from repro.runner.budget import FaultBudget
+from repro.runner.harness import CampaignHarness, HarnessConfig, simulator_manifest
+from repro.runner.journal import CampaignJournal, verdict_to_record
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "ParallelConfig",
+    "ParallelStats",
+    "shard_faults",
+    "estimate_fault_cost",
+    "merge_verdict_maps",
+    "ParallelCampaignRunner",
+    "run_parallel_campaign",
+]
+
+SHARD_STRATEGIES = ("round_robin", "size_aware")
+
+IndexedFault = Tuple[int, Fault]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Behavior knobs of :class:`ParallelCampaignRunner`.
+
+    ``budget`` / ``checkpoint_every`` / ``resume`` / ``fail_fast`` have
+    serial-harness semantics (:class:`~repro.runner.harness.HarnessConfig`),
+    applied inside every worker.  ``checkpoint_path`` is the *merged*
+    campaign journal; shard journals live next to it as
+    ``<checkpoint_path>.shard<k>`` and are consumed by the merge.
+
+    ``start_method`` selects the :mod:`multiprocessing` start method
+    (``None`` = ``fork`` where available, else ``spawn``).
+    """
+
+    workers: int = 2
+    shard_strategy: str = "round_robin"
+    budget: Optional[FaultBudget] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 25
+    resume: bool = False
+    fail_fast: bool = False
+    start_method: Optional[str] = None
+
+
+@dataclass
+class ParallelStats:
+    """What the sharded run did beyond the verdicts themselves."""
+
+    workers: int = 0
+    shards: int = 0
+    simulated: int = 0
+    reused: int = 0
+    errored: int = 0
+    aborted: int = 0
+    #: Fault indices that appeared in more than one journal during a
+    #: merge (last write wins; each occurrence was warned about).
+    duplicate_indices: List[int] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+def estimate_fault_cost(circuit: Any, fault: Fault) -> int:
+    """Structural cost proxy for simulating *fault* on *circuit*.
+
+    Uses the combinational level of the fault site plus its fanout
+    degree: faults deep in the logic (far from primary inputs) and on
+    heavily fanned-out stems tend to reach more state variables, which
+    drives expansion and resimulation effort.  Only relative order
+    matters, and only for load balancing -- verdicts never depend on it.
+    """
+    level = 0
+    levels = getattr(circuit, "level_of_line", None)
+    if levels is not None and 0 <= fault.line < len(levels):
+        level = max(0, levels[fault.line])
+    fanout = getattr(circuit, "fanout_pins", None)
+    degree = len(fanout[fault.line]) if fanout is not None else 0
+    return 1 + level + degree
+
+
+def shard_faults(
+    indexed_faults: Sequence[IndexedFault],
+    workers: int,
+    strategy: str = "round_robin",
+    circuit: Any = None,
+) -> List[List[IndexedFault]]:
+    """Partition ``(global index, fault)`` pairs into per-worker shards.
+
+    Deterministic: the same inputs always produce the same shards.
+    Every input pair appears in exactly one shard; empty shards are
+    dropped.  Within a shard, faults stay in global-index order so each
+    worker journals in campaign order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if strategy not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r} "
+            f"(expected one of {SHARD_STRATEGIES})"
+        )
+    if not indexed_faults:
+        return []
+    workers = min(workers, len(indexed_faults))
+    if workers == 1:
+        return [list(indexed_faults)]
+    if strategy == "round_robin":
+        shards = [list(indexed_faults[k::workers]) for k in range(workers)]
+    else:  # size_aware: greedy longest-processing-time assignment
+        costed = sorted(
+            indexed_faults,
+            key=lambda pair: (-estimate_fault_cost(circuit, pair[1]), pair[0]),
+        )
+        shards = [[] for _ in range(workers)]
+        loads = [0] * workers
+        for index, fault in costed:
+            lightest = min(range(workers), key=lambda k: (loads[k], k))
+            shards[lightest].append((index, fault))
+            loads[lightest] += estimate_fault_cost(circuit, fault)
+        for shard in shards:
+            shard.sort(key=lambda pair: pair[0])
+    return [shard for shard in shards if shard]
+
+
+# ----------------------------------------------------------------------
+# Journal merging
+# ----------------------------------------------------------------------
+def merge_verdict_maps(
+    sources: Iterable[Tuple[str, Dict[int, FaultVerdict]]],
+    stats: Optional[ParallelStats] = None,
+) -> Dict[int, FaultVerdict]:
+    """Merge ``{global index: verdict}`` maps from several journals.
+
+    A fault index present in more than one source (e.g. two shard
+    journals left behind by overlapping interrupted runs) is taken
+    **last-write-wins** in source order, with a warning naming the
+    sources -- it is never double-counted.
+    """
+    merged: Dict[int, FaultVerdict] = {}
+    seen_in: Dict[int, str] = {}
+    for label, verdicts in sources:
+        for index in sorted(verdicts):
+            if index in merged:
+                warnings.warn(
+                    f"fault index {index} appears in both "
+                    f"{seen_in[index]} and {label}; keeping the verdict "
+                    f"from {label} (last write wins)",
+                    stacklevel=2,
+                )
+                if stats is not None:
+                    stats.duplicate_indices.append(index)
+            merged[index] = verdicts[index]
+            seen_in[index] = label
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerSpec:
+    """Everything one worker needs (shipped by fork or pickle)."""
+
+    shard: int
+    simulator: Any
+    faults: List[Fault]
+    indices: List[int]
+    journal_path: str
+    manifest: Dict[str, Any]
+    budget: Optional[FaultBudget]
+    checkpoint_every: int
+    fail_fast: bool
+
+
+def _worker_main(spec: _WorkerSpec) -> None:
+    """Run one shard to completion inside a worker process.
+
+    Reuses the serial harness wholesale: budgets, quarantine and
+    ``fail_fast`` inside a worker behave exactly as in a serial run.
+    The shard journal carries global fault indices and the
+    full-campaign manifest, so the parent can merge it (or recover it
+    after a crash) without knowing the shard layout.
+    """
+    harness = CampaignHarness(
+        spec.simulator,
+        HarnessConfig(
+            budget=spec.budget,
+            checkpoint_path=spec.journal_path,
+            checkpoint_every=spec.checkpoint_every,
+            resume=False,
+            fail_fast=spec.fail_fast,
+            handle_sigint=False,
+            journal_indices=spec.indices,
+            manifest_override=spec.manifest,
+        ),
+    )
+    harness.run(spec.faults)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ParallelCampaignRunner:
+    """Fan a fault campaign out over worker processes and merge back."""
+
+    def __init__(
+        self, simulator: Any, config: Optional[ParallelConfig] = None
+    ) -> None:
+        self.simulator = simulator
+        self.config = config or ParallelConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.config.shard_strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {self.config.shard_strategy!r} "
+                f"(expected one of {SHARD_STRATEGIES})"
+            )
+        if self.config.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.config.resume and not self.config.checkpoint_path:
+            raise ValueError("resume requires a checkpoint path")
+        self.stats = ParallelStats(workers=self.config.workers)
+
+    # ------------------------------------------------------------------
+    def run(self, faults: Iterable[Fault]) -> Campaign:
+        """Simulate every fault; identical verdicts to a serial run.
+
+        Raises
+        ------
+        WorkerCrashed
+            When worker processes died; journaled verdicts were merged
+            into the checkpoint first.
+        CampaignInterrupted
+            On Ctrl-C in the parent, after terminating the workers and
+            merging their journals.
+        JournalError
+            When ``resume`` finds a mismatched journal.
+        """
+        fault_list = list(faults)
+        manifest = simulator_manifest(self.simulator, fault_list)
+        path = self.config.checkpoint_path
+
+        verdicts = self._recover(path, manifest)
+        self.stats.reused = len(verdicts)
+
+        journal = None
+        if path is not None:
+            journal = CampaignJournal(path)
+            journal.create(manifest)
+            for index in sorted(verdicts):
+                journal.append(verdict_to_record(index, verdicts[index]))
+            journal.flush()
+            self._remove_shard_journals(path)
+
+        remaining = [
+            (index, fault)
+            for index, fault in enumerate(fault_list)
+            if index not in verdicts
+        ]
+        tmpdir = None
+        try:
+            if remaining:
+                if path is None:
+                    tmpdir = tempfile.mkdtemp(prefix="repro-shards-")
+                    shard_base = os.path.join(tmpdir, "campaign.jsonl")
+                else:
+                    shard_base = path
+                self._execute(remaining, shard_base, manifest, verdicts, journal)
+        finally:
+            if tmpdir is not None:
+                self._remove_shard_journals(os.path.join(tmpdir, "campaign.jsonl"))
+                try:
+                    os.rmdir(tmpdir)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+
+        missing = [i for i in range(len(fault_list)) if i not in verdicts]
+        if missing:  # pragma: no cover - only after an unjournaled crash
+            raise WorkerCrashed(
+                shards=[], completed=len(verdicts), journal_path=path
+            )
+        campaign = Campaign(
+            circuit_name=self.simulator.circuit.name,
+            verdicts=[verdicts[i] for i in range(len(fault_list))],
+        )
+        self.stats.errored = campaign.errored
+        self.stats.aborted = campaign.aborted_budget
+        return campaign
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        remaining: List[IndexedFault],
+        shard_base: str,
+        manifest: Dict[str, Any],
+        verdicts: Dict[int, FaultVerdict],
+        journal: Optional[CampaignJournal],
+    ) -> None:
+        """Shard *remaining*, run the workers, merge their journals."""
+        shards = shard_faults(
+            remaining,
+            self.config.workers,
+            self.config.shard_strategy,
+            circuit=self.simulator.circuit,
+        )
+        self.stats.shards = len(shards)
+        specs = [
+            _WorkerSpec(
+                shard=k,
+                simulator=self.simulator,
+                faults=[fault for _i, fault in shard],
+                indices=[i for i, _fault in shard],
+                journal_path=self._shard_path(shard_base, k),
+                manifest={**manifest, "shard": k, "workers": len(shards),
+                          "strategy": self.config.shard_strategy},
+                budget=self.config.budget,
+                checkpoint_every=self.config.checkpoint_every,
+                fail_fast=self.config.fail_fast,
+            )
+            for k, shard in enumerate(shards)
+        ]
+
+        crashed: List[int] = []
+        interrupted = False
+        if len(specs) == 1:
+            # One shard: run in-process (no fork overhead), same journal
+            # and merge path as the multi-worker case.
+            try:
+                _worker_main(specs[0])
+            except KeyboardInterrupt:
+                interrupted = True
+        else:
+            context = self._mp_context()
+            processes = [
+                context.Process(
+                    target=_worker_main, args=(spec,), name=f"repro-shard-{spec.shard}"
+                )
+                for spec in specs
+            ]
+            for process in processes:
+                process.start()
+            try:
+                for process in processes:
+                    process.join()
+            except KeyboardInterrupt:
+                interrupted = True
+                for process in processes:
+                    process.terminate()
+                for process in processes:
+                    process.join()
+            crashed = [
+                spec.shard
+                for spec, process in zip(specs, processes)
+                if process.exitcode != 0
+            ]
+
+        merged = merge_verdict_maps(
+            [("campaign journal", dict(verdicts))]
+            + [
+                (f"shard journal {spec.journal_path}", shard_verdicts)
+                for spec, shard_verdicts in self._read_shards(specs, manifest)
+            ],
+            stats=self.stats,
+        )
+        fresh = {i: v for i, v in merged.items() if i not in verdicts}
+        self.stats.simulated = len(fresh)
+        verdicts.update(fresh)
+        if journal is not None:
+            for index in sorted(fresh):
+                journal.append(verdict_to_record(index, fresh[index]))
+            journal.flush()
+            # Merged records are durable; the shard files are redundant.
+            for spec in specs:
+                self._remove_file(spec.journal_path)
+        if interrupted:
+            raise CampaignInterrupted(
+                completed=len(verdicts),
+                journal_path=self.config.checkpoint_path,
+            )
+        if crashed and not interrupted:
+            raise WorkerCrashed(
+                shards=crashed,
+                completed=len(verdicts),
+                journal_path=self.config.checkpoint_path,
+            )
+
+    def _read_shards(self, specs, manifest):
+        """Yield ``(spec, {index: verdict})`` for every readable shard."""
+        for spec in specs:
+            verdicts = self._load_journal_verdicts(
+                spec.journal_path, manifest, missing_ok=True
+            )
+            if verdicts is not None:
+                yield spec, verdicts
+
+    # ------------------------------------------------------------------
+    def _recover(
+        self, path: Optional[str], manifest: Dict[str, Any]
+    ) -> Dict[int, FaultVerdict]:
+        """Collect reusable verdicts from a previous (possibly sharded,
+        possibly killed) run: the merged campaign journal plus any shard
+        journals it left behind."""
+        if path is None or not self.config.resume:
+            return {}
+        sources: List[Tuple[str, Dict[int, FaultVerdict]]] = []
+        parent = self._load_journal_verdicts(path, manifest, missing_ok=True)
+        if parent is not None:
+            sources.append((f"campaign journal {path}", parent))
+        for shard_path in self._existing_shard_journals(path):
+            shard = self._load_journal_verdicts(
+                shard_path, manifest, missing_ok=True
+            )
+            if shard is not None:
+                sources.append((f"shard journal {shard_path}", shard))
+        return merge_verdict_maps(sources, stats=self.stats)
+
+    def _load_journal_verdicts(
+        self, path: str, manifest: Dict[str, Any], missing_ok: bool = False
+    ) -> Optional[Dict[int, FaultVerdict]]:
+        journal = CampaignJournal(path)
+        try:
+            existing, verdicts = journal.load()
+        except JournalError:
+            if missing_ok and not os.path.exists(path):
+                return None
+            raise
+        journal.validate_manifest(existing, manifest)
+        return verdicts
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shard_path(base: str, shard: int) -> str:
+        return f"{base}.shard{shard}"
+
+    @classmethod
+    def _existing_shard_journals(cls, base: str) -> List[str]:
+        directory = os.path.dirname(os.path.abspath(base)) or "."
+        prefix = os.path.basename(base) + ".shard"
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return []
+        return [
+            os.path.join(directory, name)
+            for name in names
+            if name.startswith(prefix) and name[len(prefix):].isdigit()
+        ]
+
+    @classmethod
+    def _remove_shard_journals(cls, base: str) -> None:
+        for path in cls._existing_shard_journals(base):
+            cls._remove_file(path)
+
+    @staticmethod
+    def _remove_file(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def _mp_context(self):
+        method = self.config.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+
+def run_parallel_campaign(
+    simulator: Any,
+    faults: Iterable[Fault],
+    config: Optional[ParallelConfig] = None,
+) -> Campaign:
+    """One-shot convenience: ``ParallelCampaignRunner(...).run(faults)``."""
+    return ParallelCampaignRunner(simulator, config).run(faults)

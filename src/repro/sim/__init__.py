@@ -1,6 +1,12 @@
 """Three-valued frame and sequential simulation."""
 
 from repro.sim.frame import eval_frame, evaluate_plan, frame_plan
+from repro.sim.goodcache import (
+    GoodMachineCache,
+    circuit_fingerprint,
+    clear_shared_good_cache,
+    shared_good_cache,
+)
 from repro.sim.sequential import (
     SequentialResult,
     outputs_conflict,
@@ -16,4 +22,8 @@ __all__ = [
     "simulate_sequence",
     "simulate_injected",
     "outputs_conflict",
+    "GoodMachineCache",
+    "circuit_fingerprint",
+    "shared_good_cache",
+    "clear_shared_good_cache",
 ]

@@ -101,6 +101,37 @@ def test_summary_partitions_errored_and_aborted_budget():
     assert len(csv_text.strip().splitlines()) == campaign.total + 1
 
 
+def test_summary_never_double_counts_duplicated_fault():
+    """Regression: a fault present in two merged shard journals used to
+    inflate every count.  The summary keeps only the last verdict per
+    fault (last write wins) and warns."""
+    import warnings
+
+    circuit = s27()
+    faults = collapse_faults(circuit)[:3]
+    campaign = Campaign(
+        circuit_name=circuit.name,
+        verdicts=[
+            FaultVerdict(faults[0], "undetected"),
+            FaultVerdict(faults[1], "conv"),
+            FaultVerdict(faults[2], "mot", how="resim"),
+            # The same fault again, re-simulated with a different outcome.
+            FaultVerdict(faults[0], "conv"),
+        ],
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        summary = summarize_campaign(campaign)
+    assert summary.total == 3
+    assert summary.conventional == 2  # the re-simulated verdict won
+    assert summary.undetected == 0
+    assert summary.coverage_percent == 100.0
+    assert len(caught) == 1
+    assert "multiple verdicts" in str(caught[0].message)
+    # The campaign object itself is left untouched.
+    assert campaign.total == 4
+
+
 def test_report_render():
     circuit, campaign = _campaign()
     text = render_campaign_report(campaign, circuit)

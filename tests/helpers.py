@@ -1,17 +1,22 @@
-"""Shared fixtures for the test suite: small hand-built circuits.
+"""Shared fixtures for the test suite: small hand-built circuits and
+the standard s27 campaign builders.
 
-Each helper returns a freshly parsed circuit, so tests can never leak
+Each helper returns freshly built objects, so tests can never leak
 state into one another through cached structures.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.circuit.bench import parse_bench
 from repro.circuit.netlist import Circuit
+from repro.circuits.library import s27
+from repro.faults.collapse import collapse_faults
 from repro.logic.values import UNKNOWN
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.patterns.random_gen import random_patterns
 
 #: Fault-free output is constant 0; with Z stuck-at-1 the output follows
 #: the free-running toggle flop Q, whose phase depends on the unknown
@@ -94,6 +99,50 @@ def loop_circuit() -> Circuit:
 
 def comb_circuit() -> Circuit:
     return parse_bench(COMB_BENCH, "comb")
+
+
+def s27_patterns(length: int = 16, seed: int = 1) -> List[List[int]]:
+    """The standard random input sequence for s27 campaign tests."""
+    return random_patterns(4, length, seed=seed)
+
+
+def s27_faults():
+    """The collapsed fault list of s27 (32 faults)."""
+    return collapse_faults(s27())
+
+
+def s27_simulator(
+    seed: int = 1,
+    length: int = 16,
+    config: Optional[MotConfig] = None,
+) -> ProposedSimulator:
+    """A :class:`ProposedSimulator` over s27 with the standard patterns."""
+    circuit = s27()
+    if config is None:
+        return ProposedSimulator(circuit, s27_patterns(length, seed))
+    return ProposedSimulator(circuit, s27_patterns(length, seed), config)
+
+
+def crash_on(simulator, crash_index, exc=None):
+    """Instance-patch ``simulate_fault`` to raise on the Nth call.
+
+    Returns the call counter dict so tests can assert how far the
+    campaign got before the injected failure.
+    """
+    if exc is None:
+        exc = RuntimeError("injected crash")
+    original = simulator.simulate_fault
+    calls = {"n": 0}
+
+    def simulate_fault(fault, meter=None):
+        index = calls["n"]
+        calls["n"] += 1
+        if index == crash_index:
+            raise exc
+        return original(fault, meter=meter)
+
+    simulator.simulate_fault = simulate_fault
+    return calls
 
 
 def completions(values: Sequence[int]) -> List[Tuple[int, ...]]:

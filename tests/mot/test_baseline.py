@@ -7,9 +7,8 @@ from repro.faults.collapse import collapse_faults
 from repro.faults.model import Fault
 from repro.logic.values import ONE
 from repro.mot.baseline import BaselineConfig, BaselineSimulator
-from repro.patterns.random_gen import random_patterns
 
-from tests.helpers import toggle_circuit
+from tests.helpers import s27_faults, s27_patterns, toggle_circuit
 
 
 def test_toggle_fault_detected_by_expansion():
@@ -25,7 +24,7 @@ def test_toggle_fault_detected_by_expansion():
 def test_conventional_short_circuit():
     circuit = s27()
     verdict = BaselineSimulator(
-        circuit, random_patterns(4, 16, seed=0)
+        circuit, s27_patterns(seed=0)
     ).simulate_fault(Fault(circuit.line_id("G17"), 0))
     assert verdict.status == "conv"
 
@@ -67,8 +66,8 @@ def test_unknown_schedule_rejected():
 
 def test_campaign_statuses():
     circuit = s27()
-    faults = collapse_faults(circuit)
-    campaign = BaselineSimulator(circuit, random_patterns(4, 24, seed=1)).run(
+    faults = s27_faults()
+    campaign = BaselineSimulator(circuit, s27_patterns(24, seed=1)).run(
         faults
     )
     assert campaign.total == len(faults)

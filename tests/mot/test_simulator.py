@@ -7,14 +7,13 @@ from repro.faults.collapse import collapse_faults
 from repro.faults.model import Fault
 from repro.logic.values import ONE
 from repro.mot.simulator import MotConfig, ProposedSimulator
-from repro.patterns.random_gen import random_patterns
 
-from tests.helpers import both_circuit, toggle_circuit
+from tests.helpers import both_circuit, s27_faults, s27_patterns, toggle_circuit
 
 
 def test_conventionally_detected_fault_short_circuits():
     circuit = s27()
-    simulator = ProposedSimulator(circuit, random_patterns(4, 16, seed=0))
+    simulator = ProposedSimulator(circuit, s27_patterns(seed=0))
     verdict = simulator.simulate_fault(Fault(circuit.line_id("G17"), 0))
     assert verdict.status == "conv"
     assert verdict.detected
@@ -53,8 +52,8 @@ def test_condition_c_drop():
 
 def test_campaign_counts_consistent():
     circuit = s27()
-    faults = collapse_faults(circuit)
-    campaign = ProposedSimulator(circuit, random_patterns(4, 24, seed=1)).run(
+    faults = s27_faults()
+    campaign = ProposedSimulator(circuit, s27_patterns(24, seed=1)).run(
         faults
     )
     assert campaign.total == len(faults)
@@ -99,9 +98,9 @@ def test_n_states_limit_respected():
     circuit = s27()
     config = MotConfig(n_states=4)
     simulator = ProposedSimulator(
-        circuit, random_patterns(4, 16, seed=2), config
+        circuit, s27_patterns(seed=2), config
     )
-    for fault in collapse_faults(circuit):
+    for fault in s27_faults():
         verdict = simulator.simulate_fault(fault)
         assert verdict.num_sequences <= 4
 

@@ -4,11 +4,11 @@ import pytest
 
 from repro.circuits.library import s27
 from repro.errors import BudgetExceeded
-from repro.faults.collapse import collapse_faults
 from repro.mot.baseline import BaselineConfig, BaselineSimulator
 from repro.mot.simulator import MotConfig, ProposedSimulator
-from repro.patterns.random_gen import random_patterns
 from repro.runner.budget import UNLIMITED, BudgetMeter, FaultBudget
+
+from tests.helpers import s27_faults, s27_patterns
 
 
 class FakeClock:
@@ -46,20 +46,16 @@ def test_wall_clock_budget_trips_on_deadline():
     assert excinfo.value.elapsed_ms == pytest.approx(51.0)
 
 
-def _patterns():
-    return random_patterns(4, 16, seed=1)
-
-
 def test_proposed_budget_yields_aborted_verdicts():
     """An event budget too small for expansion turns the expensive
     faults into explicit aborted:budget verdicts; cheap (conventional /
     dropped) faults are untouched and the campaign completes."""
     circuit = s27()
-    faults = collapse_faults(circuit)
+    faults = s27_faults()
     tight = ProposedSimulator(
-        circuit, _patterns(), MotConfig(budget=FaultBudget(max_events=2))
+        circuit, s27_patterns(), MotConfig(budget=FaultBudget(max_events=2))
     ).run(faults)
-    free = ProposedSimulator(circuit, _patterns()).run(faults)
+    free = ProposedSimulator(circuit, s27_patterns()).run(faults)
 
     assert tight.total == free.total == len(faults)
     assert tight.aborted_budget > 0
@@ -75,11 +71,11 @@ def test_proposed_budget_yields_aborted_verdicts():
 
 def test_proposed_generous_budget_changes_nothing():
     circuit = s27()
-    faults = collapse_faults(circuit)
+    faults = s27_faults()
     budgeted = ProposedSimulator(
-        circuit, _patterns(), MotConfig(budget=FaultBudget(max_events=10**9))
+        circuit, s27_patterns(), MotConfig(budget=FaultBudget(max_events=10**9))
     ).run(faults)
-    free = ProposedSimulator(circuit, _patterns()).run(faults)
+    free = ProposedSimulator(circuit, s27_patterns()).run(faults)
     assert [v.status for v in budgeted.verdicts] == [
         v.status for v in free.verdicts
     ]
@@ -87,10 +83,10 @@ def test_proposed_generous_budget_changes_nothing():
 
 def test_baseline_budget_yields_aborted_verdicts():
     circuit = s27()
-    faults = collapse_faults(circuit)
+    faults = s27_faults()
     campaign = BaselineSimulator(
         circuit,
-        _patterns(),
+        s27_patterns(),
         BaselineConfig(budget=FaultBudget(max_events=2)),
     ).run(faults)
     assert campaign.total == len(faults)
@@ -102,8 +98,8 @@ def test_external_meter_propagates_budget_exceeded():
     must not swallow the exception (the harness pools budgets across
     the proposed procedure and its forward fallback this way)."""
     circuit = s27()
-    faults = collapse_faults(circuit)
-    simulator = ProposedSimulator(circuit, _patterns())
+    faults = s27_faults()
+    simulator = ProposedSimulator(circuit, s27_patterns())
     meter = BudgetMeter(FaultBudget(max_events=1))
     with pytest.raises(BudgetExceeded):
         for fault in faults:

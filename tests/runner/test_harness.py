@@ -14,9 +14,7 @@ import pytest
 
 from repro.circuits.library import s27
 from repro.errors import CampaignInterrupted, JournalError
-from repro.faults.collapse import collapse_faults
-from repro.mot.simulator import FaultVerdict, MotConfig, ProposedSimulator
-from repro.patterns.random_gen import random_patterns
+from repro.mot.simulator import MotConfig
 from repro.reporting.campaign import (
     campaign_csv,
     render_campaign_report,
@@ -25,39 +23,16 @@ from repro.reporting.campaign import (
 from repro.runner.budget import FaultBudget
 from repro.runner.harness import CampaignHarness, HarnessConfig, run_campaign
 
-
-def _simulator(seed=1):
-    circuit = s27()
-    return ProposedSimulator(circuit, random_patterns(4, 16, seed=seed))
-
-
-def _faults():
-    return collapse_faults(s27())
-
-
-def _crash_on(simulator, crash_index, exc=RuntimeError("injected crash")):
-    """Instance-patch ``simulate_fault`` to raise on the Nth call."""
-    original = simulator.simulate_fault
-    calls = {"n": 0}
-
-    def simulate_fault(fault, meter=None):
-        index = calls["n"]
-        calls["n"] += 1
-        if index == crash_index:
-            raise exc
-        return original(fault, meter=meter)
-
-    simulator.simulate_fault = simulate_fault
-    return calls
+from tests.helpers import crash_on, s27_faults, s27_simulator
 
 
 # ----------------------------------------------------------------------
 # Quarantine
 # ----------------------------------------------------------------------
 def test_injected_exception_is_quarantined_and_campaign_completes():
-    simulator = _simulator()
-    faults = _faults()
-    _crash_on(simulator, 4)
+    simulator = s27_simulator()
+    faults = s27_faults()
+    crash_on(simulator, 4)
     harness = CampaignHarness(simulator, HarnessConfig(handle_sigint=False))
     campaign = harness.run(faults)
 
@@ -78,26 +53,26 @@ def test_injected_exception_is_quarantined_and_campaign_completes():
 
 
 def test_fail_fast_reraises_the_exception():
-    simulator = _simulator()
-    _crash_on(simulator, 2)
+    simulator = s27_simulator()
+    crash_on(simulator, 2)
     harness = CampaignHarness(
         simulator, HarnessConfig(fail_fast=True, handle_sigint=False)
     )
     with pytest.raises(RuntimeError, match="injected crash"):
-        harness.run(_faults())
+        harness.run(s27_faults())
 
 
 # ----------------------------------------------------------------------
 # Budgets through the harness
 # ----------------------------------------------------------------------
 def test_harness_budget_converts_runaways_to_aborted():
-    simulator = _simulator()
+    simulator = s27_simulator()
     harness = CampaignHarness(
         simulator,
         HarnessConfig(budget=FaultBudget(max_events=2), handle_sigint=False),
     )
-    campaign = harness.run(_faults())
-    assert campaign.total == len(_faults())
+    campaign = harness.run(s27_faults())
+    assert campaign.total == len(s27_faults())
     assert campaign.aborted_budget > 0
     assert harness.stats.aborted == campaign.aborted_budget
 
@@ -105,13 +80,11 @@ def test_harness_budget_converts_runaways_to_aborted():
 def test_crash_and_budget_in_one_campaign():
     """ISSUE acceptance: one campaign with a crashing fault *and*
     budget-exceeding faults completes and reports both."""
-    simulator = ProposedSimulator(
-        s27(),
-        random_patterns(4, 16, seed=1),
-        MotConfig(budget=FaultBudget(max_events=2)),
+    simulator = s27_simulator(
+        config=MotConfig(budget=FaultBudget(max_events=2))
     )
-    faults = _faults()
-    _crash_on(simulator, 0)
+    faults = s27_faults()
+    crash_on(simulator, 0)
     campaign = run_campaign(
         simulator, faults, HarnessConfig(handle_sigint=False)
     )
@@ -134,14 +107,14 @@ def test_simulator_without_meter_support_still_runs():
         def simulate_fault(self, fault):  # no meter parameter
             return self.inner.simulate_fault(fault)
 
-    simulator = PlainSimulator(_simulator())
+    simulator = PlainSimulator(s27_simulator())
     campaign = run_campaign(
         simulator,
-        _faults(),
+        s27_faults(),
         HarnessConfig(budget=FaultBudget(max_events=1), handle_sigint=False),
     )
     # Budget silently inapplicable: every fault simulated, none aborted.
-    assert campaign.total == len(_faults())
+    assert campaign.total == len(s27_faults())
     assert campaign.aborted_budget == 0
 
 
@@ -152,14 +125,14 @@ def test_interrupted_run_resumes_to_identical_summary(tmp_path):
     """KeyboardInterrupt mid-campaign, then --resume: the final report
     and CSV are byte-identical to an uninterrupted run."""
     path = str(tmp_path / "run.jsonl")
-    faults = _faults()
+    faults = s27_faults()
 
     reference = CampaignHarness(
-        _simulator(), HarnessConfig(handle_sigint=False)
+        s27_simulator(), HarnessConfig(handle_sigint=False)
     ).run(faults)
 
-    interrupted = _simulator()
-    _crash_on(interrupted, 7, exc=KeyboardInterrupt())
+    interrupted = s27_simulator()
+    crash_on(interrupted, 7, exc=KeyboardInterrupt())
     harness = CampaignHarness(
         interrupted,
         HarnessConfig(
@@ -172,7 +145,7 @@ def test_interrupted_run_resumes_to_identical_summary(tmp_path):
     assert excinfo.value.journal_path == path
 
     resumed_harness = CampaignHarness(
-        _simulator(),
+        s27_simulator(),
         HarnessConfig(checkpoint_path=path, resume=True, handle_sigint=False),
     )
     resumed = resumed_harness.run(faults)
@@ -193,8 +166,8 @@ def test_sigint_stops_at_fault_boundary_with_flushed_journal(tmp_path):
     fault finishes, the journal is flushed, CampaignInterrupted reports
     progress, and the resumed run completes."""
     path = str(tmp_path / "run.jsonl")
-    faults = _faults()
-    simulator = _simulator()
+    faults = s27_faults()
+    simulator = s27_simulator()
     original = simulator.simulate_fault
     calls = {"n": 0}
 
@@ -221,25 +194,25 @@ def test_sigint_stops_at_fault_boundary_with_flushed_journal(tmp_path):
         assert len(handle.read().splitlines()) == 1 + 6
 
     resumed = CampaignHarness(
-        _simulator(),
+        s27_simulator(),
         HarnessConfig(checkpoint_path=path, resume=True, handle_sigint=False),
     ).run(faults)
     reference = CampaignHarness(
-        _simulator(), HarnessConfig(handle_sigint=False)
+        s27_simulator(), HarnessConfig(handle_sigint=False)
     ).run(faults)
     assert resumed.verdicts == reference.verdicts
 
 
 def test_resume_refuses_mismatched_manifest(tmp_path):
     path = str(tmp_path / "run.jsonl")
-    faults = _faults()
+    faults = s27_faults()
     CampaignHarness(
-        _simulator(seed=1),
+        s27_simulator(seed=1),
         HarnessConfig(checkpoint_path=path, handle_sigint=False),
     ).run(faults)
     with pytest.raises(JournalError, match="refusing to resume"):
         CampaignHarness(
-            _simulator(seed=2),
+            s27_simulator(seed=2),
             HarnessConfig(checkpoint_path=path, resume=True,
                           handle_sigint=False),
         ).run(faults)
@@ -248,25 +221,25 @@ def test_resume_refuses_mismatched_manifest(tmp_path):
 def test_resume_with_missing_journal_starts_fresh(tmp_path):
     path = str(tmp_path / "fresh.jsonl")
     harness = CampaignHarness(
-        _simulator(),
+        s27_simulator(),
         HarnessConfig(checkpoint_path=path, resume=True, handle_sigint=False),
     )
-    campaign = harness.run(_faults())
+    campaign = harness.run(s27_faults())
     assert harness.stats.reused == 0
-    assert campaign.total == len(_faults())
+    assert campaign.total == len(s27_faults())
     assert os.path.exists(path)
 
 
 def test_resume_requires_checkpoint_path():
     with pytest.raises(ValueError, match="checkpoint"):
-        CampaignHarness(_simulator(), HarnessConfig(resume=True))
+        CampaignHarness(s27_simulator(), HarnessConfig(resume=True))
 
 
 def test_journal_records_every_verdict(tmp_path):
     path = str(tmp_path / "run.jsonl")
-    faults = _faults()
+    faults = s27_faults()
     CampaignHarness(
-        _simulator(),
+        s27_simulator(),
         HarnessConfig(checkpoint_path=path, checkpoint_every=5,
                       handle_sigint=False),
     ).run(faults)

@@ -1,0 +1,317 @@
+"""Tests for the sharded multi-process campaign executor.
+
+The ISSUE acceptance scenarios: serial and parallel runs produce
+identical verdict lists for workers in {1, 2, 4} -- including campaigns
+with budget-aborted and quarantined (crashing) faults -- and a campaign
+whose worker processes are killed mid-run resumes from the shard
+journals and completes correctly.
+"""
+
+import os
+import re
+import warnings
+
+import pytest
+
+from repro.errors import WorkerCrashed
+from repro.faults.model import Fault
+from repro.mot.simulator import FaultVerdict, ProposedSimulator
+from repro.runner.budget import FaultBudget
+from repro.runner.harness import CampaignHarness, HarnessConfig
+from repro.runner.parallel import (
+    SHARD_STRATEGIES,
+    ParallelCampaignRunner,
+    ParallelConfig,
+    ParallelStats,
+    merge_verdict_maps,
+    run_parallel_campaign,
+    shard_faults,
+)
+
+from tests.helpers import s27_faults, s27_patterns, s27_simulator
+
+
+class CrashOnLineSimulator(ProposedSimulator):
+    """Raises on faults at ``crash_line`` -- picklable, so it behaves the
+    same in a worker process as in the parent."""
+
+    crash_line = None
+
+    def simulate_fault(self, fault, meter=None):
+        if self.crash_line is not None and fault.line == self.crash_line:
+            raise RuntimeError("injected crash")
+        return super().simulate_fault(fault, meter=meter)
+
+
+class KillerSimulator(ProposedSimulator):
+    """Hard-kills its own process on faults at ``kill_line`` -- the
+    worker dies without journaling that verdict, like an OOM kill."""
+
+    kill_line = None
+
+    def simulate_fault(self, fault, meter=None):
+        if self.kill_line is not None and fault.line == self.kill_line:
+            os._exit(17)
+        return super().simulate_fault(fault, meter=meter)
+
+
+def _serial(simulator, budget=None):
+    return CampaignHarness(
+        simulator, HarnessConfig(budget=budget, handle_sigint=False)
+    ).run(s27_faults())
+
+
+def _timeless(verdicts):
+    """Verdicts with wall-clock readings scrubbed from ``detail``.
+
+    Budget-abort details embed the elapsed milliseconds, which are not
+    reproducible across runs; everything else must match exactly.
+    """
+    return [
+        (
+            v.fault,
+            v.status,
+            v.how,
+            v.counters,
+            v.num_sequences,
+            v.num_expansions,
+            re.sub(r"[0-9.]+ ms", "<t> ms", v.detail),
+        )
+        for v in verdicts
+    ]
+
+
+# ----------------------------------------------------------------------
+# Serial / parallel equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_matches_serial(workers):
+    reference = _serial(s27_simulator())
+    runner = ParallelCampaignRunner(
+        s27_simulator(), ParallelConfig(workers=workers)
+    )
+    campaign = runner.run(s27_faults())
+    assert campaign.verdicts == reference.verdicts
+    assert runner.stats.simulated == len(s27_faults())
+    assert runner.stats.reused == 0
+
+
+@pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+def test_parallel_matches_serial_under_both_strategies(strategy):
+    reference = _serial(s27_simulator())
+    campaign = run_parallel_campaign(
+        s27_simulator(),
+        s27_faults(),
+        ParallelConfig(workers=3, shard_strategy=strategy),
+    )
+    assert campaign.verdicts == reference.verdicts
+
+
+def test_parallel_with_budget_and_crashing_fault_matches_serial():
+    """A campaign containing quarantined (crashing) *and* budget-aborted
+    faults still merges to the exact serial verdict list."""
+    budget = FaultBudget(max_events=2)
+    faults = s27_faults()
+
+    def crashing_simulator():
+        simulator = CrashOnLineSimulator(
+            s27_simulator().circuit, s27_patterns()
+        )
+        simulator.crash_line = faults[5].line
+        return simulator
+
+    reference = _serial(crashing_simulator(), budget=budget)
+    assert reference.errored > 0
+    assert reference.aborted_budget > 0
+
+    runner = ParallelCampaignRunner(
+        crashing_simulator(), ParallelConfig(workers=4, budget=budget)
+    )
+    campaign = runner.run(faults)
+    assert _timeless(campaign.verdicts) == _timeless(reference.verdicts)
+    assert runner.stats.errored == reference.errored
+    assert runner.stats.aborted == reference.aborted_budget
+
+
+def test_campaign_workers_fixture_equivalence(campaign_workers):
+    """CI reruns this test with REPRO_TEST_WORKERS=2 to force the
+    sharded executor through the standard campaign."""
+    reference = _serial(s27_simulator())
+    campaign = run_parallel_campaign(
+        s27_simulator(),
+        s27_faults(),
+        ParallelConfig(workers=campaign_workers),
+    )
+    assert campaign.verdicts == reference.verdicts
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume across executors
+# ----------------------------------------------------------------------
+def test_parallel_journal_consumed_by_serial_harness(tmp_journal):
+    """The merged journal of a sharded run is a plain campaign journal:
+    the serial harness resumes from it and reuses every verdict."""
+    faults = s27_faults()
+    parallel = run_parallel_campaign(
+        s27_simulator(),
+        faults,
+        ParallelConfig(workers=2, checkpoint_path=tmp_journal),
+    )
+    serial_harness = CampaignHarness(
+        s27_simulator(),
+        HarnessConfig(
+            checkpoint_path=tmp_journal, resume=True, handle_sigint=False
+        ),
+    )
+    resumed = serial_harness.run(faults)
+    assert serial_harness.stats.reused == len(faults)
+    assert serial_harness.stats.simulated == 0
+    assert resumed.verdicts == parallel.verdicts
+    # No shard journals are left behind after a clean merge.
+    directory = os.path.dirname(tmp_journal)
+    assert not [
+        name for name in os.listdir(directory) if ".shard" in name
+    ]
+
+
+def test_parallel_resumes_serial_journal(journaled_campaign):
+    """The sharded executor reuses every verdict of a serial journal."""
+    runner = ParallelCampaignRunner(
+        journaled_campaign.fresh_simulator(),
+        ParallelConfig(
+            workers=4,
+            checkpoint_path=journaled_campaign.journal_path,
+            resume=True,
+        ),
+    )
+    campaign = runner.run(journaled_campaign.faults)
+    assert runner.stats.reused == len(journaled_campaign.faults)
+    assert runner.stats.simulated == 0
+    assert campaign.verdicts == journaled_campaign.campaign.verdicts
+
+
+def test_worker_kill_then_resume_completes(tmp_journal):
+    """A worker hard-killed mid-shard loses at most the unjournaled
+    verdicts: the parent merges what was journaled and raises
+    WorkerCrashed; a later --resume run (any worker count) completes
+    with verdicts identical to a serial run."""
+    faults = s27_faults()
+    patterns = s27_patterns()
+    circuit = s27_simulator().circuit
+
+    killer = KillerSimulator(circuit, patterns)
+    killer.kill_line = faults[20].line
+    runner = ParallelCampaignRunner(
+        killer,
+        ParallelConfig(
+            workers=2, checkpoint_path=tmp_journal, checkpoint_every=1
+        ),
+    )
+    with pytest.raises(WorkerCrashed) as excinfo:
+        runner.run(faults)
+    assert excinfo.value.shards
+    assert 0 < excinfo.value.completed < len(faults)
+    assert excinfo.value.journal_path == tmp_journal
+    assert "--resume" not in str(excinfo.value)  # hint belongs to the CLI
+
+    healthy = KillerSimulator(circuit, patterns)  # kill_line stays None
+    resumed_runner = ParallelCampaignRunner(
+        healthy,
+        ParallelConfig(
+            workers=4, checkpoint_path=tmp_journal, resume=True
+        ),
+    )
+    resumed = resumed_runner.run(faults)
+    assert resumed_runner.stats.reused == excinfo.value.completed
+    assert resumed_runner.stats.simulated == len(faults) - excinfo.value.completed
+
+    reference = _serial(KillerSimulator(circuit, patterns))
+    assert resumed.verdicts == reference.verdicts
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+def _indexed(faults):
+    return list(enumerate(faults))
+
+
+def test_shard_faults_partitions_every_index_exactly_once():
+    indexed = _indexed(s27_faults())
+    circuit = s27_simulator().circuit
+    for strategy in SHARD_STRATEGIES:
+        for workers in (1, 2, 3, 4, 7):
+            shards = shard_faults(indexed, workers, strategy, circuit)
+            seen = [index for shard in shards for index, _fault in shard]
+            assert sorted(seen) == list(range(len(indexed)))
+            assert all(shard for shard in shards)
+            # Within a shard, faults stay in global-index order.
+            for shard in shards:
+                indices = [index for index, _fault in shard]
+                assert indices == sorted(indices)
+
+
+def test_shard_faults_is_deterministic():
+    indexed = _indexed(s27_faults())
+    circuit = s27_simulator().circuit
+    for strategy in SHARD_STRATEGIES:
+        first = shard_faults(indexed, 4, strategy, circuit)
+        second = shard_faults(indexed, 4, strategy, circuit)
+        assert first == second
+
+
+def test_shard_faults_round_robin_layout():
+    indexed = _indexed([Fault(0, 0), Fault(0, 1), Fault(1, 0), Fault(1, 1)])
+    shards = shard_faults(indexed, 2, "round_robin")
+    assert [[i for i, _f in shard] for shard in shards] == [[0, 2], [1, 3]]
+
+
+def test_shard_faults_more_workers_than_faults():
+    indexed = _indexed([Fault(0, 0), Fault(1, 1)])
+    shards = shard_faults(indexed, 8, "round_robin")
+    assert len(shards) == 2
+
+
+def test_shard_faults_empty_and_invalid_inputs():
+    assert shard_faults([], 4) == []
+    with pytest.raises(ValueError, match="workers"):
+        shard_faults(_indexed([Fault(0, 0)]), 0)
+    with pytest.raises(ValueError, match="strategy"):
+        shard_faults(_indexed([Fault(0, 0)]), 2, "magic")
+    with pytest.raises(ValueError, match="strategy"):
+        ParallelCampaignRunner(
+            s27_simulator(), ParallelConfig(shard_strategy="magic")
+        )
+
+
+# ----------------------------------------------------------------------
+# Merge dedup
+# ----------------------------------------------------------------------
+def _verdict(tag):
+    return FaultVerdict(fault=Fault(0, 0), status="undetected", how=tag)
+
+
+def test_merge_verdict_maps_last_write_wins_with_warning():
+    stats = ParallelStats()
+    sources = [
+        ("journal A", {0: _verdict("a0"), 1: _verdict("a1")}),
+        ("journal B", {1: _verdict("b1"), 2: _verdict("b2")}),
+    ]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        merged = merge_verdict_maps(sources, stats=stats)
+    assert sorted(merged) == [0, 1, 2]
+    assert merged[1].how == "b1"  # journal B wins for the duplicate
+    assert stats.duplicate_indices == [1]
+    assert len(caught) == 1
+    message = str(caught[0].message)
+    assert "journal A" in message and "journal B" in message
+
+
+def test_merge_verdict_maps_disjoint_sources_are_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        merged = merge_verdict_maps(
+            [("A", {0: _verdict("a")}), ("B", {1: _verdict("b")})]
+        )
+    assert sorted(merged) == [0, 1]
