@@ -27,12 +27,24 @@ size-aware shards); the fault-free response is computed once and shared
 with every worker, shard journals are merged back into the single
 ``--checkpoint`` format, and verdicts are identical to a serial run.
 
+Self-healing (``mot`` subcommand): sharded runs are **supervised by
+default** -- a dead worker (OOM, SIGKILL) is relaunched automatically
+with exponential backoff (``--max-retries``), a fault confirmed to kill
+its worker is isolated as an ``errored``/``poison`` verdict instead of
+wedging the campaign, ``--heartbeat-interval``/``--stall-timeout`` arm
+a watchdog that recycles workers hung inside a single fault, and when
+retries run out the residue is finished serially unless
+``--no-degrade`` is given.  ``--no-supervise`` restores the bare
+sharded runner (first worker death fails the run with a ``--resume``
+hint).
+
 Exit codes: 0 success; 1 usage or input error (taxonomy:
 :class:`repro.errors.ReproError`), including crashed campaign workers
-(journaled verdicts are merged first, so ``--resume`` completes the
-run); 2 argparse errors; 3 campaign completed but quarantined at least
-one errored fault; 130 interrupted (SIGINT) with the checkpoint journal
-flushed.
+under ``--no-supervise`` and exhausted supervision retries (journaled
+verdicts are merged first, so ``--resume`` completes the run); 2
+argparse errors; 3 campaign completed but quarantined at least one
+errored fault (including poison faults); 130 interrupted (SIGINT) with
+the checkpoint journal flushed.
 """
 
 from __future__ import annotations
@@ -42,7 +54,12 @@ import sys
 from typing import List, Optional
 
 from repro.circuit.bench import load_bench
-from repro.errors import CampaignInterrupted, ReproError, WorkerCrashed
+from repro.errors import (
+    CampaignInterrupted,
+    ReproError,
+    RetryExhausted,
+    WorkerCrashed,
+)
 from repro.circuit.netlist import Circuit
 from repro.circuit.stats import circuit_stats
 from repro.circuits.registry import benchmark_entries, build_circuit
@@ -64,6 +81,11 @@ from repro.runner.parallel import (
     ParallelCampaignRunner,
     ParallelConfig,
 )
+from repro.runner.retry import RetryPolicy
+from repro.runner.supervisor import (
+    SupervisedCampaignRunner,
+    SupervisorConfig,
+)
 from repro.sim.goodcache import GoodMachineCache
 
 #: Exit codes (see module docstring).
@@ -78,6 +100,24 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {text!r}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {text!r}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {text!r}"
         )
     return value
 
@@ -203,19 +243,30 @@ def cmd_mot(args: argparse.Namespace) -> int:
         )
         label = "proposed procedure"
     if args.workers > 1:
-        runner = ParallelCampaignRunner(
-            simulator,
-            ParallelConfig(
-                workers=args.workers,
-                shard_strategy=args.shard_strategy,
-                budget=_mot_budget(args),
-                checkpoint_path=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                resume=args.resume,
-                fail_fast=args.fail_fast,
-            ),
+        parallel_config = ParallelConfig(
+            workers=args.workers,
+            shard_strategy=args.shard_strategy,
+            budget=_mot_budget(args),
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            fail_fast=args.fail_fast,
+            heartbeat_interval=args.heartbeat_interval,
+            stall_timeout=args.stall_timeout,
         )
-        label += f", {args.workers} workers ({args.shard_strategy})"
+        if args.no_supervise:
+            runner = ParallelCampaignRunner(simulator, parallel_config)
+        else:
+            runner = SupervisedCampaignRunner(
+                simulator,
+                parallel_config,
+                SupervisorConfig(
+                    retry=RetryPolicy(max_retries=args.max_retries),
+                    allow_degraded=not args.no_degrade,
+                ),
+            )
+        label += f", {args.workers} workers ({args.shard_strategy}"
+        label += ", unsupervised)" if args.no_supervise else ", supervised)"
     else:
         runner = CampaignHarness(
             simulator,
@@ -238,6 +289,10 @@ def cmd_mot(args: argparse.Namespace) -> int:
             f"  resumed from {args.checkpoint}: {runner.stats.reused} "
             f"verdicts reused, {runner.stats.simulated} simulated"
         )
+    if isinstance(runner, SupervisedCampaignRunner):
+        from repro.reporting.campaign import render_supervision_report
+
+        print(render_supervision_report(runner.stats), end="")
     if campaign.aborted_budget:
         print(f"  aborted (budget): {campaign.aborted_budget}")
     if campaign.errored:
@@ -454,6 +509,35 @@ def build_parser() -> argparse.ArgumentParser:
              "(interleaved) or size_aware (balanced by a structural "
              "cost estimate)",
     )
+    p_mot.add_argument(
+        "--max-retries", type=_nonnegative_int, default=3, metavar="N",
+        help="supervised runs: relaunch dead workers up to N times "
+             "with exponential backoff before degrading (0 disables "
+             "retries)",
+    )
+    p_mot.add_argument(
+        "--heartbeat-interval", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="arm the stall watchdog: workers beacon progress at fault "
+             "boundaries and the parent polls every SECONDS",
+    )
+    p_mot.add_argument(
+        "--stall-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="recycle a worker silent for SECONDS (default 10x the "
+             "heartbeat interval); must exceed the slowest legitimate "
+             "per-fault simulation time",
+    )
+    p_mot.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail with a --resume hint when supervision retries run "
+             "out instead of finishing the residue serially",
+    )
+    p_mot.add_argument(
+        "--no-supervise", action="store_true",
+        help="run the bare sharded runner: the first worker death "
+             "fails the run (with a --resume hint) instead of healing",
+    )
     p_mot.set_defaults(func=cmd_mot)
 
     for name, func, help_text in (
@@ -520,6 +604,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
         return EXIT_INTERRUPTED
+    except RetryExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.journal_path:
+            print(
+                f"resume with: --checkpoint {exc.journal_path} --resume",
+                file=sys.stderr,
+            )
+        return EXIT_FAILURE
     except WorkerCrashed as exc:
         print(f"error: {exc}", file=sys.stderr)
         if exc.journal_path:

@@ -51,6 +51,10 @@ class CampaignSummary:
     errored: int = 0
     aborted_budget: int = 0
     unclassified: Dict[str, int] = field(default_factory=dict)
+    #: Faults the supervisor confirmed to kill/stall their worker
+    #: process (``errored`` verdicts with ``how == "poison"``); a
+    #: subset of ``errored``.
+    poisoned: int = 0
 
 
 def dedupe_verdicts(campaign: Campaign) -> Campaign:
@@ -122,6 +126,11 @@ def summarize_campaign(campaign: Campaign) -> CampaignSummary:
         errored=campaign.errored,
         aborted_budget=campaign.aborted_budget,
         unclassified=dict(unclassified),
+        poisoned=sum(
+            1
+            for v in campaign.verdicts
+            if v.status == "errored" and v.how == "poison"
+        ),
     )
 
 
@@ -149,9 +158,13 @@ def render_campaign_report(
             f"  aborted (budget)       : {summary.aborted_budget}",
         )
     if summary.errored:
+        poison_note = (
+            f" ({summary.poisoned} poison: killed their worker)"
+            if summary.poisoned else ""
+        )
         lines.insert(
             -1,
-            f"  errored (quarantined)  : {summary.errored}",
+            f"  errored (quarantined)  : {summary.errored}{poison_note}",
         )
     if summary.unclassified:
         tags = ", ".join(
@@ -183,6 +196,46 @@ def render_campaign_report(
                 f"{verdict.status}"
                 + (f" ({verdict.how})" if verdict.how else "")
             )
+    return "\n".join(lines) + "\n"
+
+
+def render_supervision_report(stats) -> str:
+    """One-line-per-fact summary of what a supervised run did.
+
+    *stats* is a :class:`repro.runner.supervisor.SupervisorStats` (duck
+    typed: any object with ``attempts`` / ``retries`` / ``stalls`` /
+    ``probes`` / ``poisoned`` / ``degraded``).  Returns ``""`` when
+    supervision never had to intervene, so callers can print the result
+    unconditionally.
+    """
+    interventions = (
+        stats.retries or stats.stalls or stats.probes
+        or stats.poisoned or stats.degraded
+    )
+    if not interventions:
+        return ""
+    lines: List[str] = [
+        f"  supervision: {stats.attempts} attempt(s), "
+        f"{stats.retries} retr{'y' if stats.retries == 1 else 'ies'}"
+    ]
+    if stats.stalls:
+        lines.append(
+            f"    stalled workers recycled : {stats.stalls}"
+        )
+    if stats.probes:
+        lines.append(
+            f"    suspect faults probed    : {stats.probes}"
+        )
+    if stats.poisoned:
+        indices = ", ".join(map(str, stats.poisoned))
+        lines.append(
+            f"    poison faults isolated   : "
+            f"{len(stats.poisoned)} (index {indices})"
+        )
+    if stats.degraded:
+        lines.append(
+            "    degraded to a serial run after retries were exhausted"
+        )
     return "\n".join(lines) + "\n"
 
 

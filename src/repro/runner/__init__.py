@@ -6,7 +6,9 @@ Public surface:
 * :mod:`repro.runner.budget` -- per-fault work/time budgets;
 * :mod:`repro.runner.journal` -- JSONL checkpoint journal;
 * :mod:`repro.runner.harness` -- the resilient campaign harness;
-* :mod:`repro.runner.parallel` -- sharded multi-process campaigns.
+* :mod:`repro.runner.parallel` -- sharded multi-process campaigns;
+* :mod:`repro.runner.retry` -- retry policy (backoff, jitter, deadline);
+* :mod:`repro.runner.supervisor` -- self-healing campaign supervision.
 
 Submodules are loaded lazily (PEP 562): the simulators in ``repro.mot``
 import :mod:`repro.runner.budget` while :mod:`repro.runner.harness`
@@ -26,12 +28,17 @@ _EXPORTS = {
     "CampaignInterrupted": "errors",
     "JournalError": "errors",
     "WorkerCrashed": "errors",
+    "WorkerCrashInfo": "errors",
+    "WorkerStalled": "errors",
+    "PoisonFault": "errors",
+    "RetryExhausted": "errors",
     # budget
     "FaultBudget": "budget",
     "BudgetMeter": "budget",
     "UNLIMITED": "budget",
     # journal
     "CampaignJournal": "journal",
+    "SupervisionLog": "journal",
     "campaign_manifest": "journal",
     "JOURNAL_VERSION": "journal",
     # harness
@@ -48,6 +55,13 @@ _EXPORTS = {
     "shard_faults": "parallel",
     "merge_verdict_maps": "parallel",
     "SHARD_STRATEGIES": "parallel",
+    # retry
+    "RetryPolicy": "retry",
+    # supervisor
+    "SupervisedCampaignRunner": "supervisor",
+    "SupervisorConfig": "supervisor",
+    "SupervisorStats": "supervisor",
+    "run_supervised_campaign": "supervisor",
 }
 
 __all__ = list(_EXPORTS)

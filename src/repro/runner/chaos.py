@@ -1,0 +1,66 @@
+"""Test-only chaos injection hook for campaign workers.
+
+The supervised-recovery tests and CI's chaos smoke job need a way to
+make a *stock* CLI worker die mid-shard -- no code patched, no custom
+simulator -- so the self-healing path is exercised end to end exactly
+as a user would hit it (OOM killer, cgroup limit, interpreter abort).
+
+When the environment variable ``REPRO_CHAOS_KILL_INDEX`` holds a global
+fault index, the campaign harness calls :func:`maybe_chaos_kill` right
+before simulating that fault and the process hard-exits via
+``os._exit`` (no cleanup, no journal flush -- like SIGKILL).
+
+``REPRO_CHAOS_KILL_MARKER`` names a marker file created *just before*
+dying.  Once the marker exists the hook never fires again, so the
+failure is transient: exactly one worker death, after which supervised
+recovery must complete the campaign.  Without a marker the kill is
+deterministic on every attempt -- the fault behaves as a poison fault
+and must end as an ``errored``/``poison`` verdict.
+
+The hook costs one ``os.environ`` lookup per fault when unset and is a
+no-op outside tests.  It lives in its own module so nothing here is
+imported unless the harness actually runs a campaign.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "CHAOS_KILL_ENV",
+    "CHAOS_MARKER_ENV",
+    "CHAOS_EXIT_CODE",
+    "maybe_chaos_kill",
+]
+
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_INDEX"
+CHAOS_MARKER_ENV = "REPRO_CHAOS_KILL_MARKER"
+
+#: Mimics the exit code the kernel OOM killer produces (128 + SIGKILL).
+CHAOS_EXIT_CODE = 137
+
+
+def maybe_chaos_kill(index: int) -> None:
+    """Hard-exit the process if chaos is armed for fault *index*.
+
+    See the module docstring for the environment contract.  Never
+    raises: malformed values disarm the hook.
+    """
+    armed = os.environ.get(CHAOS_KILL_ENV)
+    if armed is None:
+        return
+    try:
+        if int(armed) != index:
+            return
+    except ValueError:
+        return
+    marker = os.environ.get(CHAOS_MARKER_ENV)
+    if marker:
+        if os.path.exists(marker):
+            return  # already fired once; the fault is transiently fatal
+        try:
+            with open(marker, "w") as handle:
+                handle.write(str(index))
+        except OSError:
+            pass
+    os._exit(CHAOS_EXIT_CODE)

@@ -32,8 +32,10 @@ reuse the same journal and quarantine machinery unchanged.
 from __future__ import annotations
 
 import inspect
+import json
 import signal
 import threading
+import time
 import traceback
 from dataclasses import asdict, dataclass, is_dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
@@ -42,6 +44,7 @@ from repro.errors import BudgetExceeded, CampaignInterrupted, JournalError
 from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
 from repro.runner.budget import BudgetMeter, FaultBudget
+from repro.runner.chaos import maybe_chaos_kill
 from repro.runner.journal import (
     CampaignJournal,
     campaign_manifest,
@@ -111,6 +114,13 @@ class HarnessConfig:
         simulator and the (shard's) fault list.  Sharded runs pass the
         *full-campaign* manifest plus shard metadata, so every shard
         journal carries the campaign's ``config_hash``.
+    progress_path:
+        When set, a small JSON progress beacon (``completed`` count,
+        ``in_flight`` journal index, wall-clock ``ts``) is rewritten at
+        every fault boundary.  The parallel runner's heartbeat watchdog
+        reads the file's mtime to detect workers that hang inside a
+        single fault and never return; the payload feeds post-mortems.
+        ``None`` (default) writes nothing.
     """
 
     budget: Optional[FaultBudget] = None
@@ -121,6 +131,7 @@ class HarnessConfig:
     handle_sigint: bool = True
     journal_indices: Optional[Sequence[int]] = None
     manifest_override: Optional[Dict[str, Any]] = None
+    progress_path: Optional[str] = None
 
 
 @dataclass
@@ -165,6 +176,22 @@ class CampaignHarness:
         """Journal record index for fault-list *position*."""
         indices = self.config.journal_indices
         return position if indices is None else indices[position]
+
+    def _write_progress(self, in_flight: Optional[int]) -> None:
+        """Rewrite the heartbeat beacon (a watchdog reads its mtime)."""
+        path = self.config.progress_path
+        if path is None:
+            return
+        payload = {
+            "completed": self.stats.simulated + self.stats.reused,
+            "in_flight": in_flight,
+            "ts": time.time(),
+        }
+        try:
+            with open(path, "w") as handle:
+                json.dump(payload, handle)
+        except OSError:  # pragma: no cover - beacon loss must never kill a run
+            pass
 
     # ------------------------------------------------------------------
     def _simulate_one(self, fault: Fault) -> FaultVerdict:
@@ -235,6 +262,9 @@ class CampaignHarness:
             for index, fault in enumerate(fault_list):
                 if verdicts[index] is not None:
                     continue
+                global_index = self._journal_index(index)
+                self._write_progress(in_flight=global_index)
+                maybe_chaos_kill(global_index)
                 try:
                     verdict = self._simulate_one(fault)
                 except KeyboardInterrupt:
@@ -246,9 +276,7 @@ class CampaignHarness:
                 verdicts[index] = verdict
                 self.stats.simulated += 1
                 if journal is not None:
-                    journal.append(
-                        verdict_to_record(self._journal_index(index), verdict)
-                    )
+                    journal.append(verdict_to_record(global_index, verdict))
                     if journal.pending >= self.config.checkpoint_every:
                         journal.flush()
                 if self._interrupted:
@@ -258,6 +286,7 @@ class CampaignHarness:
                         journal_path=self.config.checkpoint_path,
                     )
             self._finish_journal(journal)
+            self._write_progress(in_flight=None)
         finally:
             self._restore_sigint(previous_handler)
         return Campaign(

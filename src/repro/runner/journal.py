@@ -15,6 +15,17 @@ A journal is an append-only JSONL file:
 Records are buffered and flushed every ``checkpoint_every`` verdicts by
 the harness (and always on interruption), bounding both the I/O cost
 and the worst-case re-simulation after a crash.
+
+Supervised campaigns additionally keep a **supervision log**
+(:class:`SupervisionLog`): an append-only JSONL sidecar
+(``<checkpoint>.events``) recording every supervision decision --
+worker crash, stall, retry with its backoff, poison confirmation,
+degradation -- timestamped, for post-mortems.  The sidecar is separate
+from the campaign journal because each retry attempt legitimately
+recreates the journal (truncating it to manifest + reusable verdicts),
+while the event history must survive every attempt.  Verdict-journal
+readers skip any ``kind: "event"`` records they meet, so the two
+formats stay mergeable by hand.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.circuit.netlist import Pin
@@ -32,6 +44,7 @@ from repro.mot.simulator import FaultCounters, FaultVerdict
 __all__ = [
     "JOURNAL_VERSION",
     "CampaignJournal",
+    "SupervisionLog",
     "campaign_manifest",
     "fault_to_payload",
     "fault_from_payload",
@@ -207,6 +220,8 @@ class CampaignJournal:
                 if number == len(lines):  # torn tail write: drop it
                     break
                 raise
+            if record.get("kind") == "event":
+                continue  # supervision events ride along; not verdicts
             if record.get("kind") != "verdict":
                 raise JournalError(
                     f"journal {self.path}: line {number}: unexpected record "
@@ -238,3 +253,65 @@ class CampaignJournal:
                 f"journal {self.path}: line {line_number}: not an object"
             )
         return parsed
+
+
+# ----------------------------------------------------------------------
+# The supervision log
+# ----------------------------------------------------------------------
+class SupervisionLog:
+    """Append-only JSONL sidecar of supervision events.
+
+    Each line is ``{"kind": "event", "event": <name>, "ts": <epoch>,
+    ...free-form fields...}``.  Events are written through immediately
+    (they are rare and each one marks a decision worth keeping even if
+    the supervisor itself dies next); reading tolerates a torn final
+    line exactly like the campaign journal.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def create(self) -> None:
+        """Start a fresh log (truncates any existing file)."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w"):
+            pass
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Durably append one timestamped *event*."""
+        payload = {"kind": "event", "event": event, "ts": time.time()}
+        payload.update(fields)
+        try:
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - the log must never kill a run
+            pass
+
+    def load(self) -> List[Dict[str, Any]]:
+        """Read every event back, dropping a torn final line."""
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read supervision log {self.path}: {exc}"
+            ) from None
+        events: List[Dict[str, Any]] = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):  # torn tail write: drop it
+                    break
+                raise JournalError(
+                    f"supervision log {self.path}: line {number}: "
+                    f"malformed JSON"
+                ) from None
+            if isinstance(parsed, dict) and parsed.get("kind") == "event":
+                events.append(parsed)
+        return events

@@ -48,14 +48,22 @@ reads *verdicts by global index*, never shard layouts.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import tempfile
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import CampaignInterrupted, JournalError, WorkerCrashed
+from repro.errors import (
+    CampaignInterrupted,
+    JournalError,
+    WorkerCrashInfo,
+    WorkerCrashed,
+    WorkerStalled,
+)
 from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
 from repro.runner.budget import FaultBudget
@@ -90,6 +98,23 @@ class ParallelConfig:
 
     ``start_method`` selects the :mod:`multiprocessing` start method
     (``None`` = ``fork`` where available, else ``spawn``).
+
+    ``heartbeat_interval`` (seconds) arms the stall watchdog: every
+    worker rewrites a per-shard progress beacon at each fault boundary,
+    and the parent polls the beacons on this period.  A worker silent
+    for longer than ``stall_timeout`` (default ``10 *
+    heartbeat_interval``) is presumed hung inside one fault -- a state
+    per-fault budgets cannot see, because the fault never returns --
+    and is terminated; its shard is reported as *stalled* in the
+    resulting :class:`~repro.errors.WorkerStalled` /
+    :class:`~repro.errors.WorkerCrashed`.  ``None`` (default) disables
+    the watchdog.  Size ``stall_timeout`` well above the slowest
+    legitimate per-fault time (or set a wall-clock budget below it).
+
+    ``in_process_single_shard`` keeps the historical fast path of
+    running a lone shard in the parent process (no fork overhead).  The
+    supervisor disables it so that even a one-fault retry cannot take
+    the supervising process down with it.
     """
 
     workers: int = 2
@@ -100,6 +125,9 @@ class ParallelConfig:
     resume: bool = False
     fail_fast: bool = False
     start_method: Optional[str] = None
+    heartbeat_interval: Optional[float] = None
+    stall_timeout: Optional[float] = None
+    in_process_single_shard: bool = True
 
 
 @dataclass
@@ -115,6 +143,8 @@ class ParallelStats:
     #: Fault indices that appeared in more than one journal during a
     #: merge (last write wins; each occurrence was warned about).
     duplicate_indices: List[int] = field(default_factory=list)
+    #: Shards whose worker was terminated by the heartbeat watchdog.
+    stalled_shards: List[int] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +259,7 @@ class _WorkerSpec:
     budget: Optional[FaultBudget]
     checkpoint_every: int
     fail_fast: bool
+    progress_path: Optional[str] = None
 
 
 def _worker_main(spec: _WorkerSpec) -> None:
@@ -251,6 +282,7 @@ def _worker_main(spec: _WorkerSpec) -> None:
             handle_sigint=False,
             journal_indices=spec.indices,
             manifest_override=spec.manifest,
+            progress_path=spec.progress_path,
         ),
     )
     harness.run(spec.faults)
@@ -278,6 +310,14 @@ class ParallelCampaignRunner:
             raise ValueError("checkpoint_every must be >= 1")
         if self.config.resume and not self.config.checkpoint_path:
             raise ValueError("resume requires a checkpoint path")
+        interval = self.config.heartbeat_interval
+        if interval is not None and interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0 seconds")
+        timeout = self.config.stall_timeout
+        if timeout is not None and timeout <= 0:
+            raise ValueError("stall_timeout must be > 0 seconds")
+        if timeout is not None and interval is None:
+            raise ValueError("stall_timeout requires heartbeat_interval")
         self.stats = ParallelStats(workers=self.config.workers)
 
     # ------------------------------------------------------------------
@@ -309,7 +349,7 @@ class ParallelCampaignRunner:
             for index in sorted(verdicts):
                 journal.append(verdict_to_record(index, verdicts[index]))
             journal.flush()
-            self._remove_shard_journals(path)
+            self._remove_shard_artifacts(path)
 
         remaining = [
             (index, fault)
@@ -327,7 +367,7 @@ class ParallelCampaignRunner:
                 self._execute(remaining, shard_base, manifest, verdicts, journal)
         finally:
             if tmpdir is not None:
-                self._remove_shard_journals(os.path.join(tmpdir, "campaign.jsonl"))
+                self._remove_shard_artifacts(os.path.join(tmpdir, "campaign.jsonl"))
                 try:
                     os.rmdir(tmpdir)
                 except OSError:  # pragma: no cover - defensive
@@ -363,6 +403,7 @@ class ParallelCampaignRunner:
             circuit=self.simulator.circuit,
         )
         self.stats.shards = len(shards)
+        heartbeat = self.config.heartbeat_interval
         specs = [
             _WorkerSpec(
                 shard=k,
@@ -375,13 +416,17 @@ class ParallelCampaignRunner:
                 budget=self.config.budget,
                 checkpoint_every=self.config.checkpoint_every,
                 fail_fast=self.config.fail_fast,
+                progress_path=(
+                    self._progress_path(shard_base, k) if heartbeat else None
+                ),
             )
             for k, shard in enumerate(shards)
         ]
 
-        crashed: List[int] = []
+        exitcodes: Dict[int, Optional[int]] = {}
+        stalled: Set[int] = set()
         interrupted = False
-        if len(specs) == 1:
+        if len(specs) == 1 and self.config.in_process_single_shard:
             # One shard: run in-process (no fork overhead), same journal
             # and merge path as the multi-worker case.
             try:
@@ -396,61 +441,167 @@ class ParallelCampaignRunner:
                 )
                 for spec in specs
             ]
+            for spec in specs:
+                # Baseline beacon: a worker that dies before its first
+                # fault boundary must still have a heartbeat mtime.
+                self._touch_progress(spec.progress_path)
             for process in processes:
                 process.start()
             try:
-                for process in processes:
-                    process.join()
+                if heartbeat:
+                    stalled = self._watch(specs, processes)
+                else:
+                    for process in processes:
+                        process.join()
             except KeyboardInterrupt:
                 interrupted = True
                 for process in processes:
                     process.terminate()
                 for process in processes:
                     process.join()
-            crashed = [
-                spec.shard
+            exitcodes = {
+                spec.shard: process.exitcode
                 for spec, process in zip(specs, processes)
-                if process.exitcode != 0
-            ]
+            }
+            self.stats.stalled_shards = sorted(stalled)
 
-        merged = merge_verdict_maps(
-            [("campaign journal", dict(verdicts))]
-            + [
-                (f"shard journal {spec.journal_path}", shard_verdicts)
-                for spec, shard_verdicts in self._read_shards(specs, manifest)
-            ],
-            stats=self.stats,
-        )
-        fresh = {i: v for i, v in merged.items() if i not in verdicts}
-        self.stats.simulated = len(fresh)
-        verdicts.update(fresh)
-        if journal is not None:
-            for index in sorted(fresh):
-                journal.append(verdict_to_record(index, fresh[index]))
-            journal.flush()
-            # Merged records are durable; the shard files are redundant.
+        # Merge whatever the workers journaled.  The shard journals and
+        # progress beacons are removed in the finally even when the
+        # merge step raises: everything readable has either been merged
+        # into the durable campaign journal, or could not be written to
+        # the same filesystem the shard files live on -- leaving them
+        # behind would only feed stale duplicates to a later resume.
+        try:
+            shard_reads = self._read_shards(specs, manifest)
+            merged = merge_verdict_maps(
+                [("campaign journal", dict(verdicts))]
+                + [
+                    (f"shard journal {spec.journal_path}", shard_verdicts)
+                    for spec, shard_verdicts in shard_reads
+                ],
+                stats=self.stats,
+            )
+            fresh = {i: v for i, v in merged.items() if i not in verdicts}
+            self.stats.simulated = len(fresh)
+            verdicts.update(fresh)
+            if journal is not None:
+                for index in sorted(fresh):
+                    journal.append(verdict_to_record(index, fresh[index]))
+                journal.flush()
+        finally:
             for spec in specs:
                 self._remove_file(spec.journal_path)
+                self._remove_file(spec.progress_path)
         if interrupted:
             raise CampaignInterrupted(
                 completed=len(verdicts),
                 journal_path=self.config.checkpoint_path,
             )
-        if crashed and not interrupted:
-            raise WorkerCrashed(
-                shards=crashed,
+        crashes = self._crash_reports(specs, exitcodes, stalled, shard_reads)
+        if crashes:
+            error_class = (
+                WorkerStalled
+                if all(info.stalled for info in crashes)
+                else WorkerCrashed
+            )
+            raise error_class(
+                shards=[info.shard for info in crashes],
                 completed=len(verdicts),
                 journal_path=self.config.checkpoint_path,
+                crashes=crashes,
             )
 
-    def _read_shards(self, specs, manifest):
-        """Yield ``(spec, {index: verdict})`` for every readable shard."""
+    def _watch(self, specs, processes) -> Set[int]:
+        """Join the workers while policing their heartbeat beacons.
+
+        Polls every ``heartbeat_interval``; a live worker whose beacon
+        has not been touched for ``stall_timeout`` is terminated (then
+        killed if termination does not take) and reported as stalled.
+        """
+        interval = self.config.heartbeat_interval
+        timeout = self.config.stall_timeout or 10.0 * interval
+        stalled: Set[int] = set()
+        while True:
+            alive = [
+                (spec, process)
+                for spec, process in zip(specs, processes)
+                if process.is_alive()
+            ]
+            if not alive:
+                break
+            # join() both sleeps for one poll period and reaps the
+            # process if it exits meanwhile.
+            alive[0][1].join(interval)
+            now = time.time()
+            for spec, process in alive:
+                if not process.is_alive():
+                    continue
+                if now - self._progress_mtime(spec.progress_path) <= timeout:
+                    continue
+                stalled.add(spec.shard)
+                process.terminate()
+                process.join(5.0)
+                if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                    process.kill()
+                    process.join()
+        return stalled
+
+    @staticmethod
+    def _crash_reports(
+        specs: List[_WorkerSpec],
+        exitcodes: Dict[int, Optional[int]],
+        stalled: Set[int],
+        shard_reads: List[Tuple[_WorkerSpec, Dict[int, FaultVerdict]]],
+    ) -> List[WorkerCrashInfo]:
+        """Post-mortem metadata for every worker that exited abnormally."""
+        read_by_shard = {
+            spec.shard: verdicts for spec, verdicts in shard_reads
+        }
+        crashes: List[WorkerCrashInfo] = []
         for spec in specs:
-            verdicts = self._load_journal_verdicts(
-                spec.journal_path, manifest, missing_ok=True
+            exitcode = exitcodes.get(spec.shard)
+            if spec.shard not in exitcodes or exitcode == 0:
+                continue
+            journaled = read_by_shard.get(spec.shard, {})
+            done = [i for i in spec.indices if i in journaled]
+            suspect = next(
+                (i for i in spec.indices if i not in journaled), None
             )
+            crashes.append(
+                WorkerCrashInfo(
+                    shard=spec.shard,
+                    exitcode=exitcode,
+                    last_journaled_index=done[-1] if done else None,
+                    suspect_index=suspect,
+                    stalled=spec.shard in stalled,
+                )
+            )
+        return crashes
+
+    def _read_shards(self, specs, manifest):
+        """``[(spec, {index: verdict})]`` for every readable shard.
+
+        A shard journal that exists but cannot be read (torn manifest,
+        mid-file corruption from a crash, stale leftovers of another
+        campaign) is skipped with a warning instead of wedging the
+        merge: its faults are simply re-simulated by the next attempt.
+        """
+        reads = []
+        for spec in specs:
+            try:
+                verdicts = self._load_journal_verdicts(
+                    spec.journal_path, manifest, missing_ok=True
+                )
+            except JournalError as exc:
+                warnings.warn(
+                    f"ignoring unreadable shard journal "
+                    f"{spec.journal_path}: {exc}",
+                    stacklevel=2,
+                )
+                continue
             if verdicts is not None:
-                yield spec, verdicts
+                reads.append((spec, verdicts))
+        return reads
 
     # ------------------------------------------------------------------
     def _recover(
@@ -466,9 +617,18 @@ class ParallelCampaignRunner:
         if parent is not None:
             sources.append((f"campaign journal {path}", parent))
         for shard_path in self._existing_shard_journals(path):
-            shard = self._load_journal_verdicts(
-                shard_path, manifest, missing_ok=True
-            )
+            try:
+                shard = self._load_journal_verdicts(
+                    shard_path, manifest, missing_ok=True
+                )
+            except JournalError as exc:
+                # A shard journal is a recovery artifact, not the record
+                # of truth: salvage what loads, re-simulate the rest.
+                warnings.warn(
+                    f"ignoring unreadable shard journal {shard_path}: {exc}",
+                    stacklevel=2,
+                )
+                continue
             if shard is not None:
                 sources.append((f"shard journal {shard_path}", shard))
         return merge_verdict_maps(sources, stats=self.stats)
@@ -492,6 +652,32 @@ class ParallelCampaignRunner:
         return f"{base}.shard{shard}"
 
     @classmethod
+    def _progress_path(cls, base: str, shard: int) -> str:
+        return cls._shard_path(base, shard) + ".progress"
+
+    @staticmethod
+    def _touch_progress(path: Optional[str]) -> None:
+        if path is None:
+            return
+        try:
+            with open(path, "w") as handle:
+                json.dump({"completed": 0, "in_flight": None,
+                           "ts": time.time()}, handle)
+        except OSError:  # pragma: no cover - beacon loss is non-fatal
+            pass
+
+    @staticmethod
+    def _progress_mtime(path: Optional[str]) -> float:
+        """The beacon's mtime; "now" when the beacon is unreadable, so a
+        missing file can never trip the watchdog."""
+        if path is None:  # pragma: no cover - watchdog always sets paths
+            return time.time()
+        try:
+            return os.stat(path).st_mtime
+        except OSError:  # pragma: no cover - beacon raced with cleanup
+            return time.time()
+
+    @classmethod
     def _existing_shard_journals(cls, base: str) -> List[str]:
         directory = os.path.dirname(os.path.abspath(base)) or "."
         prefix = os.path.basename(base) + ".shard"
@@ -506,12 +692,16 @@ class ParallelCampaignRunner:
         ]
 
     @classmethod
-    def _remove_shard_journals(cls, base: str) -> None:
+    def _remove_shard_artifacts(cls, base: str) -> None:
+        """Remove leftover shard journals *and* their progress beacons."""
         for path in cls._existing_shard_journals(base):
             cls._remove_file(path)
+            cls._remove_file(path + ".progress")
 
     @staticmethod
-    def _remove_file(path: str) -> None:
+    def _remove_file(path: Optional[str]) -> None:
+        if path is None:
+            return
         try:
             os.remove(path)
         except OSError:

@@ -1,0 +1,96 @@
+"""Retry policy for supervised campaigns.
+
+A :class:`RetryPolicy` decides, after a worker-pool failure, whether
+the supervisor may relaunch the missing work and how long to wait
+before doing so.  The delay is exponential with a cap -- crash storms
+(a dying filesystem, an OOM-thrashing host) get geometrically rarer
+relaunches instead of a tight fork loop -- plus proportional jitter so
+multiple supervised campaigns sharing one host do not relaunch in
+lockstep.
+
+The jitter is *deterministic per attempt* (a hash of the attempt number
+and the policy's ``jitter_seed``): retrying the same campaign twice
+produces the same schedule, which keeps supervised runs reproducible
+and the backoff unit-testable without patching ``random``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how fast a supervised campaign relaunches dead workers.
+
+    Attributes
+    ----------
+    max_retries:
+        Relaunches allowed after the initial attempt (so a campaign may
+        run ``1 + max_retries`` worker pools).  ``0`` disables retries:
+        the first failure goes straight to degradation (or raises).
+    backoff_base:
+        Delay in seconds before the first relaunch.
+    backoff_factor:
+        Multiplier applied per further relaunch.
+    backoff_cap:
+        Upper bound on the pre-jitter delay.
+    jitter:
+        Fraction of the delay added as deterministic pseudo-random
+        jitter (``0.1`` = up to +10%).  ``0`` disables jitter.
+    jitter_seed:
+        Seed folded into the per-attempt jitter hash.
+    deadline:
+        Overall wall-clock budget (seconds) for the whole supervised
+        campaign, measured from its start; once exceeded, no further
+        relaunches are allowed even if retries remain.  ``None`` means
+        no deadline.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_cap: float = 30.0
+    jitter: float = 0.1
+    jitter_seed: int = 0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0 seconds")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_cap < 0:
+            raise ValueError("backoff_cap must be >= 0 seconds")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds")
+
+    # ------------------------------------------------------------------
+    def allows(self, retries_done: int) -> bool:
+        """May the supervisor relaunch after *retries_done* relaunches?"""
+        return retries_done < self.max_retries
+
+    def backoff(self, attempt: int) -> float:
+        """Delay in seconds before relaunch number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_cap,
+        )
+        if self.jitter > 0 and delay > 0:
+            rng = random.Random(f"{self.jitter_seed}:{attempt}")
+            delay += delay * self.jitter * rng.random()
+        return delay
+
+    def within_deadline(self, elapsed: float) -> bool:
+        """True while *elapsed* seconds leave room for another attempt."""
+        return self.deadline is None or elapsed < self.deadline

@@ -5,6 +5,13 @@ import pytest
 from repro.cli import main
 
 
+def _argparse_exit(argv):
+    """Run *argv*, asserting argparse rejected it (SystemExit, code 2)."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+
+
 def test_stats_runs(capsys):
     assert main(["stats", "s27", "fig4"]) == 0
     out = capsys.readouterr().out
@@ -202,3 +209,143 @@ def test_fsim_parallel_engine(capsys):
         ["fsim", "--circuit", "s27", "--length", "16", "--engine", "parallel"]
     ) == 0
     assert "parallel engine" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Argparse-time validation of the campaign-scale flags
+# ----------------------------------------------------------------------
+def test_mot_rejects_invalid_workers(capsys):
+    _argparse_exit(["mot", "--circuit", "s27", "--workers", "0"])
+    assert "positive integer" in capsys.readouterr().err
+    _argparse_exit(["mot", "--circuit", "s27", "--workers", "-3"])
+    _argparse_exit(["mot", "--circuit", "s27", "--workers", "two"])
+
+
+def test_mot_rejects_unknown_shard_strategy(capsys):
+    _argparse_exit(
+        ["mot", "--circuit", "s27", "--workers", "2",
+         "--shard-strategy", "magic"]
+    )
+    err = capsys.readouterr().err
+    assert "round_robin" in err and "size_aware" in err
+
+
+def test_mot_rejects_invalid_supervision_flags(capsys):
+    _argparse_exit(["mot", "--circuit", "s27", "--max-retries", "-1"])
+    assert "non-negative integer" in capsys.readouterr().err
+    _argparse_exit(["mot", "--circuit", "s27", "--heartbeat-interval", "0"])
+    assert "positive number of seconds" in capsys.readouterr().err
+    _argparse_exit(["mot", "--circuit", "s27", "--stall-timeout", "-5"])
+    _argparse_exit(["mot", "--circuit", "s27", "--checkpoint-every", "0"])
+
+
+# ----------------------------------------------------------------------
+# Supervised campaigns end to end (chaos injected via the env hook)
+# ----------------------------------------------------------------------
+def test_mot_workers_supervised_by_default(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--workers", "2", "--checkpoint", str(journal)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "supervised" in out
+    assert "supervision:" not in out  # clean run: nothing to report
+    assert (tmp_path / "run.jsonl.events").exists()
+
+
+def test_mot_supervised_recovers_from_transient_worker_kill(
+    tmp_path, capsys, monkeypatch
+):
+    """The ISSUE acceptance scenario: a stock CLI campaign whose worker
+    is hard-killed mid-shard completes without operator action."""
+    journal = tmp_path / "run.jsonl"
+    monkeypatch.setenv("REPRO_CHAOS_KILL_INDEX", "20")
+    monkeypatch.setenv("REPRO_CHAOS_KILL_MARKER", str(tmp_path / "marker"))
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--workers", "2", "--checkpoint", str(journal),
+         "--checkpoint-every", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "supervision:" in out
+    assert "1 retry" in out
+    assert (tmp_path / "marker").exists()  # the kill really fired
+
+
+def test_mot_supervised_isolates_deterministic_killer(
+    tmp_path, capsys, monkeypatch
+):
+    """A fault that kills its worker on every attempt ends as an
+    errored/poison verdict (exit 3: errored faults present)."""
+    journal = tmp_path / "run.jsonl"
+    monkeypatch.setenv("REPRO_CHAOS_KILL_INDEX", "20")
+    monkeypatch.delenv("REPRO_CHAOS_KILL_MARKER", raising=False)
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--workers", "2", "--checkpoint", str(journal),
+         "--checkpoint-every", "1", "--report"]
+    ) == 3
+    captured = capsys.readouterr()
+    assert "poison faults isolated" in captured.out
+    assert "poison: killed their worker" in captured.out
+    assert "errored (quarantined)" in captured.err
+
+
+def test_mot_no_supervise_fails_fast_with_resume_hint(
+    tmp_path, capsys, monkeypatch
+):
+    journal = tmp_path / "run.jsonl"
+    monkeypatch.setenv("REPRO_CHAOS_KILL_INDEX", "20")
+    monkeypatch.delenv("REPRO_CHAOS_KILL_MARKER", raising=False)
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--workers", "2", "--checkpoint", str(journal),
+         "--checkpoint-every", "1", "--no-supervise"]
+    ) == 1
+    err = capsys.readouterr().err
+    assert "worker failure" in err
+    assert f"--checkpoint {journal} --resume" in err
+
+
+def test_mot_supervised_interrupt_exits_130(tmp_path, capsys, monkeypatch):
+    from repro.errors import CampaignInterrupted
+    from repro.runner.supervisor import SupervisedCampaignRunner
+
+    journal = tmp_path / "run.jsonl"
+
+    def interrupted_run(self, faults):
+        raise CampaignInterrupted(completed=7, journal_path=str(journal))
+
+    monkeypatch.setattr(SupervisedCampaignRunner, "run", interrupted_run)
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--workers", "2", "--checkpoint", str(journal)]
+    ) == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert f"--checkpoint {journal} --resume" in err
+
+
+def test_mot_retry_exhausted_exits_with_resume_hint(
+    tmp_path, capsys, monkeypatch
+):
+    from repro.errors import RetryExhausted
+    from repro.runner.supervisor import SupervisedCampaignRunner
+
+    journal = tmp_path / "run.jsonl"
+
+    def exhausted_run(self, faults):
+        raise RetryExhausted(
+            attempts=4, completed=30, remaining=2,
+            journal_path=str(journal),
+        )
+
+    monkeypatch.setattr(SupervisedCampaignRunner, "run", exhausted_run)
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--workers", "2", "--checkpoint", str(journal), "--no-degrade"]
+    ) == 1
+    err = capsys.readouterr().err
+    assert "4 attempt(s)" in err
+    assert f"--checkpoint {journal} --resume" in err

@@ -13,6 +13,7 @@ from repro.mot.simulator import FaultCounters, FaultVerdict
 from repro.runner.journal import (
     JOURNAL_VERSION,
     CampaignJournal,
+    SupervisionLog,
     campaign_manifest,
     fault_from_payload,
     fault_to_payload,
@@ -127,3 +128,53 @@ def test_validate_manifest_refuses_mismatch(tmp_path):
     with pytest.raises(JournalError, match="config_hash.*refusing to resume"):
         journal.validate_manifest(_manifest(seed=1), _manifest(seed=2))
     journal.validate_manifest(_manifest(seed=1), _manifest(seed=1))
+
+
+def test_journal_load_skips_event_records(tmp_path):
+    """Supervision events mixed into a verdict journal (e.g. merged by
+    hand) are skipped by readers, not treated as corruption."""
+    path = str(tmp_path / "run.jsonl")
+    journal = CampaignJournal(path)
+    journal.create(_manifest())
+    journal.append(verdict_to_record(0, FaultVerdict(Fault(1, 0, None), "conv")))
+    journal.flush()
+    with open(path, "a") as handle:
+        handle.write(json.dumps({"kind": "event", "event": "x"}) + "\n")
+    journal.append(verdict_to_record(1, FaultVerdict(Fault(2, 1, None), "mot")))
+    journal.flush()
+    _, verdicts = CampaignJournal(path).load()
+    assert set(verdicts) == {0, 1}
+
+
+def test_supervision_log_roundtrip(tmp_path):
+    log = SupervisionLog(str(tmp_path / "run.jsonl.events"))
+    log.create()
+    log.record("attempt_started", attempt=1)
+    log.record("worker_failure", crashes=[{"shard": 0, "exitcode": 137}])
+    events = log.load()
+    assert [e["event"] for e in events] == ["attempt_started", "worker_failure"]
+    assert events[0]["attempt"] == 1
+    assert events[1]["crashes"][0]["exitcode"] == 137
+    assert all("ts" in e for e in events)
+    # create() truncates.
+    log.create()
+    assert log.load() == []
+
+
+def test_supervision_log_tolerates_torn_tail(tmp_path):
+    log = SupervisionLog(str(tmp_path / "run.jsonl.events"))
+    log.create()
+    log.record("attempt_started", attempt=1)
+    with open(log.path, "a") as handle:
+        handle.write('{"kind": "event", "ev')  # crash mid-write
+    assert [e["event"] for e in log.load()] == ["attempt_started"]
+
+
+def test_supervision_log_rejects_garbage_in_the_middle(tmp_path):
+    log = SupervisionLog(str(tmp_path / "run.jsonl.events"))
+    log.create()
+    with open(log.path, "a") as handle:
+        handle.write("not json\n")
+        handle.write(json.dumps({"kind": "event", "event": "x"}) + "\n")
+    with pytest.raises(JournalError, match="malformed"):
+        log.load()

@@ -213,6 +213,22 @@ def test_worker_kill_then_resume_completes(tmp_journal):
     assert 0 < excinfo.value.completed < len(faults)
     assert excinfo.value.journal_path == tmp_journal
     assert "--resume" not in str(excinfo.value)  # hint belongs to the CLI
+    # Post-mortem metadata: which shard died, how far it had journaled,
+    # and which fault was in flight when it did.
+    assert excinfo.value.crashes
+    crash = excinfo.value.crashes[0]
+    assert crash.exitcode == 17
+    assert crash.suspect_index in range(len(faults))
+    assert f"shard {crash.shard} crashed" in str(excinfo.value)
+    assert "in-flight fault index" in str(excinfo.value)
+    # No shard journals or beacons survive the crash: everything
+    # readable was merged into the durable campaign journal.
+    directory = os.path.dirname(tmp_journal)
+    assert not [
+        name
+        for name in os.listdir(directory)
+        if ".shard" in name or ".progress" in name
+    ]
 
     healthy = KillerSimulator(circuit, patterns)  # kill_line stays None
     resumed_runner = ParallelCampaignRunner(
@@ -227,6 +243,58 @@ def test_worker_kill_then_resume_completes(tmp_journal):
 
     reference = _serial(KillerSimulator(circuit, patterns))
     assert resumed.verdicts == reference.verdicts
+
+
+def test_shard_journals_removed_even_when_merge_raises(
+    tmp_journal, monkeypatch
+):
+    """Regression: the ``.shard<k>`` temp files (and progress beacons)
+    are cleaned up even when the merge step itself raises."""
+    import repro.runner.parallel as parallel_module
+
+    def exploding_merge(*_args, **_kwargs):
+        raise RuntimeError("injected merge failure")
+
+    monkeypatch.setattr(
+        parallel_module, "merge_verdict_maps", exploding_merge
+    )
+    runner = ParallelCampaignRunner(
+        s27_simulator(),
+        ParallelConfig(workers=2, checkpoint_path=tmp_journal),
+    )
+    with pytest.raises(RuntimeError, match="injected merge failure"):
+        runner.run(s27_faults())
+    directory = os.path.dirname(tmp_journal)
+    assert not [
+        name
+        for name in os.listdir(directory)
+        if ".shard" in name or ".progress" in name
+    ]
+
+
+def test_resume_tolerates_corrupt_shard_journal(tmp_journal):
+    """A corrupt leftover shard journal is skipped with a warning on
+    resume; its faults are simply re-simulated."""
+    faults = s27_faults()
+    first = run_parallel_campaign(
+        s27_simulator(),
+        faults,
+        ParallelConfig(workers=2, checkpoint_path=tmp_journal),
+    )
+    with open(tmp_journal + ".shard0", "w") as handle:
+        handle.write("not json at all\n")
+    runner = ParallelCampaignRunner(
+        s27_simulator(),
+        ParallelConfig(workers=2, checkpoint_path=tmp_journal, resume=True),
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        campaign = runner.run(faults)
+    assert campaign.verdicts == first.verdicts
+    assert runner.stats.reused == len(faults)
+    assert any(
+        "unreadable shard journal" in str(w.message) for w in caught
+    )
 
 
 # ----------------------------------------------------------------------

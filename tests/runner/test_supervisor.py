@@ -1,0 +1,475 @@
+"""Chaos tests for the self-healing campaign supervisor.
+
+The ISSUE acceptance scenarios: a campaign whose worker is SIGKILLed
+mid-shard completes under supervision with verdicts identical to a
+serial run; a fault that deterministically kills its worker ends as an
+``errored``/``poison`` verdict instead of wedging the campaign; Ctrl-C
+during supervision merges journals and propagates; a worker hung inside
+one fault is recycled by the heartbeat watchdog.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import (
+    CampaignInterrupted,
+    PoisonFault,
+    RetryExhausted,
+    WorkerCrashed,
+    WorkerStalled,
+)
+from repro.mot.simulator import ProposedSimulator
+from repro.runner.chaos import (
+    CHAOS_KILL_ENV,
+    CHAOS_MARKER_ENV,
+    maybe_chaos_kill,
+)
+from repro.runner.harness import CampaignHarness, HarnessConfig
+from repro.runner.journal import SupervisionLog
+from repro.runner.parallel import ParallelCampaignRunner, ParallelConfig
+from repro.runner.retry import RetryPolicy
+from repro.runner.supervisor import (
+    POISON_HOW,
+    SupervisedCampaignRunner,
+    SupervisorConfig,
+    run_supervised_campaign,
+)
+
+from tests.helpers import s27_faults, s27_patterns, s27_simulator
+
+#: Retry policy for tests: immediate relaunches, no sleeping.
+FAST_RETRY = RetryPolicy(max_retries=3, backoff_base=0.0, jitter=0.0)
+
+
+class TransientKillerSimulator(ProposedSimulator):
+    """Hard-kills its process on ``kill_line`` -- but only once: the
+    marker file it drops first makes every later attempt survive, like
+    a transient OOM kill."""
+
+    kill_line = None
+    marker = None
+
+    def simulate_fault(self, fault, meter=None):
+        if (
+            self.kill_line is not None
+            and fault.line == self.kill_line
+            and not os.path.exists(self.marker)
+        ):
+            open(self.marker, "w").close()
+            os._exit(137)
+        return super().simulate_fault(fault, meter=meter)
+
+
+class DeterministicKillerSimulator(ProposedSimulator):
+    """Hard-kills its process on ``kill_line``, every single time -- the
+    shape of a poison fault."""
+
+    kill_line = None
+
+    def simulate_fault(self, fault, meter=None):
+        if self.kill_line is not None and fault.line == self.kill_line:
+            os._exit(137)
+        return super().simulate_fault(fault, meter=meter)
+
+
+class HangSimulator(ProposedSimulator):
+    """Hangs forever on ``hang_line``; with a ``marker`` set the hang is
+    transient (the first encounter drops the marker and hangs, later
+    encounters proceed normally)."""
+
+    hang_line = None
+    marker = None
+
+    def simulate_fault(self, fault, meter=None):
+        if self.hang_line is not None and fault.line == self.hang_line:
+            if self.marker is None or not os.path.exists(self.marker):
+                if self.marker:
+                    open(self.marker, "w").close()
+                time.sleep(3600)
+        return super().simulate_fault(fault, meter=meter)
+
+
+def _serial_reference():
+    return CampaignHarness(
+        s27_simulator(), HarnessConfig(handle_sigint=False)
+    ).run(s27_faults())
+
+
+def _no_leftovers(directory):
+    """Only the campaign journal and the .events sidecar may remain."""
+    leftovers = [
+        name
+        for name in os.listdir(str(directory))
+        if ".shard" in name or ".probe" in name or ".progress" in name
+    ]
+    assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Transient worker death: retry heals the campaign completely
+# ----------------------------------------------------------------------
+def test_transient_kill_recovers_identical_to_serial(tmp_path):
+    faults = s27_faults()
+    simulator = TransientKillerSimulator(
+        s27_simulator().circuit, s27_patterns()
+    )
+    simulator.kill_line = faults[20].line
+    simulator.marker = str(tmp_path / "marker")
+    journal = str(tmp_path / "run.jsonl")
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(workers=2, checkpoint_path=journal, checkpoint_every=1),
+        SupervisorConfig(retry=FAST_RETRY),
+    )
+    campaign = runner.run(faults)
+
+    assert campaign.verdicts == _serial_reference().verdicts
+    assert runner.stats.attempts == 2
+    assert runner.stats.retries == 1
+    assert runner.stats.probes == 1  # the suspect was probed and survived
+    assert runner.stats.poisoned == []
+    assert not runner.stats.degraded
+    _no_leftovers(tmp_path)
+
+    events = [e["event"] for e in SupervisionLog(journal + ".events").load()]
+    assert events == [
+        "attempt_started",
+        "worker_failure",
+        "probe_started",
+        "probe_survived",
+        "retry_scheduled",
+        "attempt_started",
+        "campaign_completed",
+    ]
+    failure = SupervisionLog(journal + ".events").load()[1]
+    assert failure["crashes"][0]["exitcode"] == 137
+    assert failure["crashes"][0]["suspect_index"] is not None
+
+
+def test_supervised_clean_run_has_no_interventions(tmp_path):
+    journal = str(tmp_path / "run.jsonl")
+    runner = SupervisedCampaignRunner(
+        s27_simulator(),
+        ParallelConfig(workers=2, checkpoint_path=journal),
+        SupervisorConfig(retry=FAST_RETRY),
+    )
+    campaign = runner.run(s27_faults())
+    assert campaign.verdicts == _serial_reference().verdicts
+    assert runner.stats.attempts == 1
+    assert runner.stats.retries == 0
+    assert runner.stats.probes == 0
+    events = [e["event"] for e in SupervisionLog(journal + ".events").load()]
+    assert events == ["attempt_started", "campaign_completed"]
+
+
+def test_supervised_run_without_checkpoint_uses_private_journal():
+    faults = s27_faults()
+    campaign = run_supervised_campaign(
+        s27_simulator(),
+        faults,
+        ParallelConfig(workers=2),
+        SupervisorConfig(retry=FAST_RETRY),
+    )
+    assert campaign.verdicts == _serial_reference().verdicts
+
+
+# ----------------------------------------------------------------------
+# Poison faults: confirmed killers are isolated, not retried forever
+# ----------------------------------------------------------------------
+def test_deterministic_killer_becomes_poison_verdict(tmp_path):
+    faults = s27_faults()
+    simulator = DeterministicKillerSimulator(
+        s27_simulator().circuit, s27_patterns()
+    )
+    simulator.kill_line = faults[20].line
+    journal = str(tmp_path / "run.jsonl")
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(workers=2, checkpoint_path=journal, checkpoint_every=1),
+        SupervisorConfig(retry=FAST_RETRY),
+    )
+    campaign = runner.run(faults)
+
+    assert len(campaign.verdicts) == len(faults)
+    poison = [v for v in campaign.verdicts if v.how == POISON_HOW]
+    assert len(poison) == 1
+    assert poison[0].status == "errored"
+    assert "kills its worker" in poison[0].detail
+    assert runner.stats.poisoned == [20]
+    assert campaign.verdicts[20].how == POISON_HOW
+
+    # Every non-poison verdict is byte-identical to the serial run.
+    reference = _serial_reference()
+    for index, verdict in enumerate(campaign.verdicts):
+        if index != 20:
+            assert verdict == reference.verdicts[index]
+    _no_leftovers(tmp_path)
+
+    events = [e["event"] for e in SupervisionLog(journal + ".events").load()]
+    assert "poison_confirmed" in events
+
+
+def test_poison_summary_and_report(tmp_path):
+    from repro.reporting.campaign import (
+        render_campaign_report,
+        render_supervision_report,
+        summarize_campaign,
+    )
+
+    faults = s27_faults()
+    circuit = s27_simulator().circuit
+    simulator = DeterministicKillerSimulator(circuit, s27_patterns())
+    simulator.kill_line = faults[20].line
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(
+            workers=2,
+            checkpoint_path=str(tmp_path / "run.jsonl"),
+            checkpoint_every=1,
+        ),
+        SupervisorConfig(retry=FAST_RETRY),
+    )
+    campaign = runner.run(faults)
+
+    summary = summarize_campaign(campaign)
+    assert summary.poisoned == 1
+    assert summary.errored >= 1
+    assert "poison" in render_campaign_report(campaign, circuit)
+
+    supervision = render_supervision_report(runner.stats)
+    assert "poison faults isolated" in supervision
+    assert "index 20" in supervision
+
+
+def test_poison_aborts_when_isolation_disabled(tmp_path):
+    faults = s27_faults()
+    simulator = DeterministicKillerSimulator(
+        s27_simulator().circuit, s27_patterns()
+    )
+    simulator.kill_line = faults[20].line
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(
+            workers=2,
+            checkpoint_path=str(tmp_path / "run.jsonl"),
+            checkpoint_every=1,
+        ),
+        SupervisorConfig(retry=FAST_RETRY, isolate_poison=False),
+    )
+    with pytest.raises(PoisonFault) as excinfo:
+        runner.run(faults)
+    assert excinfo.value.index == 20
+
+
+# ----------------------------------------------------------------------
+# Retry exhaustion: degradation or a precise RetryExhausted
+# ----------------------------------------------------------------------
+def test_retries_exhausted_degrades_to_serial(tmp_path):
+    faults = s27_faults()
+    simulator = TransientKillerSimulator(
+        s27_simulator().circuit, s27_patterns()
+    )
+    simulator.kill_line = faults[20].line
+    simulator.marker = str(tmp_path / "marker")
+    journal = str(tmp_path / "run.jsonl")
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(workers=2, checkpoint_path=journal, checkpoint_every=1),
+        SupervisorConfig(retry=RetryPolicy(max_retries=0)),
+    )
+    campaign = runner.run(faults)
+    assert runner.stats.degraded
+    assert campaign.verdicts == _serial_reference().verdicts
+    events = [e["event"] for e in SupervisionLog(journal + ".events").load()]
+    assert "degraded_to_serial" in events
+
+
+def test_retries_exhausted_raises_when_degradation_disabled(tmp_path):
+    faults = s27_faults()
+    simulator = TransientKillerSimulator(
+        s27_simulator().circuit, s27_patterns()
+    )
+    simulator.kill_line = faults[20].line
+    simulator.marker = str(tmp_path / "marker")
+    journal = str(tmp_path / "run.jsonl")
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(workers=2, checkpoint_path=journal, checkpoint_every=1),
+        SupervisorConfig(
+            retry=RetryPolicy(max_retries=0), allow_degraded=False
+        ),
+    )
+    with pytest.raises(RetryExhausted) as excinfo:
+        runner.run(faults)
+    error = excinfo.value
+    assert error.attempts == 1
+    assert error.journal_path == journal
+    assert error.remaining > 0
+    assert error.completed + error.remaining == len(faults)
+    assert isinstance(error.last_error, WorkerCrashed)
+
+    # The journal holds everything completed so far: a later resume
+    # (here: the plain parallel runner) finishes without supervision.
+    resumed = ParallelCampaignRunner(
+        TransientKillerSimulator(s27_simulator().circuit, s27_patterns()),
+        ParallelConfig(workers=2, checkpoint_path=journal, resume=True),
+    ).run(faults)
+    assert resumed.verdicts == _serial_reference().verdicts
+
+
+# ----------------------------------------------------------------------
+# Interruption: Ctrl-C is never retried
+# ----------------------------------------------------------------------
+def test_interrupt_during_backoff_propagates(tmp_path):
+    faults = s27_faults()
+    simulator = TransientKillerSimulator(
+        s27_simulator().circuit, s27_patterns()
+    )
+    simulator.kill_line = faults[20].line
+    simulator.marker = str(tmp_path / "marker")
+    journal = str(tmp_path / "run.jsonl")
+
+    def interrupting_sleep(_delay):
+        raise KeyboardInterrupt
+
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(workers=2, checkpoint_path=journal, checkpoint_every=1),
+        SupervisorConfig(
+            retry=RetryPolicy(max_retries=3, backoff_base=0.01, jitter=0.0)
+        ),
+        sleep=interrupting_sleep,
+    )
+    with pytest.raises(CampaignInterrupted) as excinfo:
+        runner.run(faults)
+    assert excinfo.value.journal_path == journal
+    assert excinfo.value.completed > 0
+    events = [e["event"] for e in SupervisionLog(journal + ".events").load()]
+    assert events[-1] == "interrupted"
+
+
+# ----------------------------------------------------------------------
+# Stall detection: hangs inside one fault are recycled
+# ----------------------------------------------------------------------
+def test_hung_worker_raises_worker_stalled(tmp_path):
+    faults = s27_faults()
+    simulator = HangSimulator(s27_simulator().circuit, s27_patterns())
+    simulator.hang_line = faults[20].line
+    runner = ParallelCampaignRunner(
+        simulator,
+        ParallelConfig(
+            workers=2,
+            checkpoint_path=str(tmp_path / "run.jsonl"),
+            checkpoint_every=1,
+            heartbeat_interval=0.05,
+            stall_timeout=0.75,
+        ),
+    )
+    with pytest.raises(WorkerStalled) as excinfo:
+        runner.run(faults)
+    assert any(info.stalled for info in excinfo.value.crashes)
+    assert any(
+        info.suspect_index is not None for info in excinfo.value.crashes
+    )
+    assert "stalled (no heartbeat)" in str(excinfo.value)
+    assert runner.stats.stalled_shards
+
+
+def test_supervised_recovers_from_transient_stall(tmp_path):
+    faults = s27_faults()
+    simulator = HangSimulator(s27_simulator().circuit, s27_patterns())
+    simulator.hang_line = faults[20].line
+    simulator.marker = str(tmp_path / "marker")
+    runner = SupervisedCampaignRunner(
+        simulator,
+        ParallelConfig(
+            workers=2,
+            checkpoint_path=str(tmp_path / "run.jsonl"),
+            checkpoint_every=1,
+            heartbeat_interval=0.05,
+            stall_timeout=0.75,
+        ),
+        SupervisorConfig(retry=FAST_RETRY, probe_timeout=10.0),
+    )
+    campaign = runner.run(faults)
+    assert campaign.verdicts == _serial_reference().verdicts
+    assert runner.stats.stalls >= 1
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_retry_policy_validation():
+    with pytest.raises(ValueError, match="max_retries"):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError, match="backoff_factor"):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError, match="jitter"):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError, match="deadline"):
+        RetryPolicy(deadline=0)
+    with pytest.raises(ValueError, match="backoff_base"):
+        RetryPolicy(backoff_base=-1)
+
+
+def test_retry_policy_allows():
+    policy = RetryPolicy(max_retries=2)
+    assert policy.allows(0) and policy.allows(1)
+    assert not policy.allows(2)
+    assert not RetryPolicy(max_retries=0).allows(0)
+
+
+def test_retry_policy_backoff_growth_and_cap():
+    policy = RetryPolicy(
+        backoff_base=0.5, backoff_factor=2.0, backoff_cap=3.0, jitter=0.0
+    )
+    assert [policy.backoff(n) for n in (1, 2, 3, 4, 5)] == [
+        0.5, 1.0, 2.0, 3.0, 3.0,
+    ]
+    with pytest.raises(ValueError, match="1-based"):
+        policy.backoff(0)
+
+
+def test_retry_policy_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0, jitter=0.25)
+    first = [policy.backoff(n) for n in range(1, 6)]
+    second = [policy.backoff(n) for n in range(1, 6)]
+    assert first == second  # reproducible schedules
+    assert all(1.0 <= delay <= 1.25 for delay in first)
+    assert len(set(first)) > 1  # attempts are actually jittered apart
+    other_seed = RetryPolicy(
+        backoff_base=1.0, backoff_factor=1.0, jitter=0.25, jitter_seed=7
+    )
+    assert [other_seed.backoff(n) for n in range(1, 6)] != first
+
+
+def test_retry_policy_deadline():
+    assert RetryPolicy().within_deadline(1e9)  # no deadline by default
+    policy = RetryPolicy(deadline=10.0)
+    assert policy.within_deadline(9.9)
+    assert not policy.within_deadline(10.0)
+
+
+# ----------------------------------------------------------------------
+# The chaos hook (the kill path itself is covered by the CLI tests)
+# ----------------------------------------------------------------------
+def test_chaos_hook_inert_without_env(monkeypatch):
+    monkeypatch.delenv(CHAOS_KILL_ENV, raising=False)
+    maybe_chaos_kill(0)  # must not exit
+
+
+def test_chaos_hook_ignores_malformed_and_mismatched(monkeypatch):
+    monkeypatch.setenv(CHAOS_KILL_ENV, "banana")
+    maybe_chaos_kill(0)
+    monkeypatch.setenv(CHAOS_KILL_ENV, "5")
+    maybe_chaos_kill(4)  # armed for a different fault
+
+
+def test_chaos_hook_respects_existing_marker(tmp_path, monkeypatch):
+    marker = tmp_path / "marker"
+    marker.write_text("5")
+    monkeypatch.setenv(CHAOS_KILL_ENV, "5")
+    monkeypatch.setenv(CHAOS_MARKER_ENV, str(marker))
+    maybe_chaos_kill(5)  # already fired once: must not exit
