@@ -126,6 +126,30 @@ def test_mot_campaign_serial_s27(benchmark):
     assert campaign.total == len(faults)
 
 
+def test_mot_campaign_serial_s27_with_metrics(benchmark):
+    """The serial campaign with the metrics registry recording: tracks
+    the cost of enabling observability against the serial reference
+    (the hard gate lives in ``check_obs_overhead.py``)."""
+    from repro.mot.simulator import ProposedSimulator
+    from repro.obs.metrics import disable_metrics, enable_metrics
+    from repro.runner.harness import CampaignHarness, HarnessConfig
+
+    circuit, faults, patterns = _mot_workload()
+
+    def run():
+        enable_metrics()
+        try:
+            return CampaignHarness(
+                ProposedSimulator(circuit, patterns),
+                HarnessConfig(handle_sigint=False),
+            ).run(faults)
+        finally:
+            disable_metrics()
+
+    campaign = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert campaign.total == len(faults)
+
+
 def test_mot_campaign_parallel_s27(benchmark):
     """Sharded campaign at --workers 4.
 

@@ -38,6 +38,22 @@ retries run out the residue is finished serially unless
 sharded runner (first worker death fails the run with a ``--resume``
 hint).
 
+Observability (``mot`` subcommand): ``--metrics-out FILE`` enables the
+metrics registry (:mod:`repro.obs`) for the campaign and writes the
+merged snapshot -- per-phase timers, expansion/backward counters,
+per-fault verdict counts, aggregated across every worker shard -- as
+JSON; ``repro stats FILE.json`` renders it as a profile report.
+``--trace-out FILE`` streams structured JSONL events of the MOT hot
+path (expansion branches, backward-implication outcomes, resimulation,
+good-cache hits), sampled per fault with ``--trace-sample P``; worker
+shards write ``FILE.shard<k>``.  Both default off, and when off the
+hot paths run through no-op stubs -- campaign results are identical
+either way.
+
+Diagnostics go through the ``repro`` stdlib logger (stderr): progress
+at INFO, ``--verbose`` adds DEBUG detail, ``--quiet`` keeps warnings
+and errors only.  Campaign results and reports stay on stdout.
+
 Exit codes: 0 success; 1 usage or input error (taxonomy:
 :class:`repro.errors.ReproError`), including crashed campaign workers
 under ``--no-supervise`` and exhausted supervision retries (journaled
@@ -50,6 +66,8 @@ the checkpoint journal flushed.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
 
@@ -72,6 +90,13 @@ from repro.faults.sites import all_faults
 from repro.fsim.conventional import run_conventional
 from repro.mot.baseline import BaselineConfig, BaselineSimulator
 from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.obs import (
+    JsonlTracer,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_tracer,
+)
 from repro.patterns.random_gen import random_patterns
 from repro.reporting.tables import Table
 from repro.runner.budget import FaultBudget
@@ -93,6 +118,34 @@ EXIT_OK = 0
 EXIT_FAILURE = 1
 EXIT_ERRORED_FAULTS = 3
 EXIT_INTERRUPTED = 130
+
+#: All CLI diagnostics route through this logger (to stderr); results
+#: and reports stay on stdout so pipelines and the CI greps see them.
+log = logging.getLogger("repro.cli")
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """(Re)bind the ``repro`` logger to the current ``sys.stderr``.
+
+    Called once per :func:`main` invocation: a fresh handler is
+    installed each time so in-process callers (tests with captured
+    streams, long-lived drivers) always log to the *current* stderr,
+    and repeated invocations never stack handlers.
+    """
+    if quiet:
+        level = logging.WARNING
+    elif verbose:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
 
 
 def _positive_int(text: str) -> int:
@@ -118,6 +171,15 @@ def _positive_float(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"must be a positive number of seconds, got {text!r}"
+        )
+    return value
+
+
+def _unit_float(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a probability within [0, 1], got {text!r}"
         )
     return value
 
@@ -153,17 +215,34 @@ def _faults(circuit: Circuit, uncollapsed: bool):
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    names = args.names or [e.name for e in benchmark_entries()]
+    """Circuit statistics -- or, for ``.json`` arguments, render the
+    campaign metrics snapshot written by ``mot --metrics-out``."""
+    names = list(args.names or [])
+    metrics_files = [name for name in names if name.endswith(".json")]
+    circuit_names = [name for name in names if not name.endswith(".json")]
+    status = 0
+    for path in metrics_files:
+        from repro.reporting.metrics import load_snapshot, render_metrics_report
+
+        try:
+            snapshot = load_snapshot(path)
+        except (OSError, ValueError, TypeError) as exc:
+            log.error("cannot read metrics file %s: %s", path, exc)
+            status = 1
+            continue
+        print(render_metrics_report(snapshot), end="")
+    if metrics_files and not circuit_names:
+        return status
+    circuit_names = circuit_names or [e.name for e in benchmark_entries()]
     table = Table(
         ["circuit", "PI", "PO", "FF", "gates", "depth", "max fanout"],
         title="Circuit statistics",
     )
-    status = 0
-    for name in names:
+    for name in circuit_names:
         try:
             table.add_row(circuit_stats(build_circuit(name)).as_row())
         except KeyError as exc:
-            print(f"error: {exc.args[0]}", file=sys.stderr)
+            log.error("error: %s", exc.args[0])
             status = 1
     print(table.render(), end="")
     return status
@@ -200,11 +279,48 @@ def _mot_budget(args: argparse.Namespace) -> Optional[FaultBudget]:
 
 def cmd_mot(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
-        print("error: --resume requires --checkpoint", file=sys.stderr)
+        log.error("error: --resume requires --checkpoint")
         return EXIT_FAILURE
+    # Observability is installed before the good-machine cache is built
+    # (so its counters are covered too) and torn down afterwards even on
+    # failure: an interrupted campaign still leaves a metrics file and a
+    # complete-line trace behind.
+    tracer = None
+    if args.metrics_out:
+        enable_metrics()
+        log.debug("metrics registry enabled (-> %s)", args.metrics_out)
+    if args.trace_out:
+        tracer = JsonlTracer(
+            args.trace_out, sample=args.trace_sample, seed=args.seed
+        )
+        set_tracer(tracer)
+        log.debug(
+            "tracing to %s (sample %.3g)", args.trace_out, args.trace_sample
+        )
+    try:
+        return _run_mot(args)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            set_tracer(None)
+        if args.metrics_out:
+            snapshot = get_metrics().snapshot()
+            disable_metrics()
+            with open(args.metrics_out, "w") as handle:
+                json.dump(snapshot.to_payload(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            log.info("campaign metrics written to %s", args.metrics_out)
+
+
+def _run_mot(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args)
     faults = _faults(circuit, args.uncollapsed)
     patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
+    log.debug(
+        "%s: %d faults, %d patterns (seed %d)",
+        circuit.name, len(faults), args.length, args.seed,
+    )
     # One good-machine simulation for the whole campaign -- shared by
     # the simulator, its forward fallback, and every worker process.
     good_cache = GoodMachineCache.compute(circuit, patterns)
@@ -285,9 +401,9 @@ def cmd_mot(args: argparse.Namespace) -> int:
         f"{campaign.total_detected} of {campaign.total}"
     )
     if runner.stats.reused:
-        print(
-            f"  resumed from {args.checkpoint}: {runner.stats.reused} "
-            f"verdicts reused, {runner.stats.simulated} simulated"
+        log.info(
+            "resumed from %s: %d verdicts reused, %d simulated",
+            args.checkpoint, runner.stats.reused, runner.stats.simulated,
         )
     if isinstance(runner, SupervisedCampaignRunner):
         from repro.reporting.campaign import render_supervision_report
@@ -296,10 +412,9 @@ def cmd_mot(args: argparse.Namespace) -> int:
     if campaign.aborted_budget:
         print(f"  aborted (budget): {campaign.aborted_budget}")
     if campaign.errored:
-        print(
-            f"  errored (quarantined): {campaign.errored} -- see the "
-            "report/CSV detail column",
-            file=sys.stderr,
+        log.warning(
+            "errored (quarantined): %d -- see the report/CSV detail column",
+            campaign.errored,
         )
     if not args.baseline and not args.unrestricted:
         averages = campaign.average_counters()
@@ -324,7 +439,7 @@ def cmd_mot(args: argparse.Namespace) -> int:
 
         with open(args.csv, "w") as handle:
             handle.write(campaign_csv(campaign, circuit))
-        print(f"per-fault verdicts written to {args.csv}")
+        log.info("per-fault verdicts written to %s", args.csv)
     return EXIT_ERRORED_FAULTS if campaign.errored else EXIT_OK
 
 
@@ -386,8 +501,7 @@ def cmd_witness(args: argparse.Namespace) -> int:
         line_name, value = args.fault.rsplit("/", 1)
         fault = Fault(circuit.line_id(line_name), int(value), None)
     except (ValueError, KeyError, CircuitError) as exc:
-        print(f"error: cannot parse fault {args.fault!r}: {exc}",
-              file=sys.stderr)
+        log.error("error: cannot parse fault %r: %s", args.fault, exc)
         return 1
     patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
     witness = build_witness(circuit, fault, patterns)
@@ -412,10 +526,26 @@ def build_parser() -> argparse.ArgumentParser:
             "implications (reproduction of Pomeranz & Reddy, DAC 1997)"
         ),
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log DEBUG diagnostics to stderr",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="log only warnings and errors to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_stats = sub.add_parser("stats", help="circuit statistics")
-    p_stats.add_argument("names", nargs="*", help="circuit names (default all)")
+    p_stats = sub.add_parser(
+        "stats",
+        help="circuit statistics, or render a --metrics-out snapshot",
+    )
+    p_stats.add_argument(
+        "names", nargs="*",
+        help="circuit names (default all); arguments ending in .json "
+             "are rendered as campaign metrics snapshots instead",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_fsim = sub.add_parser("fsim", help="conventional fault simulation")
@@ -538,6 +668,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the bare sharded runner: the first worker death "
              "fails the run (with a --resume hint) instead of healing",
     )
+    p_mot.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="enable the metrics registry for this campaign and write "
+             "the merged snapshot (all worker shards aggregated) to "
+             "FILE as JSON; render it with 'stats FILE'",
+    )
+    p_mot.add_argument(
+        "--trace-out", metavar="FILE",
+        help="stream structured JSONL trace events of the MOT hot path "
+             "to FILE (worker shards write FILE.shard<k>)",
+    )
+    p_mot.add_argument(
+        "--trace-sample", type=_unit_float, default=1.0, metavar="P",
+        help="probability that a fault is traced; the per-fault "
+             "decision is a deterministic hash of (pattern seed, fault "
+             "label), so reruns and shard layouts trace the same faults",
+    )
     p_mot.set_defaults(func=cmd_mot)
 
     for name, func, help_text in (
@@ -594,34 +741,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     try:
         return args.func(args)
     except CampaignInterrupted as exc:
-        print(f"interrupted: {exc}", file=sys.stderr)
+        log.error("interrupted: %s", exc)
         if exc.journal_path:
-            print(
-                f"resume with: --checkpoint {exc.journal_path} --resume",
-                file=sys.stderr,
+            log.error(
+                "resume with: --checkpoint %s --resume", exc.journal_path
             )
         return EXIT_INTERRUPTED
-    except RetryExhausted as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (RetryExhausted, WorkerCrashed) as exc:
+        log.error("error: %s", exc)
         if exc.journal_path:
-            print(
-                f"resume with: --checkpoint {exc.journal_path} --resume",
-                file=sys.stderr,
-            )
-        return EXIT_FAILURE
-    except WorkerCrashed as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        if exc.journal_path:
-            print(
-                f"resume with: --checkpoint {exc.journal_path} --resume",
-                file=sys.stderr,
+            log.error(
+                "resume with: --checkpoint %s --resume", exc.journal_path
             )
         return EXIT_FAILURE
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("error: %s", exc)
         return EXIT_FAILURE
 
 

@@ -17,6 +17,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.circuit.netlist import Circuit
 from repro.faults.injection import inject_fault
 from repro.faults.model import Fault
+from repro.obs.metrics import get_metrics
 from repro.sim.sequential import (
     SequentialResult,
     outputs_conflict,
@@ -77,11 +78,19 @@ def run_conventional(
     patterns: Sequence[Sequence[int]],
 ) -> ConventionalCampaign:
     """Conventionally fault-simulate *faults* under *patterns*."""
-    reference = simulate_sequence(circuit, patterns)
-    verdicts = [
-        simulate_fault(circuit, fault, patterns, reference.outputs)
-        for fault in faults
-    ]
+    metrics = get_metrics()
+    with metrics.phase("fsim"):
+        reference = simulate_sequence(circuit, patterns)
+        verdicts = [
+            simulate_fault(circuit, fault, patterns, reference.outputs)
+            for fault in faults
+        ]
+    if metrics.enabled:
+        metrics.counter("fsim.conventional.faults", len(verdicts))
+        metrics.counter(
+            "fsim.conventional.detected",
+            sum(1 for v in verdicts if v.detected),
+        )
     return ConventionalCampaign(
         circuit_name=circuit.name, reference=reference, verdicts=verdicts
     )

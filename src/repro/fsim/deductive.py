@@ -43,6 +43,7 @@ from repro.faults.model import Fault
 from repro.faults.sites import all_faults
 from repro.logic.gates import GateType
 from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.obs.metrics import get_metrics
 from repro.sim.frame import eval_frame
 
 _CONTROLLING = {
@@ -240,13 +241,17 @@ class DeductiveFaultSimulator:
         response at some output.  Matches serial two-valued simulation
         fault by fault.
         """
+        metrics = get_metrics()
         state = list(initial_state)
         state_lists: Optional[List[FrozenSet[Fault]]] = None
         detected: Set[Fault] = set()
-        for pattern in patterns:
-            values, _lists, state_lists, hits = self.frame_lists(
-                pattern, state, state_lists
-            )
-            detected |= hits
-            state = [values[flop.ns] for flop in self.circuit.flops]
+        with metrics.phase("fsim"):
+            for pattern in patterns:
+                values, _lists, state_lists, hits = self.frame_lists(
+                    pattern, state, state_lists
+                )
+                detected |= hits
+                state = [values[flop.ns] for flop in self.circuit.flops]
+        if metrics.enabled:
+            metrics.counter("fsim.deductive.frames", len(patterns))
         return detected

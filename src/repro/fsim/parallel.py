@@ -32,6 +32,7 @@ from repro.faults.model import Fault
 from repro.fsim.conventional import ConventionalCampaign, ConventionalVerdict
 from repro.logic.gates import GateType
 from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.obs.metrics import get_metrics
 from repro.sim.sequential import simulate_sequence
 
 #: Default number of fault slots per word (plus the fault-free slot 0).
@@ -223,18 +224,24 @@ class ParallelFaultSimulator:
         :func:`repro.fsim.conventional.run_conventional`; detection sites
         are not tracked (``site is None``).
         """
-        reference = simulate_sequence(self.circuit, patterns)
+        metrics = get_metrics()
         verdicts: List[ConventionalVerdict] = []
-        for chunk in _batches(faults, self.batch):
-            detected_mask = self._simulate_batch(chunk, patterns)
-            for position, fault in enumerate(chunk):
-                verdicts.append(
-                    ConventionalVerdict(
-                        fault=fault,
-                        detected=bool((detected_mask >> position) & 1),
-                        site=None,
+        with metrics.phase("fsim"):
+            reference = simulate_sequence(self.circuit, patterns)
+            for chunk in _batches(faults, self.batch):
+                detected_mask = self._simulate_batch(chunk, patterns)
+                if metrics.enabled:
+                    metrics.counter("fsim.parallel.batches")
+                for position, fault in enumerate(chunk):
+                    verdicts.append(
+                        ConventionalVerdict(
+                            fault=fault,
+                            detected=bool((detected_mask >> position) & 1),
+                            site=None,
+                        )
                     )
-                )
+        if metrics.enabled:
+            metrics.counter("fsim.parallel.faults", len(verdicts))
         return ConventionalCampaign(
             circuit_name=self.circuit.name,
             reference=reference,

@@ -36,7 +36,13 @@ from repro.logic.implication import Conflict
 from repro.logic.values import UNKNOWN
 from repro.mot.conditions import MotProfile
 from repro.mot.implication import FrameEngine
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.sim.sequential import SequentialResult
+
+#: Trace/metric spelling of each probe outcome.
+_OUTCOME_NAMES = {"conf": "conflict", "detect": "detection",
+                  "extra": "no_info"}
 
 PairKey = Tuple[int, int]
 
@@ -209,6 +215,8 @@ class BackwardCollector:
             pair.extra[1] = [(flop_index, 1)]
             info[(0, flop_index)] = pair
         # 0 < u <= L: backward implications into frame u-1.
+        metrics = get_metrics()
+        tracer = get_tracer()
         for u in range(1, length + 1):
             if self.profile.n_out[u - 1] <= 0:
                 continue
@@ -226,6 +234,19 @@ class BackwardCollector:
                         pair.detect_site[alpha] = site
                     else:
                         pair.extra[alpha] = extra
+                    if metrics.enabled:
+                        metrics.counter(
+                            f"mot.backward.{_OUTCOME_NAMES[outcome]}"
+                        )
+                    if tracer.active:
+                        tracer.emit(
+                            "implication",
+                            u=u,
+                            i=flop_index,
+                            alpha=alpha,
+                            outcome=_OUTCOME_NAMES[outcome],
+                            extra=len(extra),
+                        )
                 info[(u, flop_index)] = pair
         return info
 

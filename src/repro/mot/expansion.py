@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.logic.values import UNKNOWN
 from repro.mot.backward import PairInfo, PairKey
 from repro.mot.conditions import MotProfile
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.runner.budget import BudgetMeter
 
 #: Default limit on the number of state sequences (paper Section 4).
@@ -147,6 +149,8 @@ def expand(
         blow-up trips :class:`~repro.errors.BudgetExceeded` instead of
         exhausting memory and time.
     """
+    metrics = get_metrics()
+    tracer = get_tracer()
     base = StateSequence(states=[list(row) for row in conventional_states])
     sequences = [base]
     phase1_pairs: List[Tuple[PairKey, int]] = []
@@ -159,11 +163,21 @@ def expand(
             continue
         surviving = 1 - closed
         phase1_pairs.append((key, closed))
+        if metrics.enabled:
+            metrics.counter("mot.expansion.phase1_restrictions")
+        if tracer.active:
+            tracer.emit("phase1", u=key[0], i=key[1], closed=closed)
         for flop_index, value in pair.extra[surviving]:
             if not base.assign(key[0], flop_index, value):
                 # Mutually conflicting restrictions: no feasible
                 # not-yet-detected state remains (see module docstring of
                 # repro.mot.simulator for the soundness argument).
+                if metrics.enabled:
+                    metrics.counter("mot.expansion.phase1_conflict")
+                if tracer.active:
+                    tracer.emit(
+                        "phase1_conflict", u=key[0], i=flop_index
+                    )
                 return ExpansionOutcome(
                     sequences=[],
                     phase1_pairs=phase1_pairs,
@@ -206,7 +220,26 @@ def expand(
                 twin.assign(u, flop_index, value)
             duplicates.append(twin)
         sequences.extend(duplicates)
+        if metrics.enabled:
+            metrics.counter("mot.expansion.branches")
+        if tracer.active:
+            tracer.emit(
+                "branch", u=u, i=chosen[1], sequences=len(sequences)
+            )
 
+    ceiling = len(sequences) >= n_states
+    if metrics.enabled:
+        metrics.counter("mot.expansion.runs")
+        metrics.observe("mot.expansion.sequences", len(sequences))
+        if ceiling:
+            metrics.counter("mot.expansion.ceiling")
+    if tracer.active:
+        tracer.emit(
+            "expansion_done",
+            sequences=len(sequences),
+            branches=len(phase2_pairs),
+            ceiling=ceiling,
+        )
     return ExpansionOutcome(
         sequences=sequences,
         phase1_pairs=phase1_pairs,

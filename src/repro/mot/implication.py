@@ -30,6 +30,7 @@ from repro.circuit.netlist import Circuit
 from repro.logic.gates import GateType
 from repro.logic.implication import Conflict, propagate_gate
 from repro.logic.values import UNKNOWN
+from repro.obs.metrics import get_metrics
 
 Assignment = Tuple[int, int]
 
@@ -132,6 +133,9 @@ class FrameEngine:
             When the assignments are inconsistent with *values* under the
             circuit's logic.
         """
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("mot.implication.runs")
         queue: deque = deque(self._seed(values, assignments, record))
         touched = self._touched_gates
         while queue:
@@ -150,6 +154,9 @@ class FrameEngine:
         One sweep from outputs to inputs (gates in reverse topological
         order), then one sweep from inputs to outputs.
         """
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("mot.implication.runs")
         self._seed(values, assignments, record)
         for gate_index in self._reverse_topo:
             self._process_gate(gate_index, values, None, record)

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Sequence
 from repro.circuit.netlist import Circuit
 from repro.logic.values import UNKNOWN
 from repro.mot.expansion import StateSequence
+from repro.obs.metrics import get_metrics
 from repro.sim.frame import eval_frame
 from repro.sim.goodcache import GoodMachineCache
 
@@ -72,6 +73,7 @@ def resimulate_sequence(
                 "good-machine cache"
             )
         reference_outputs = good.outputs
+        get_metrics().counter("goodcache.hit")
     length = len(patterns)
     marked = sequence.marked
     output_lines = circuit.outputs

@@ -32,6 +32,7 @@ of the extra sets actually applied.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -43,6 +44,8 @@ from repro.mot.backward import BackwardCollector, detection_from_info
 from repro.mot.conditions import mot_profile
 from repro.mot.expansion import DEFAULT_N_STATES, expand
 from repro.mot.resimulate import SequenceStatus, resimulate_sequence
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.runner.budget import BudgetMeter, FaultBudget
 from repro.sim.goodcache import GoodMachineCache
 from repro.sim.sequential import (
@@ -50,6 +53,16 @@ from repro.sim.sequential import (
     simulate_injected,
     simulate_sequence,
 )
+
+
+def fault_label(circuit: Circuit, fault: Fault) -> str:
+    """Human-readable trace label of *fault* (stable across processes)."""
+    names = circuit.line_names
+    name = names[fault.line] if 0 <= fault.line < len(names) else str(fault.line)
+    label = f"{name}/{fault.stuck_at}"
+    if fault.pin is not None:
+        label += f"@{fault.pin.kind}{fault.pin.index}.{fault.pin.pos}"
+    return label
 
 
 @dataclass(frozen=True)
@@ -213,10 +226,19 @@ class ProposedSimulator:
             if good_cache is not None
             else None
         )
+        metrics = get_metrics()
+        tracer = get_tracer()
         if self.good_cache is not None:
+            metrics.counter("goodcache.hit")
+            if tracer.enabled:
+                tracer.emit("goodcache", event="hit")
             self.reference = self.good_cache.result
         else:
-            self.reference = simulate_sequence(circuit, self.patterns)
+            metrics.counter("goodcache.miss")
+            if tracer.enabled:
+                tracer.emit("goodcache", event="miss")
+            with metrics.phase("good_sim"):
+                self.reference = simulate_sequence(circuit, self.patterns)
         if reference_outputs is not None:
             if len(reference_outputs) != len(self.patterns):
                 raise ValueError("reference response length mismatch")
@@ -239,6 +261,25 @@ class ProposedSimulator:
         across simulators -- in that case :class:`BudgetExceeded`
         propagates so the owner converts it exactly once.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._simulate_budgeted(fault, meter)
+        tracer.begin_fault(fault_label(self.circuit, fault))
+        started = time.perf_counter()
+        status, how = "raised", ""
+        try:
+            verdict = self._simulate_budgeted(fault, meter)
+            status, how = verdict.status, verdict.how
+            return verdict
+        finally:
+            tracer.end_fault(
+                status, how, (time.perf_counter() - started) * 1000.0
+            )
+
+    def _simulate_budgeted(
+        self, fault: Fault, meter: Optional[BudgetMeter]
+    ) -> FaultVerdict:
+        """Budget-owning wrapper around :meth:`_procedure`."""
         owned = meter is None
         if owned and self.config.budget is not None and self.config.budget.bounded:
             meter = BudgetMeter(self.config.budget)
@@ -255,8 +296,12 @@ class ProposedSimulator:
     ) -> FaultVerdict:
         """Procedure 1 proper; raises :class:`BudgetExceeded` on an
         exhausted *meter*."""
+        metrics = get_metrics()
         injected = inject_fault(self.circuit, fault)
-        faulty = simulate_injected(injected, self.patterns, keep_frames=True)
+        with metrics.phase("conv_sim"):
+            faulty = simulate_injected(
+                injected, self.patterns, keep_frames=True
+            )
         if meter is not None:
             meter.charge()
         if outputs_conflict(self.reference_outputs, faulty.outputs) is not None:
@@ -275,7 +320,8 @@ class ProposedSimulator:
             mode=self.config.implication_mode,
             depth=self.config.backward_depth,
         )
-        info = collector.collect()
+        with metrics.phase("backward"):
+            info = collector.collect()
         if meter is not None:
             meter.charge(len(info))
         counters = self._phase1_counters(info)
@@ -284,10 +330,11 @@ class ProposedSimulator:
         if witness is not None:
             return FaultVerdict(fault, "mot", how="info", counters=counters)
 
-        outcome = expand(
-            faulty.states, info, profile, n_states=self.config.n_states,
-            meter=meter,
-        )
+        with metrics.phase("expansion"):
+            outcome = expand(
+                faulty.states, info, profile, n_states=self.config.n_states,
+                meter=meter,
+            )
         for key in outcome.phase2_pairs:
             pair = info[key]
             counters.n_extra += pair.n_extra(0) + pair.n_extra(1)
@@ -300,20 +347,26 @@ class ProposedSimulator:
                 num_expansions=len(outcome.phase2_pairs),
             )
 
+        tracer = get_tracer()
         all_resolved = True
-        for sequence in outcome.sequences:
-            if meter is not None:
-                meter.charge()
-            status = resimulate_sequence(
-                injected.circuit,
-                self.patterns,
-                self.reference_outputs,
-                sequence,
-                injected.forced_ps,
-            )
-            if status is SequenceStatus.UNRESOLVED:
-                all_resolved = False
-                break
+        with metrics.phase("resim"):
+            for sequence in outcome.sequences:
+                if meter is not None:
+                    meter.charge()
+                status = resimulate_sequence(
+                    injected.circuit,
+                    self.patterns,
+                    self.reference_outputs,
+                    sequence,
+                    injected.forced_ps,
+                )
+                if metrics.enabled:
+                    metrics.counter(f"mot.resim.{status.value}")
+                if tracer.active:
+                    tracer.emit("resim", status=status.value)
+                if status is SequenceStatus.UNRESOLVED:
+                    all_resolved = False
+                    break
         if all_resolved:
             return FaultVerdict(
                 fault,
@@ -350,6 +403,7 @@ class ProposedSimulator:
         """
         from repro.mot.baseline import BaselineConfig, BaselineSimulator
 
+        metrics = get_metrics()
         if self._fallback is None:
             self._fallback = BaselineSimulator(
                 self.circuit,
@@ -358,9 +412,12 @@ class ProposedSimulator:
                 reference_outputs=self.reference_outputs,
                 good_cache=self.good_cache,
             )
-        if meter is not None:
-            return self._fallback._procedure(fault, meter).status == "mot"
-        return self._fallback.simulate_fault(fault).status == "mot"
+        if metrics.enabled:
+            metrics.counter("mot.fallback.runs")
+        with metrics.phase("fallback"):
+            if meter is not None:
+                return self._fallback._procedure(fault, meter).status == "mot"
+            return self._fallback.simulate_fault(fault).status == "mot"
 
     @staticmethod
     def _phase1_counters(info) -> FaultCounters:

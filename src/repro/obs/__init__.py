@@ -1,0 +1,159 @@
+"""Observability subsystem: metrics, structured traces, profiles.
+
+``repro.obs`` makes the MOT stack measurable without changing what it
+computes.  Three coordinated pieces:
+
+* a **metrics registry** (:mod:`repro.obs.metrics`) -- counters,
+  gauges, histograms and phase timers, with a zero-overhead no-op
+  default.  ``get_metrics()`` returns the process-global registry;
+  instrumented code guards hot-path calls with ``metrics.enabled``;
+* a **trace layer** (:mod:`repro.obs.trace`) -- JSONL events for the
+  expansion tree, backward-implication outcomes, resimulation and the
+  good-machine cache, sampled per fault (``get_tracer()``);
+* a **profile reporter** (:mod:`repro.obs.profile`) -- turns a
+  snapshot into the per-phase wall-clock and event breakdown rendered
+  by :mod:`repro.reporting.metrics` and the ``repro stats`` CLI.
+
+**Campaign wiring.**  The serial harness records into the global
+registry directly; sharded runs ship an :class:`ObsSpec` to every
+worker (fork *and* spawn start methods), each worker records into a
+fresh registry, serializes it into its shard journal as a ``kind:
+"metrics"`` record, and the parent merges every shard snapshot back --
+one registry per campaign no matter how the work was distributed.
+
+Default state is off: ``get_metrics()`` is a no-op registry and
+``get_tracer()`` a no-op tracer, and with both defaults in place
+campaign results are identical to an uninstrumented build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsSnapshot,
+    NullMetrics,
+    RecordingMetrics,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.profile import (
+    PHASE_LABELS,
+    PhaseProfile,
+    ProfileReport,
+    build_profile,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    BaseTracer,
+    JsonlTracer,
+    ListTracer,
+    NullTracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "MetricsSnapshot",
+    "NullMetrics",
+    "RecordingMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "NullTracer",
+    "BaseTracer",
+    "JsonlTracer",
+    "ListTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "PHASE_LABELS",
+    "PhaseProfile",
+    "ProfileReport",
+    "build_profile",
+    "ObsSpec",
+    "current_obs_spec",
+    "install_worker_obs",
+]
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """Picklable description of the parent's observability setup.
+
+    Shipped to worker processes inside the parallel runner's worker
+    spec, so observability survives the ``spawn`` start method (where
+    module globals are not inherited) and behaves identically under
+    ``fork``.
+    """
+
+    metrics: bool = False
+    trace_path: Optional[str] = None
+    trace_sample: float = 1.0
+    trace_seed: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics or self.trace_path is not None
+
+
+def current_obs_spec() -> Optional[ObsSpec]:
+    """Capture the process-global observability state, or ``None`` when
+    everything is at its no-op default (the common case -- workers then
+    skip installation entirely)."""
+    metrics = get_metrics()
+    tracer = get_tracer()
+    if not metrics.enabled and not tracer.enabled:
+        return None
+    return ObsSpec(
+        metrics=metrics.enabled,
+        trace_path=tracer.path if tracer.enabled else None,
+        trace_sample=tracer.sample,
+        trace_seed=tracer.seed,
+    )
+
+
+def install_worker_obs(
+    spec: Optional[ObsSpec], shard: Optional[int] = None
+) -> Callable[[], None]:
+    """Install *spec* for one worker shard; returns a restore callback.
+
+    With metrics enabled, a **fresh** recording registry is installed so
+    the shard's snapshot covers exactly the shard's work -- the parent
+    re-merges it from the shard journal, so swapping (rather than
+    sharing) is what prevents double counting when a lone shard runs
+    in the parent process.  With tracing enabled, the worker writes to
+    ``<trace>.shard<k>``.
+
+    The restore callback re-installs whatever was active before (a
+    no-op concern in a forked child, essential for the in-process
+    single-shard fast path).
+    """
+    if spec is None or not spec.enabled:
+        return lambda: None
+    previous_metrics = get_metrics()
+    previous_tracer = get_tracer()
+    if spec.metrics:
+        set_metrics(RecordingMetrics())
+    tracer: Optional[NullTracer] = None
+    if spec.trace_path is not None:
+        tracer = JsonlTracer(
+            spec.trace_path, sample=spec.trace_sample, seed=spec.trace_seed
+        )
+        if shard is not None:
+            tracer = tracer.for_shard(shard)
+        set_tracer(tracer)
+
+    def restore() -> None:
+        if tracer is not None:
+            tracer.close()
+        set_metrics(previous_metrics)
+        set_tracer(previous_tracer)
+
+    return restore

@@ -1,0 +1,128 @@
+"""Per-phase profiles computed from a metrics snapshot.
+
+Turns the raw :class:`~repro.obs.metrics.MetricsSnapshot` of a campaign
+into the breakdown the ROADMAP's perf work needs: where wall-clock went
+(good simulation vs. faulty simulation vs. backward implication vs.
+expansion vs. resimulation), what the event counters say about the
+expansion trees, and how the per-fault verdicts split.  Rendering lives
+in :mod:`repro.reporting.metrics`; this module only computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.metrics import MetricsSnapshot
+
+__all__ = [
+    "PHASE_LABELS",
+    "PhaseProfile",
+    "ProfileReport",
+    "build_profile",
+]
+
+#: Canonical phase order + human labels for the report.  Phases not in
+#: this table render after these, in name order, with the raw name.
+PHASE_LABELS: Tuple[Tuple[str, str], ...] = (
+    ("good_sim", "good-machine simulation"),
+    ("conv_sim", "faulty conventional simulation"),
+    ("backward", "backward implication"),
+    ("expansion", "state expansion"),
+    ("resim", "sequence resimulation"),
+    ("fallback", "forward-selection fallback"),
+    ("fsim", "conventional fault simulation"),
+)
+
+#: Counter prefix of the per-verdict campaign counts.
+VERDICT_PREFIX = "campaign.verdict."
+#: Counter prefix of the MOT detection-mechanism counts.
+HOW_PREFIX = "campaign.how."
+
+
+@dataclass
+class PhaseProfile:
+    """One phase's share of the campaign."""
+
+    name: str
+    label: str
+    count: int
+    seconds: float
+    percent: float
+
+
+@dataclass
+class ProfileReport:
+    """Structured profile of one campaign snapshot."""
+
+    phases: List[PhaseProfile] = field(default_factory=list)
+    total_seconds: float = 0.0
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    mechanisms: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def total_verdicts(self) -> int:
+        return sum(self.verdicts.values())
+
+
+def _phase_label(name: str) -> str:
+    for known, label in PHASE_LABELS:
+        if known == name:
+            return label
+    return name
+
+
+def _phase_order(name: str) -> Tuple[int, str]:
+    for position, (known, _label) in enumerate(PHASE_LABELS):
+        if known == name:
+            return (position, name)
+    return (len(PHASE_LABELS), name)
+
+
+def build_profile(snapshot: MetricsSnapshot) -> ProfileReport:
+    """Compute the per-phase / per-counter breakdown of *snapshot*.
+
+    Phase percentages are of the **accounted** time (the sum of all
+    phase timers), not elapsed wall-clock: phases may nest (the
+    fallback re-enters conventional simulation), so the percentages
+    describe relative weight, and sum to 100 when any time was recorded.
+    """
+    total = sum(data["seconds"] for data in snapshot.phases.values())
+    phases = [
+        PhaseProfile(
+            name=name,
+            label=_phase_label(name),
+            count=int(data["count"]),
+            seconds=data["seconds"],
+            percent=(100.0 * data["seconds"] / total) if total else 0.0,
+        )
+        for name in sorted(snapshot.phases, key=_phase_order)
+        for data in (snapshot.phases[name],)
+    ]
+    verdicts = {
+        name[len(VERDICT_PREFIX):]: value
+        for name, value in snapshot.counters.items()
+        if name.startswith(VERDICT_PREFIX)
+    }
+    mechanisms = {
+        name[len(HOW_PREFIX):]: value
+        for name, value in snapshot.counters.items()
+        if name.startswith(HOW_PREFIX)
+    }
+    counters = {
+        name: value
+        for name, value in snapshot.counters.items()
+        if not name.startswith((VERDICT_PREFIX, HOW_PREFIX))
+    }
+    return ProfileReport(
+        phases=phases,
+        total_seconds=total,
+        verdicts=verdicts,
+        mechanisms=mechanisms,
+        counters=counters,
+        gauges=dict(snapshot.gauges),
+        histograms=dict(snapshot.histograms),
+    )

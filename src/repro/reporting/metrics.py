@@ -1,0 +1,120 @@
+"""Render a campaign metrics snapshot as a human-readable profile.
+
+The ``mot`` subcommand writes a merged :class:`MetricsSnapshot` payload
+to ``--metrics-out`` as JSON; ``repro stats <metrics.json>`` loads it
+here and renders the per-phase wall-clock breakdown, the per-fault
+verdict split, the MOT detection mechanisms, the raw event counters and
+the histogram summaries.  Computation lives in
+:mod:`repro.obs.profile`; this module only formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.profile import ProfileReport, build_profile
+from repro.reporting.tables import Table
+
+__all__ = ["load_snapshot", "render_metrics_report", "render_profile"]
+
+
+def load_snapshot(path: str) -> MetricsSnapshot:
+    """Load a ``--metrics-out`` JSON payload back into a snapshot.
+
+    Raises ``OSError`` when the file cannot be read and ``ValueError``
+    when it does not hold a snapshot payload.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} does not hold a metrics payload")
+    return MetricsSnapshot.from_payload(payload)
+
+
+def _phase_table(profile: ProfileReport) -> str:
+    table = Table(
+        ["phase", "calls", "seconds", "share"],
+        title="Per-phase wall clock",
+    )
+    for phase in profile.phases:
+        table.add_row(
+            {
+                "phase": phase.label,
+                "calls": phase.count,
+                "seconds": f"{phase.seconds:.3f}",
+                "share": f"{phase.percent:.1f}%",
+            }
+        )
+    rendered = table.render()
+    rendered += (
+        f"accounted (phases may nest): {profile.total_seconds:.3f} s\n"
+    )
+    return rendered
+
+
+def _count_table(title: str, key: str, counts) -> str:
+    table = Table([key, "faults"], title=title)
+    for name in sorted(counts, key=lambda n: (-counts[n], n)):
+        table.add_row({key: name, "faults": counts[name]})
+    return table.render()
+
+
+def _counter_table(profile: ProfileReport) -> str:
+    table = Table(["counter", "value"], title="Event counters")
+    for name in sorted(profile.counters):
+        table.add_row({"counter": name, "value": profile.counters[name]})
+    return table.render()
+
+
+def _histogram_table(profile: ProfileReport) -> str:
+    table = Table(
+        ["distribution", "count", "min", "mean", "max"],
+        title="Distributions",
+    )
+    for name in sorted(profile.histograms):
+        data = profile.histograms[name]
+        count = int(data.get("count", 0))
+        mean = (data.get("sum", 0.0) / count) if count else 0.0
+        table.add_row(
+            {
+                "distribution": name,
+                "count": count,
+                "min": f"{data.get('min', 0.0):.2f}",
+                "mean": f"{mean:.2f}",
+                "max": f"{data.get('max', 0.0):.2f}",
+            }
+        )
+    return table.render()
+
+
+def render_profile(profile: ProfileReport) -> str:
+    """Format a computed :class:`ProfileReport` as plain text."""
+    sections: List[str] = []
+    if profile.phases:
+        sections.append(_phase_table(profile))
+    if profile.verdicts:
+        sections.append(
+            _count_table(
+                f"Per-fault verdicts ({profile.total_verdicts} faults)",
+                "verdict",
+                profile.verdicts,
+            )
+        )
+    if profile.mechanisms:
+        sections.append(
+            _count_table("MOT detection mechanisms", "how", profile.mechanisms)
+        )
+    if profile.counters:
+        sections.append(_counter_table(profile))
+    if profile.histograms:
+        sections.append(_histogram_table(profile))
+    if not sections:
+        return "empty metrics snapshot\n"
+    return "\n".join(sections)
+
+
+def render_metrics_report(snapshot: MetricsSnapshot) -> str:
+    """Render *snapshot* (``repro stats <metrics.json>``)."""
+    return render_profile(build_profile(snapshot))

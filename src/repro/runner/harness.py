@@ -43,11 +43,13 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.errors import BudgetExceeded, CampaignInterrupted, JournalError
 from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
+from repro.obs.metrics import get_metrics
 from repro.runner.budget import BudgetMeter, FaultBudget
 from repro.runner.chaos import maybe_chaos_kill
 from repro.runner.journal import (
     CampaignJournal,
     campaign_manifest,
+    metrics_to_record,
     verdict_to_record,
 )
 
@@ -200,6 +202,7 @@ class CampaignHarness:
         budget = self.config.budget
         if budget is not None and budget.bounded and self._supports_meter:
             kwargs["meter"] = BudgetMeter(budget)
+        started = time.perf_counter()
         try:
             verdict = self.simulator.simulate_fault(fault, **kwargs)
         except BudgetExceeded as exc:
@@ -223,6 +226,18 @@ class CampaignHarness:
             self.stats.errored += 1
         elif verdict.status == "aborted":
             self.stats.aborted += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            # Counted once per *simulated* fault (reused verdicts are
+            # not re-counted), so the merged campaign counters of a
+            # fresh run equal the campaign summary.
+            metrics.counter(f"campaign.verdict.{verdict.status}")
+            if verdict.status == "mot":
+                metrics.counter(f"campaign.how.{verdict.how}")
+            metrics.observe(
+                "campaign.fault_ms",
+                (time.perf_counter() - started) * 1000.0,
+            )
         return verdict
 
     # ------------------------------------------------------------------
@@ -285,6 +300,7 @@ class CampaignHarness:
                         completed=sum(v is not None for v in verdicts),
                         journal_path=self.config.checkpoint_path,
                     )
+            self._append_metrics(journal)
             self._finish_journal(journal)
             self._write_progress(in_flight=None)
         finally:
@@ -318,6 +334,23 @@ class CampaignHarness:
             return journal, reused
         journal.create(manifest)
         return journal, {}
+
+    @staticmethod
+    def _append_metrics(journal: Optional[CampaignJournal]) -> None:
+        """Journal the registry snapshot at successful completion.
+
+        Shard workers run their shard through this harness, so the
+        record is what carries a worker's metrics back to the parent;
+        a crashed or interrupted attempt leaves no record (its verdicts
+        survive in the journal, its telemetry is lost -- acceptable,
+        never misleading, since reruns re-count only missing faults).
+        """
+        metrics = get_metrics()
+        if journal is None or not metrics.enabled:
+            return
+        snapshot = metrics.snapshot()
+        if not snapshot.empty:
+            journal.append(metrics_to_record(snapshot.to_payload()))
 
     @staticmethod
     def _finish_journal(journal: Optional[CampaignJournal]) -> None:

@@ -26,6 +26,13 @@ recreates the journal (truncating it to manifest + reusable verdicts),
 while the event history must survive every attempt.  Verdict-journal
 readers skip any ``kind: "event"`` records they meet, so the two
 formats stay mergeable by hand.
+
+When observability is on (:mod:`repro.obs`), a completed (shard)
+journal additionally carries one ``kind: "metrics"`` record -- the
+worker's serialized metrics registry -- appended after the last
+verdict.  Verdict readers skip it like events; the parallel merge step
+collects the payloads with :func:`load_metrics_payloads` and folds
+them into the parent registry before shard files are removed.
 """
 
 from __future__ import annotations
@@ -50,6 +57,8 @@ __all__ = [
     "fault_from_payload",
     "verdict_to_record",
     "verdict_from_record",
+    "metrics_to_record",
+    "load_metrics_payloads",
 ]
 
 JOURNAL_VERSION = 1
@@ -107,6 +116,38 @@ def verdict_from_record(record: Dict[str, Any]) -> FaultVerdict:
         num_sequences=record["num_sequences"],
         num_expansions=record["num_expansions"],
     )
+
+
+def metrics_to_record(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One journal line carrying a serialized metrics snapshot."""
+    return {"kind": "metrics", "payload": payload}
+
+
+def load_metrics_payloads(path: str) -> List[Dict[str, Any]]:
+    """Every ``kind: "metrics"`` payload in the journal at *path*.
+
+    Malformed lines (including a torn tail) and non-metrics records are
+    skipped: metrics are best-effort telemetry, and their absence --
+    e.g. after a worker crash -- must never block the verdict merge.
+    """
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return []
+    payloads: List[Dict[str, Any]] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and record.get("kind") == "metrics":
+            payload = record.get("payload")
+            if isinstance(payload, dict):
+                payloads.append(payload)
+    return payloads
 
 
 def _stable_digest(value: Any) -> str:
@@ -220,8 +261,8 @@ class CampaignJournal:
                 if number == len(lines):  # torn tail write: drop it
                     break
                 raise
-            if record.get("kind") == "event":
-                continue  # supervision events ride along; not verdicts
+            if record.get("kind") in ("event", "metrics"):
+                continue  # supervision/metrics records ride along
             if record.get("kind") != "verdict":
                 raise JournalError(
                     f"journal {self.path}: line {number}: unexpected record "

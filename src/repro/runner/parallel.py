@@ -66,9 +66,15 @@ from repro.errors import (
 )
 from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
+from repro.obs import ObsSpec, current_obs_spec, install_worker_obs
+from repro.obs.metrics import MetricsSnapshot, get_metrics
 from repro.runner.budget import FaultBudget
 from repro.runner.harness import CampaignHarness, HarnessConfig, simulator_manifest
-from repro.runner.journal import CampaignJournal, verdict_to_record
+from repro.runner.journal import (
+    CampaignJournal,
+    load_metrics_payloads,
+    verdict_to_record,
+)
 
 __all__ = [
     "SHARD_STRATEGIES",
@@ -260,6 +266,9 @@ class _WorkerSpec:
     checkpoint_every: int
     fail_fast: bool
     progress_path: Optional[str] = None
+    #: Parent's observability setup (``None`` = observability off).
+    #: Carried explicitly so it survives the ``spawn`` start method.
+    obs: Optional[ObsSpec] = None
 
 
 def _worker_main(spec: _WorkerSpec) -> None:
@@ -285,7 +294,15 @@ def _worker_main(spec: _WorkerSpec) -> None:
             progress_path=spec.progress_path,
         ),
     )
-    harness.run(spec.faults)
+    # A fresh per-worker registry (and a per-shard trace file): the
+    # harness journals its snapshot into the shard journal, the parent
+    # merges it back.  Restoring matters on the in-process single-shard
+    # fast path, where "worker" and parent share one process.
+    restore_obs = install_worker_obs(spec.obs, spec.shard)
+    try:
+        harness.run(spec.faults)
+    finally:
+        restore_obs()
 
 
 # ----------------------------------------------------------------------
@@ -404,6 +421,7 @@ class ParallelCampaignRunner:
         )
         self.stats.shards = len(shards)
         heartbeat = self.config.heartbeat_interval
+        obs = current_obs_spec()
         specs = [
             _WorkerSpec(
                 shard=k,
@@ -419,6 +437,7 @@ class ParallelCampaignRunner:
                 progress_path=(
                     self._progress_path(shard_base, k) if heartbeat else None
                 ),
+                obs=obs,
             )
             for k, shard in enumerate(shards)
         ]
@@ -472,6 +491,7 @@ class ParallelCampaignRunner:
         # the same filesystem the shard files live on -- leaving them
         # behind would only feed stale duplicates to a later resume.
         try:
+            self._merge_shard_metrics(specs)
             shard_reads = self._read_shards(specs, manifest)
             merged = merge_verdict_maps(
                 [("campaign journal", dict(verdicts))]
@@ -510,6 +530,24 @@ class ParallelCampaignRunner:
                 journal_path=self.config.checkpoint_path,
                 crashes=crashes,
             )
+
+    @staticmethod
+    def _merge_shard_metrics(specs: List[_WorkerSpec]) -> None:
+        """Fold every shard journal's metrics records into the parent
+        registry (before the ``finally`` removes the shard files).
+
+        Merging is additive over disjoint shards of work, so a sharded
+        campaign ends with the same registry contents a serial run
+        would have produced (modulo wall-clock timings).  A crashed
+        worker leaves no metrics record; its telemetry is simply
+        missing, never double-counted.
+        """
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        for spec in specs:
+            for payload in load_metrics_payloads(spec.journal_path):
+                metrics.merge_snapshot(MetricsSnapshot.from_payload(payload))
 
     def _watch(self, specs, processes) -> Set[int]:
         """Join the workers while policing their heartbeat beacons.

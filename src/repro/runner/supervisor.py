@@ -69,6 +69,8 @@ from repro.errors import (
 )
 from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
+from repro.obs import current_obs_spec
+from repro.obs.metrics import MetricsSnapshot, get_metrics
 from repro.runner.harness import (
     CampaignHarness,
     HarnessConfig,
@@ -77,6 +79,7 @@ from repro.runner.harness import (
 from repro.runner.journal import (
     CampaignJournal,
     SupervisionLog,
+    load_metrics_payloads,
     verdict_to_record,
 )
 from repro.runner.parallel import (
@@ -401,6 +404,14 @@ class SupervisedCampaignRunner:
                 log.record(
                     "poison_confirmed", index=index, reason=poison_reason
                 )
+                metrics = get_metrics()
+                if metrics.enabled:
+                    # The poison verdict is minted here in the parent --
+                    # it never passes through a harness -- so it is
+                    # counted here to keep merged verdict counters equal
+                    # to the campaign summary.
+                    metrics.counter("campaign.verdict.errored")
+                    metrics.counter("supervisor.poisoned")
             if verdict is not None:
                 journal = CampaignJournal(path)
                 journal.append(verdict_to_record(index, verdict))
@@ -436,6 +447,7 @@ class SupervisedCampaignRunner:
             budget=self.config.budget,
             checkpoint_every=1,
             fail_fast=False,
+            obs=current_obs_spec(),
         )
         timeout = self.supervision.probe_timeout
         if timeout is None:
@@ -464,6 +476,10 @@ class SupervisedCampaignRunner:
             verdict = verdicts.get(index)
             if verdict is None:  # pragma: no cover - clean exit, no verdict
                 return None, None
+            metrics = get_metrics()
+            if metrics.enabled:
+                for payload in load_metrics_payloads(probe_path):
+                    metrics.merge_snapshot(MetricsSnapshot.from_payload(payload))
             log.record("probe_survived", index=index, status=verdict.status)
             return verdict, None
         finally:

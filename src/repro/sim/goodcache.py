@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
+from repro.obs.metrics import get_metrics
 from repro.sim.sequential import SequentialResult, simulate_sequence
 
 __all__ = [
@@ -108,7 +109,10 @@ class GoodMachineCache:
         cls, circuit: Circuit, patterns: Sequence[Sequence[int]]
     ) -> "GoodMachineCache":
         """Simulate the good machine once and freeze the trajectory."""
-        result = simulate_sequence(circuit, patterns, keep_frames=True)
+        metrics = get_metrics()
+        metrics.counter("goodcache.compute")
+        with metrics.phase("good_sim"):
+            result = simulate_sequence(circuit, patterns, keep_frames=True)
         return cls(
             circuit_name=circuit.name,
             fingerprint=circuit_fingerprint(circuit),
@@ -178,11 +182,15 @@ def shared_good_cache(
     """
     key = (circuit_fingerprint(circuit), _pattern_key(patterns))
     cached = _SHARED.get(key)
+    metrics = get_metrics()
     if cached is None:
+        metrics.counter("goodcache.memo.miss")
         if len(_SHARED) >= _SHARED_LIMIT:
             _SHARED.clear()
         cached = GoodMachineCache.compute(circuit, patterns)
         _SHARED[key] = cached
+    else:
+        metrics.counter("goodcache.memo.hit")
     return cached
 
 

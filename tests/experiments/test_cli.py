@@ -172,8 +172,10 @@ def test_mot_checkpoint_and_resume(tmp_path, capsys):
     assert len(first_lines) > 1  # manifest + verdicts
 
     assert main(base + ["--resume"]) == 0
-    out = capsys.readouterr().out
-    assert "verdicts reused, 0 simulated" in out
+    # Progress lines go through the logger (stderr); results stay on
+    # stdout.
+    err = capsys.readouterr().err
+    assert "verdicts reused, 0 simulated" in err
 
 
 def test_mot_resume_refuses_mismatched_journal(tmp_path, capsys):
@@ -325,6 +327,105 @@ def test_mot_supervised_interrupt_exits_130(tmp_path, capsys, monkeypatch):
     err = capsys.readouterr().err
     assert "interrupted" in err
     assert f"--checkpoint {journal} --resume" in err
+
+
+def test_mot_metrics_out_and_stats_render(tmp_path, capsys):
+    """--metrics-out writes a renderable snapshot whose verdict counts
+    equal the campaign's fault total."""
+    import json
+
+    target = tmp_path / "metrics.json"
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--metrics-out", str(target)]
+    ) == 0
+    err = capsys.readouterr().err
+    assert f"campaign metrics written to {target}" in err
+    payload = json.loads(target.read_text())
+    verdicts = {
+        name: count
+        for name, count in payload["counters"].items()
+        if name.startswith("campaign.verdict.")
+    }
+    assert sum(verdicts.values()) == 32  # the collapsed s27 fault list
+    assert payload["counters"]["mot.expansion.runs"] > 0
+    assert "backward" in payload["phases"]
+
+    assert main(["stats", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "Per-phase wall clock" in out
+    assert "Per-fault verdicts (32 faults)" in out
+    assert "backward implication" in out
+
+
+def test_stats_rejects_unreadable_metrics_file(tmp_path, capsys):
+    bogus = tmp_path / "not-metrics.json"
+    bogus.write_text("[1, 2, 3]")
+    assert main(["stats", str(bogus)]) == 1
+    assert "cannot read metrics file" in capsys.readouterr().err
+
+
+def test_mot_trace_out_writes_jsonl_events(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "trace.jsonl"
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--trace-out", str(target)]
+    ) == 0
+    events = [json.loads(line) for line in target.read_text().splitlines()]
+    names = [event["ev"] for event in events]
+    assert names.count("fault_begin") == 32
+    assert names.count("fault_verdict") == 32
+    assert "implication" in names and "branch" in names
+
+
+def test_mot_trace_sample_zero_traces_no_faults(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "trace.jsonl"
+    assert main(
+        ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+         "--trace-out", str(target), "--trace-sample", "0"]
+    ) == 0
+    if target.exists():
+        names = [
+            json.loads(line)["ev"]
+            for line in target.read_text().splitlines()
+        ]
+        assert "fault_begin" not in names
+
+
+def test_mot_rejects_invalid_trace_sample(capsys):
+    _argparse_exit(
+        ["mot", "--circuit", "s27", "--trace-out", "t.jsonl",
+         "--trace-sample", "1.5"]
+    )
+    assert "probability" in capsys.readouterr().err
+
+
+def test_verbose_flag_logs_debug_detail(capsys):
+    assert main(
+        ["--verbose", "mot", "--circuit", "s27", "--length", "8"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "faults" in err and "patterns" in err
+
+
+def test_quiet_flag_suppresses_progress(tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    base = ["mot", "--circuit", "s27", "--length", "16", "--seed", "1",
+            "--checkpoint", str(journal)]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(["--quiet"] + base + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert "verdicts reused" not in captured.err
+    assert "proposed procedure" in captured.out  # results stay on stdout
+
+
+def test_verbose_and_quiet_are_mutually_exclusive():
+    _argparse_exit(["--verbose", "--quiet", "stats", "s27"])
 
 
 def test_mot_retry_exhausted_exits_with_resume_hint(

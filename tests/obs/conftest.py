@@ -1,0 +1,17 @@
+"""Global observability state is process-wide: always restore it."""
+
+import pytest
+
+from repro.obs import set_metrics, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _restore_observability():
+    from repro.obs.metrics import get_metrics
+    from repro.obs.trace import get_tracer
+
+    previous_metrics = get_metrics()
+    previous_tracer = get_tracer()
+    yield
+    set_metrics(previous_metrics)
+    set_tracer(previous_tracer)
