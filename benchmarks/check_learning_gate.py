@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI soundness gate for the static learning pass.
+
+Learning installs conflict *checks* only, so it must never change what a
+campaign concludes -- only how fast the backward probes get there.  This
+script runs the MOT campaign with ``--learning`` off and on over the two
+example circuits built for the purpose (``examples/circuits/
+learned_demo.bench`` and ``learned_pair.bench``, whose headers explain
+the construction) and enforces:
+
+1. **Verdict identity**: the per-fault ``(fault, status, how)`` triples
+   are bit-identical with and without learning, on every circuit;
+2. **Learning is live**: ``learning.conflicts_early`` is positive on
+   every circuit (the learned checks actually fire -- identity of a
+   dormant feature proves nothing);
+3. **Expansion shrinks**: the total ``mot.expansion.branches`` count
+   strictly decreases on at least one circuit, and never increases on
+   any (a closed branch can only remove phase-2 selections).
+
+The campaigns use the paper's two-pass implication schedule: the
+fixpoint engine re-derives every learned (direct-contrapositive)
+implication by itself, so two-pass is where learning changes probe
+outcomes (see docs/ALGORITHMS.md section 13).
+
+Exit code 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Tuple
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.circuit.bench import load_bench
+from repro.faults.collapse import collapse_faults
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.obs.metrics import RecordingMetrics, set_metrics
+from repro.patterns.random_gen import random_patterns
+
+#: (bench file, sequence length, pattern seed, n_states) per circuit.
+#: learned_demo runs with an unsaturated expansion ceiling so every
+#: conflict-closed pair shows up as a missing branch selection;
+#: learned_pair runs at the paper's default N = 64.
+CONFIGS = (
+    ("examples/circuits/learned_demo.bench", 3, 2, 1 << 14),
+    ("examples/circuits/learned_pair.bench", 4, 1, 64),
+)
+
+
+def run_campaign(path: str, length: int, seed: int, n_states: int,
+                 learning: bool) -> Tuple[List[Tuple[str, str, str]], dict]:
+    circuit = load_bench(path)
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(circuit.num_inputs, length, seed=seed)
+    registry = RecordingMetrics()
+    previous = set_metrics(registry)
+    try:
+        simulator = ProposedSimulator(
+            circuit,
+            patterns,
+            MotConfig(
+                n_states=n_states,
+                implication_mode="two_pass",
+                learning=learning,
+            ),
+        )
+        campaign = simulator.run(faults)
+    finally:
+        set_metrics(previous)
+    verdicts = [
+        (v.fault.describe(circuit), v.status, v.how)
+        for v in campaign.verdicts
+    ]
+    return verdicts, registry.snapshot().counters
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), ".."),
+        help="repository root (for the example circuit paths)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    any_decrease = False
+    for rel_path, length, seed, n_states in CONFIGS:
+        path = os.path.join(args.root, rel_path)
+        name = os.path.basename(path)
+        off_verdicts, off_counters = run_campaign(
+            path, length, seed, n_states, learning=False)
+        on_verdicts, on_counters = run_campaign(
+            path, length, seed, n_states, learning=True)
+
+        early = on_counters.get("learning.conflicts_early", 0)
+        branches_off = off_counters.get("mot.expansion.branches", 0)
+        branches_on = on_counters.get("mot.expansion.branches", 0)
+        identical = off_verdicts == on_verdicts
+        print(
+            f"{name}: length={length} seed={seed} n_states={n_states} "
+            f"identical={identical} conflicts_early={early} "
+            f"branches {branches_off} -> {branches_on}"
+        )
+
+        if not identical:
+            diffs = [
+                (a, b) for a, b in zip(off_verdicts, on_verdicts) if a != b
+            ]
+            failures.append(
+                f"{name}: {len(diffs)} verdict(s) differ with learning on; "
+                f"first: {diffs[0][0]} -> {diffs[0][1]}"
+            )
+        if early <= 0:
+            failures.append(
+                f"{name}: learning.conflicts_early is {early}; the learned "
+                "checks never fired, so the identity gate is vacuous"
+            )
+        if branches_on > branches_off:
+            failures.append(
+                f"{name}: expansion branches increased "
+                f"({branches_off} -> {branches_on}) with learning on"
+            )
+        if branches_on < branches_off:
+            any_decrease = True
+
+    if not any_decrease:
+        failures.append(
+            "expansion branches did not strictly decrease on any circuit"
+        )
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}")
+    if not failures:
+        print("learning soundness gate: all checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

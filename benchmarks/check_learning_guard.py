@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI guard: learning never increases expansion work on the toggle
+walkthrough.
+
+The paper's toggle circuit (``examples/circuits/toggle.bench``, the
+Figures 1-3 example) is the canonical MOT workload: every detection
+requires reasoning over both initial states, so its expansion-branch
+count is a sensitive proxy for procedure cost.  Learned implications
+are conflict checks only -- a check can close an infeasible probe
+branch (removing later expansion work) but can never open one -- so
+``mot.expansion.branches`` with learning on must be <= the count with
+learning off, for every (length, seed) workload here, in both
+implication modes, with per-fault verdicts identical throughout.
+
+Exit code 0 when the guard holds everywhere, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.circuit.bench import load_bench
+from repro.faults.collapse import collapse_faults
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.obs.metrics import RecordingMetrics, set_metrics
+from repro.patterns.random_gen import random_patterns
+
+WORKLOADS = ((8, 1), (16, 2), (32, 3))
+MODES = ("two_pass", "fixpoint")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..", "examples", "circuits", "toggle.bench",
+        ),
+        help="toggle walkthrough circuit (default examples/circuits/)",
+    )
+    args = parser.parse_args(argv)
+
+    circuit = load_bench(args.bench)
+    faults = collapse_faults(circuit)
+    failures: List[str] = []
+    for mode in MODES:
+        for length, seed in WORKLOADS:
+            patterns = random_patterns(circuit.num_inputs, length, seed=seed)
+            results = {}
+            for learning in (False, True):
+                registry = RecordingMetrics()
+                previous = set_metrics(registry)
+                try:
+                    campaign = ProposedSimulator(
+                        circuit,
+                        patterns,
+                        MotConfig(implication_mode=mode, learning=learning),
+                    ).run(faults)
+                finally:
+                    set_metrics(previous)
+                counters = registry.snapshot().counters
+                results[learning] = (
+                    [(v.fault.describe(circuit), v.status, v.how)
+                     for v in campaign.verdicts],
+                    counters.get("mot.expansion.branches", 0),
+                )
+            off_verdicts, off_branches = results[False]
+            on_verdicts, on_branches = results[True]
+            tag = f"mode={mode} length={length} seed={seed}"
+            print(
+                f"toggle {tag}: branches {off_branches} -> {on_branches} "
+                f"identical={off_verdicts == on_verdicts}"
+            )
+            if on_branches > off_branches:
+                failures.append(
+                    f"{tag}: learning increased expansion branches "
+                    f"({off_branches} -> {on_branches})"
+                )
+            if off_verdicts != on_verdicts:
+                failures.append(f"{tag}: verdicts differ with learning on")
+    for failure in failures:
+        print(f"GUARD FAILURE: {failure}")
+    if not failures:
+        print("toggle expansion guard: all checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,17 +8,25 @@ simulation, a single stuck-at fault model with collapsing and injection,
 a conventional fault simulator, the state-expansion baseline of
 reference [4], and the proposed backward-implication procedure.
 
-Typical use::
+Typical use (doctest style; library code itself never prints --
+results come back as values, enforced by ``tools/repro_lint.py``):
 
-    from repro import s27, collapse_faults, random_patterns, ProposedSimulator
-
-    circuit = s27()
-    faults = collapse_faults(circuit)
-    patterns = random_patterns(circuit.num_inputs, length=32, seed=1)
-    campaign = ProposedSimulator(circuit, patterns).run(faults)
-    print(campaign.total_detected, "of", campaign.total, "faults detected")
+    >>> from repro import s27, collapse_faults, random_patterns
+    >>> from repro import ProposedSimulator
+    >>> circuit = s27()
+    >>> faults = collapse_faults(circuit)
+    >>> patterns = random_patterns(circuit.num_inputs, length=32, seed=1)
+    >>> campaign = ProposedSimulator(circuit, patterns).run(faults)
+    >>> campaign.total_detected <= campaign.total
+    True
 """
 
+from repro.analysis import (
+    ImplicationDB,
+    learn_circuit,
+    lint_circuit,
+    lint_path,
+)
 from repro.circuit import (
     Circuit,
     CircuitBuilder,
@@ -117,5 +125,9 @@ __all__ = [
     "DetectionWitness",
     "build_witness",
     "check_witness",
+    "ImplicationDB",
+    "learn_circuit",
+    "lint_circuit",
+    "lint_path",
     "__version__",
 ]

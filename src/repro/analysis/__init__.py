@@ -1,0 +1,67 @@
+"""Static analysis for netlists and circuits.
+
+Two tools live here:
+
+* the **netlist linter** (:mod:`repro.analysis.netlist_lint`) -- rule-based
+  structural checks (combinational loops, floating/undriven nets, fanout
+  consistency, constant cones, unreachable/unobservable logic) over a
+  lenient raw-netlist form that survives malformed input, surfaced as
+  ``repro lint`` and as optional validation on the ``.bench``/``.isc``
+  load paths;
+* the **static learning pass** (:mod:`repro.analysis.learning`) --
+  SOCRATES-style precomputation of indirect implications into an
+  :class:`~repro.analysis.learning.ImplicationDB` that the backward
+  implication engine consults to detect conflicts earlier.
+"""
+
+from repro.analysis.findings import (
+    ERROR,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    FindingList,
+    sort_findings,
+)
+from repro.analysis.learning import (
+    ImplicationDB,
+    LearnedImplication,
+    learn_circuit,
+)
+from repro.analysis.netlist_lint import (
+    ALL_RULES,
+    lint_circuit,
+    lint_netlist,
+    lint_path,
+    lint_text,
+)
+from repro.analysis.raw import (
+    RawFlop,
+    RawGate,
+    RawNetlist,
+    raw_from_bench,
+    raw_from_circuit,
+    raw_from_isc,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "SEVERITIES",
+    "Finding",
+    "FindingList",
+    "sort_findings",
+    "ALL_RULES",
+    "lint_circuit",
+    "lint_netlist",
+    "lint_path",
+    "lint_text",
+    "RawFlop",
+    "RawGate",
+    "RawNetlist",
+    "raw_from_bench",
+    "raw_from_circuit",
+    "raw_from_isc",
+    "ImplicationDB",
+    "LearnedImplication",
+    "learn_circuit",
+]

@@ -1,0 +1,243 @@
+"""Static learning of indirect implications (SOCRATES-style).
+
+The frame implication engine only derives *direct* consequences: values
+forced by propagating individual gates to a fixpoint.  Some sound
+implications are invisible to it.  The classic example::
+
+    z = AND(a, b);  a = OR(x, y);  b = OR(x, w)
+
+``x = 1`` directly forces ``a = 1``, ``b = 1`` and hence ``z = 1``; the
+contrapositive ``z = 0  =>  x = 0`` is therefore sound, but seeding
+``z = 0`` alone forces nothing (neither AND input is determined).  Such
+implications are *learned* statically, once per circuit: seed every
+``line = v`` on an all-unspecified frame, run the engine, and for every
+forced value ``m = w`` whose contrapositive ``m = !w  =>  line = !v`` is
+**not** among the direct consequences of ``m = !w``, record it in an
+:class:`ImplicationDB`.
+
+At simulation time the learned implications are applied as **conflict
+checks only**: when a probe's propagation specifies a trigger value, the
+other side of each learned implication is compared against the current
+frame values and a :class:`~repro.logic.implication.Conflict` is raised
+on contradiction.  Learned values are never *assigned*, so the engine's
+recorded implication sets -- and hence the ``extra`` sets driving state
+expansion -- are unchanged; learning can only turn an infeasible
+``extra``/``detect`` probe outcome into the ``conf`` it should have
+been.  Direct consequences need no checks at all: the propagation rules
+are monotone in the set of specified values, so the engine re-derives
+them (or conflicts) by itself in every frame.
+
+Fault masking
+-------------
+Implications are learned on the fault-free circuit, while probes run on
+injected circuits whose consumer pins of the fault site are rewired to a
+constant.  A learned derivation replays verbatim in the faulty circuit
+unless one of the rewired gates participated in it, and a gate that
+participated necessarily wrote one of its lines into the derivation's
+*support* (the set of lines specified while learning the implication).
+:meth:`ImplicationDB.for_fault` therefore drops every implication whose
+supports all intersect the fault's *dirty lines* -- the fault site plus
+all lines of its consumer gates.  This is conservative: it may drop
+implications that still hold, never keep one that does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.faults.injection import InjectedFault
+from repro.logic.implication import Conflict
+from repro.logic.values import UNKNOWN
+from repro.mot.implication import FrameEngine
+
+__all__ = [
+    "LearnedImplication",
+    "ImplicationDB",
+    "learn_circuit",
+]
+
+Literal = Tuple[int, int]
+#: Trigger map consumed by the engine: a ``(line, value)`` just specified
+#: maps to the ``(line, value)`` pairs that, if *currently present*,
+#: contradict a learned implication.
+CheckMap = Dict[Literal, Tuple[Literal, ...]]
+
+
+@dataclass(frozen=True)
+class LearnedImplication:
+    """One indirect implication ``(ante = av)  =>  (cons = cv)``.
+
+    ``supports`` holds the line-support set of each independent
+    derivation; the implication is valid in a faulty circuit if *any*
+    support avoids the fault's dirty lines.
+    """
+
+    ante_line: int
+    ante_value: int
+    cons_line: int
+    cons_value: int
+    supports: Tuple[FrozenSet[int], ...]
+
+
+@dataclass(frozen=True)
+class _SeedResult:
+    """Direct consequences of seeding one literal on an all-X frame."""
+
+    forced: Dict[int, int]
+    support: FrozenSet[int]
+
+
+class ImplicationDB:
+    """Learned indirect implications of one circuit.
+
+    Built once by :func:`learn_circuit`; queried per fault via
+    :meth:`for_fault`, which returns the trigger map the
+    :class:`~repro.mot.implication.FrameEngine` consults.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        #: antecedent literal -> consequence literal -> derivation supports.
+        self._by_ante: Dict[Literal, Dict[Literal, List[FrozenSet[int]]]] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def add(
+        self, ante: Literal, cons: Literal, support: FrozenSet[int]
+    ) -> None:
+        cons_map = self._by_ante.setdefault(ante, {})
+        supports = cons_map.get(cons)
+        if supports is None:
+            cons_map[cons] = [support]
+            self._count += 1
+        elif support not in supports:
+            supports.append(support)
+
+    def __len__(self) -> int:
+        """Number of distinct learned implications."""
+        return self._count
+
+    def implications(self) -> Iterator[LearnedImplication]:
+        """All learned implications, deterministically ordered."""
+        for ante in sorted(self._by_ante):
+            cons_map = self._by_ante[ante]
+            for cons in sorted(cons_map):
+                yield LearnedImplication(
+                    ante[0], ante[1], cons[0], cons[1],
+                    tuple(cons_map[cons]),
+                )
+
+    # ------------------------------------------------------------------
+    def _dirty_lines(self, injected: InjectedFault) -> FrozenSet[int]:
+        """Lines whose intra-frame behaviour injection may have changed.
+
+        The fault site plus every line of every consumer gate touched by
+        the rewiring (only gate pins matter: the frame engine never
+        propagates through flip-flops or output taps).
+        """
+        dirty: set = set()
+        faults = injected.faults or (injected.fault,)
+        for fault in faults:
+            dirty.add(fault.line)
+            pins = (
+                self.circuit.fanout_pins[fault.line]
+                if fault.pin is None
+                else [fault.pin]
+            )
+            for pin in pins:
+                if pin.kind == "gate":
+                    gate = self.circuit.gates[pin.index]
+                    dirty.add(gate.output)
+                    dirty.update(gate.inputs)
+        return frozenset(dirty)
+
+    def _check_map(self, dirty: FrozenSet[int]) -> CheckMap:
+        triggers: Dict[Literal, set] = {}
+        for ante, cons_map in self._by_ante.items():
+            for cons, supports in cons_map.items():
+                if dirty and not any(s.isdisjoint(dirty) for s in supports):
+                    continue
+                # Violation of ante => cons is (ante present) AND
+                # (negation of cons present); register both triggers so
+                # either side becoming specified performs the check.
+                violation = (cons[0], 1 - cons[1])
+                triggers.setdefault(ante, set()).add(violation)
+                triggers.setdefault(violation, set()).add(ante)
+        return {
+            trigger: tuple(sorted(checks))
+            for trigger, checks in sorted(triggers.items())
+        }
+
+    def checks(self) -> CheckMap:
+        """Trigger map for the fault-free circuit (no masking)."""
+        return self._check_map(frozenset())
+
+    def for_fault(self, injected: InjectedFault) -> CheckMap:
+        """Trigger map valid in *injected*'s faulty circuit.
+
+        Every implication whose derivations all touch a gate modified by
+        the injection is dropped (see module docstring); the survivors
+        are sound in the faulty circuit, so a conflict they raise is a
+        genuine ``conf`` outcome.
+        """
+        return self._check_map(self._dirty_lines(injected))
+
+
+def learn_circuit(
+    circuit: Circuit,
+    engine: Optional[FrameEngine] = None,
+    mode: str = "fixpoint",
+) -> ImplicationDB:
+    """Run the static learning pass over *circuit*.
+
+    For every line ``l`` and value ``v``, seed ``l = v`` on an
+    all-unspecified frame, propagate, and record the contrapositive
+    ``m = !w  =>  l = !v`` of every forced value ``m = w`` unless it is
+    *obvious* -- already among the direct consequences of ``m = !w`` --
+    or its antecedent is infeasible on the all-X frame (the engine
+    conflicts on it unaided).
+
+    *mode* selects the propagation schedule used for learning
+    (``"fixpoint"`` or ``"two_pass"``); the fixpoint default learns a
+    superset.  The engine instance may be shared with the caller.
+    """
+    if engine is None:
+        engine = FrameEngine(circuit)
+    num_lines = circuit.num_lines
+    seeds: Dict[Literal, Optional[_SeedResult]] = {}
+    for line in range(num_lines):
+        for value in (0, 1):
+            values = [UNKNOWN] * num_lines
+            record: List[Tuple[int, int]] = []
+            try:
+                if mode == "two_pass":
+                    engine.imply_two_pass(values, [(line, value)], record)
+                else:
+                    engine.imply(values, [(line, value)], record)
+            except Conflict:
+                seeds[(line, value)] = None
+                continue
+            forced = {m: w for m, w in record if m != line}
+            seeds[(line, value)] = _SeedResult(
+                forced=forced,
+                support=frozenset(m for m, _w in record),
+            )
+
+    db = ImplicationDB(circuit)
+    for line in range(num_lines):
+        for value in (0, 1):
+            result = seeds[(line, value)]
+            if result is None:
+                continue
+            cons = (line, 1 - value)
+            for m, w in result.forced.items():
+                ante = (m, 1 - w)
+                ante_result = seeds[ante]
+                if ante_result is None:
+                    continue  # infeasible antecedent: engine conflicts alone
+                if ante_result.forced.get(line) == cons[1]:
+                    continue  # obvious: a direct consequence already
+                db.add(ante, cons, result.support)
+    return db

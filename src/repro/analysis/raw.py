@@ -1,0 +1,363 @@
+"""Lenient netlist front-end for the linter.
+
+The strict parsers (:mod:`repro.circuit.bench`, :mod:`repro.circuit.isc`)
+raise on the first structural defect, which is right for simulation but
+wrong for a linter: ``repro lint`` must report *every* defect of a
+malformed file with its position.  This module parses ``.bench`` and
+``.isc`` text into a :class:`RawNetlist` -- a name-based, unvalidated
+intermediate form that tolerates duplicate drivers, dangling references,
+combinational loops and unknown gate types, recording a source line for
+every entity.  Unparseable lines become ``parse-error`` findings rather
+than exceptions.
+
+A :class:`RawNetlist` can also be derived from an already-built
+:class:`~repro.circuit.netlist.Circuit` (``from_circuit``), so the same
+rule set lints registered benchmark circuits; source positions are then
+unknown (0).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import ERROR, FindingList
+from repro.circuit.netlist import Circuit
+
+__all__ = [
+    "RawGate",
+    "RawFlop",
+    "RawNetlist",
+    "raw_from_bench",
+    "raw_from_isc",
+    "raw_from_circuit",
+]
+
+#: Combinational operators the simulator understands (``.bench`` names).
+KNOWN_OPS = frozenset(
+    {"AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "INV", "BUF", "BUFF",
+     "CONST0", "CONST1"}
+)
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^()=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(([^()]*)\)$")
+
+
+@dataclass(frozen=True)
+class RawGate:
+    """One combinational gate definition, by net name."""
+
+    output: str
+    op: str  # normalized upper-case operator, e.g. "AND"
+    inputs: Tuple[str, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RawFlop:
+    """One D flip-flop definition: ``ps = DFF(ns)``."""
+
+    ps: str
+    ns: str
+    line: int = 0
+
+
+@dataclass
+class RawNetlist:
+    """Unvalidated name-based netlist with source positions.
+
+    ``inputs`` / ``outputs`` keep declaration order (with duplicates, if
+    the source has them); ``declared_fanout`` is populated by the
+    ``.isc`` front-end only (entry name -> (declared fanout count,
+    source line)).
+    """
+
+    name: str
+    file: str
+    inputs: List[Tuple[str, int]] = field(default_factory=list)
+    outputs: List[Tuple[str, int]] = field(default_factory=list)
+    flops: List[RawFlop] = field(default_factory=list)
+    gates: List[RawGate] = field(default_factory=list)
+    declared_fanout: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def driver_sites(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Map net name -> [(driver kind, source line), ...].
+
+        Driver kinds are ``"input"``, ``"flop"`` and ``"gate"``.
+        """
+        drivers: Dict[str, List[Tuple[str, int]]] = {}
+        for name, line in self.inputs:
+            drivers.setdefault(name, []).append(("input", line))
+        for flop in self.flops:
+            drivers.setdefault(flop.ps, []).append(("flop", flop.line))
+        for gate in self.gates:
+            drivers.setdefault(gate.output, []).append(("gate", gate.line))
+        return drivers
+
+    def consumer_sites(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Map net name -> [(consumer kind, source line), ...].
+
+        Consumer kinds are ``"gate"``, ``"flop"`` and ``"output"``.
+        """
+        consumers: Dict[str, List[Tuple[str, int]]] = {}
+        for gate in self.gates:
+            for net in gate.inputs:
+                consumers.setdefault(net, []).append(("gate", gate.line))
+        for flop in self.flops:
+            consumers.setdefault(flop.ns, []).append(("flop", flop.line))
+        for name, line in self.outputs:
+            consumers.setdefault(name, []).append(("output", line))
+        return consumers
+
+    def first_line_of(self, net: str) -> int:
+        """The first source line mentioning *net* (0 when unknown)."""
+        best = 0
+        for sites in (self.driver_sites().get(net, []),
+                      self.consumer_sites().get(net, [])):
+            for _kind, line in sites:
+                if line and (best == 0 or line < best):
+                    best = line
+        return best
+
+
+# ----------------------------------------------------------------------
+# .bench front-end
+# ----------------------------------------------------------------------
+def raw_from_bench(
+    text: str, name: str = "bench", findings: Optional[FindingList] = None
+) -> RawNetlist:
+    """Leniently parse ``.bench`` *text*.
+
+    Lines that do not match any production are reported as
+    ``parse-error`` findings (when *findings* is given) and skipped;
+    everything recognizable is kept, however structurally broken.
+    """
+    raw = RawNetlist(name=name, file=name)
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            keyword, signal = decl.group(1).upper(), decl.group(2)
+            if keyword == "INPUT":
+                raw.inputs.append((signal, line_number))
+            else:
+                raw.outputs.append((signal, line_number))
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            output, op, args = (
+                gate.group(1), gate.group(2).upper(), gate.group(3),
+            )
+            input_names = tuple(
+                a.strip() for a in args.split(",") if a.strip()
+            )
+            if op == "DFF":
+                if len(input_names) == 1:
+                    raw.flops.append(
+                        RawFlop(output, input_names[0], line_number)
+                    )
+                elif findings is not None:
+                    findings.add(
+                        "parse-error", ERROR,
+                        f"DFF {output!r} takes exactly one input, "
+                        f"got {len(input_names)}",
+                        name, line_number, output,
+                    )
+                continue
+            raw.gates.append(RawGate(output, op, input_names, line_number))
+            continue
+        if findings is not None:
+            findings.add(
+                "parse-error", ERROR,
+                f"cannot parse {raw_line.strip()!r}",
+                name, line_number,
+            )
+    return raw
+
+
+# ----------------------------------------------------------------------
+# .isc front-end
+# ----------------------------------------------------------------------
+_ISC_GATE_OPS = {
+    "and": "AND",
+    "nand": "NAND",
+    "or": "OR",
+    "nor": "NOR",
+    "xor": "XOR",
+    "xnor": "XNOR",
+    "not": "NOT",
+    "inv": "NOT",
+    "buf": "BUF",
+    "buff": "BUF",
+}
+
+
+def raw_from_isc(
+    text: str, name: str = "isc", findings: Optional[FindingList] = None
+) -> RawNetlist:
+    """Leniently parse ``.isc`` *text* (see :mod:`repro.circuit.isc`).
+
+    Fanin *addresses* are resolved to entry names where possible;
+    unresolved addresses are kept verbatim so the undriven-net rule
+    reports them.  The declared fanout count of every entry is recorded
+    for the fanout-consistency rule.
+    """
+    raw = RawNetlist(name=name, file=name)
+    rows: List[Tuple[int, List[str]]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("*"):
+            continue
+        rows.append((line_number, line.split()))
+
+    # First pass: collect entries (address, name, kind, counts, fanins).
+    entries: List[Tuple[int, str, str, str, int, int, List[str]]] = []
+    index = 0
+    while index < len(rows):
+        line_number, tokens = rows[index]
+        index += 1
+        if len(tokens) < 3:
+            if findings is not None:
+                findings.add(
+                    "parse-error", ERROR,
+                    f"malformed .isc entry: {' '.join(tokens)!r}",
+                    name, line_number,
+                )
+            continue
+        address, entry_name, kind = tokens[0], tokens[1], tokens[2].lower()
+        if kind == "from":
+            if len(tokens) < 4:
+                if findings is not None:
+                    findings.add(
+                        "parse-error", ERROR,
+                        f"'from' entry {entry_name!r} needs a stem",
+                        name, line_number, entry_name,
+                    )
+                continue
+            entries.append(
+                (line_number, address, entry_name, kind, 1, 1, [tokens[3]])
+            )
+            continue
+        if len(tokens) < 5:
+            if findings is not None:
+                findings.add(
+                    "parse-error", ERROR,
+                    f"malformed .isc entry: {' '.join(tokens)!r}",
+                    name, line_number, entry_name,
+                )
+            continue
+        try:
+            fanout, fanin = int(tokens[3]), int(tokens[4])
+        except ValueError:
+            if findings is not None:
+                findings.add(
+                    "parse-error", ERROR,
+                    "fanout/fanin counts must be integers: "
+                    f"{' '.join(tokens)!r}",
+                    name, line_number, entry_name,
+                )
+            continue
+        fanin_addresses: List[str] = []
+        if kind != "inpt" and fanin > 0:
+            if index < len(rows):
+                fanin_line_number, fanin_tokens = rows[index]
+                fanin_addresses = fanin_tokens[:fanin]
+                if len(fanin_addresses) != fanin and findings is not None:
+                    findings.add(
+                        "parse-error", ERROR,
+                        f"{entry_name!r}: expected {fanin} fanins, got "
+                        f"{len(fanin_addresses)}",
+                        name, fanin_line_number, entry_name,
+                    )
+                index += 1
+            elif findings is not None:
+                findings.add(
+                    "parse-error", ERROR,
+                    f"missing fanin list for {entry_name!r}",
+                    name, line_number, entry_name,
+                )
+        entries.append(
+            (line_number, address, entry_name, kind, fanout, fanin,
+             fanin_addresses)
+        )
+
+    by_address: Dict[str, str] = {}
+    by_name: Dict[str, str] = {}
+    for _ln, address, entry_name, _kind, _fo, _fi, _fa in entries:
+        by_address.setdefault(address, entry_name)
+        by_name.setdefault(entry_name, entry_name)
+
+    def resolve(addr: str) -> str:
+        return by_address.get(addr) or by_name.get(addr) or addr
+
+    for line_number, _address, entry_name, kind, fanout, _fanin, fanins \
+            in entries:
+        raw.declared_fanout[entry_name] = (fanout, line_number)
+        if kind == "inpt":
+            raw.inputs.append((entry_name, line_number))
+        elif kind == "from":
+            raw.gates.append(
+                RawGate(entry_name, "BUF", (resolve(fanins[0]),),
+                        line_number)
+            )
+        elif kind == "dff":
+            if fanins:
+                raw.flops.append(
+                    RawFlop(entry_name, resolve(fanins[0]), line_number)
+                )
+            elif findings is not None:
+                findings.add(
+                    "parse-error", ERROR,
+                    f"dff {entry_name!r} needs exactly one fanin",
+                    name, line_number, entry_name,
+                )
+        elif kind in _ISC_GATE_OPS:
+            raw.gates.append(
+                RawGate(
+                    entry_name,
+                    _ISC_GATE_OPS[kind],
+                    tuple(resolve(a) for a in fanins),
+                    line_number,
+                )
+            )
+        elif findings is not None:
+            findings.add(
+                "unknown-gate-type", ERROR,
+                f"unknown .isc entry type {kind!r} for {entry_name!r}",
+                name, line_number, entry_name,
+            )
+        # ISCAS convention: zero-fanout entries are primary outputs.
+        if kind != "from" and fanout == 0:
+            raw.outputs.append((entry_name, line_number))
+    return raw
+
+
+# ----------------------------------------------------------------------
+# Built-circuit front-end
+# ----------------------------------------------------------------------
+def raw_from_circuit(circuit: Circuit) -> RawNetlist:
+    """Derive a :class:`RawNetlist` from a validated circuit.
+
+    Source positions are unknown (0); the structural rules still apply
+    (a built circuit can legitimately carry floating nets, constant
+    cones or unobservable gates).
+    """
+    names = circuit.line_names
+    raw = RawNetlist(name=circuit.name, file=circuit.name)
+    raw.inputs = [(names[line], 0) for line in circuit.inputs]
+    raw.outputs = [(names[line], 0) for line in circuit.outputs]
+    raw.flops = [RawFlop(names[f.ps], names[f.ns], 0) for f in circuit.flops]
+    raw.gates = [
+        RawGate(
+            names[g.output],
+            g.gate_type.value,
+            tuple(names[line] for line in g.inputs),
+            0,
+        )
+        for g in circuit.gates
+    ]
+    return raw

@@ -13,10 +13,40 @@ The ``.bench`` dialect accepted here is the common one:
 
 from __future__ import annotations
 
+import logging
 import re
-from typing import List
+from typing import List, Optional
 
 from repro.circuit.netlist import Circuit, CircuitBuilder, CircuitError
+
+log = logging.getLogger("repro.circuit")
+
+
+def validate_netlist(
+    text: str, name: str, fmt: str, lint: Optional[str]
+) -> None:
+    """Optional lint validation shared by the ``.bench``/``.isc`` loaders.
+
+    *lint* is ``None`` (off, the default), ``"warn"`` (log every finding
+    through the ``repro.circuit`` logger) or ``"strict"`` (additionally
+    raise :class:`CircuitError` when any error-severity finding exists).
+    Imported lazily so plain parsing never pays for the analysis pass.
+    """
+    if lint is None:
+        return
+    if lint not in ("warn", "strict"):
+        raise ValueError(f"lint must be None, 'warn' or 'strict', got {lint!r}")
+    from repro.analysis.netlist_lint import lint_text
+
+    findings = lint_text(text, name, fmt=fmt)
+    for finding in findings:
+        log.warning("%s", finding.render())
+    errors = [f for f in findings if f.severity == "error"]
+    if lint == "strict" and errors:
+        raise CircuitError(
+            f"{name}: lint found {len(errors)} error(s); first: "
+            f"{errors[0].render()}"
+        )
 
 _DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^()=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(([^()]*)\)$")
@@ -103,10 +133,19 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
         raise CircuitError(f"{name}: {exc}") from None
 
 
-def load_bench(path: str, name: str = "") -> Circuit:
-    """Parse a ``.bench`` file from *path*."""
+def load_bench(
+    path: str, name: str = "", lint: Optional[str] = None
+) -> Circuit:
+    """Parse a ``.bench`` file from *path*.
+
+    *lint* optionally runs the netlist linter over the source first:
+    ``"warn"`` logs the findings, ``"strict"`` also raises
+    :class:`CircuitError` on any error-severity finding (with its file
+    and line position), before the parser's own diagnostics.
+    """
     with open(path) as handle:
         text = handle.read()
+    validate_netlist(text, name or path, "bench", lint)
     return parse_bench(text, name or path)
 
 

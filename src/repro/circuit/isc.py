@@ -210,10 +210,22 @@ def parse_isc(text: str, name: str = "isc") -> IscCircuit:
     return IscCircuit(circuit=circuit, faults=faults)
 
 
-def load_isc(path: str, name: str = "") -> IscCircuit:
-    """Parse a ``.isc`` file from *path*."""
+def load_isc(
+    path: str, name: str = "", lint: Optional[str] = None
+) -> IscCircuit:
+    """Parse a ``.isc`` file from *path*.
+
+    *lint* optionally runs the netlist linter over the source first:
+    ``"warn"`` logs the findings, ``"strict"`` also raises
+    :class:`CircuitError` on any error-severity finding (with its file
+    and line position), before the parser's own diagnostics.
+    """
+    from repro.circuit.bench import validate_netlist
+
     with open(path) as handle:
-        return parse_isc(handle.read(), name or path)
+        text = handle.read()
+    validate_netlist(text, name or path, "isc", lint)
+    return parse_isc(text, name or path)
 
 
 _TYPE_NAMES = {

@@ -11,6 +11,9 @@ Subcommands:
 * ``figures`` -- the worked examples (Figures 1-4, Table 1 analogue)
 * ``witness`` -- build and exhaustively verify a detection certificate
 * ``scan``    -- compare coverage against the full-scan DFT upper bound
+* ``lint``    -- static netlist checks (loops, floating nets, fanout
+  consistency, constant cones, unreachable/unobservable logic) over
+  ``.bench``/``.isc`` files or registered circuits
 
 External circuits are given as ``.bench`` files with ``--bench``;
 registered circuits by name with ``--circuit`` (see ``stats`` for the
@@ -53,6 +56,13 @@ either way.
 Diagnostics go through the ``repro`` stdlib logger (stderr): progress
 at INFO, ``--verbose`` adds DEBUG detail, ``--quiet`` keeps warnings
 and errors only.  Campaign results and reports stay on stdout.
+
+Static learning (``mot`` subcommand): ``--learning`` precomputes the
+circuit's indirect implications (:mod:`repro.analysis.learning`) and
+installs them as conflict checks on the backward-implication engine.
+Verdicts are bit-identical with and without it; infeasible probe
+branches just conflict earlier (``learning.hits`` /
+``learning.conflicts_early`` in the metrics snapshot).
 
 Exit codes: 0 success; 1 usage or input error (taxonomy:
 :class:`repro.errors.ReproError`), including crashed campaign workers
@@ -354,6 +364,7 @@ def _run_mot(args: argparse.Namespace) -> int:
                 n_states=args.n_states,
                 implication_mode=args.implication_mode,
                 backward_depth=args.depth,
+                learning=args.learning,
             ),
             good_cache=good_cache,
         )
@@ -518,6 +529,51 @@ def cmd_witness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static netlist checks over files and/or registered circuits.
+
+    Exit code 0 when nothing severe was found, 1 when any error-severity
+    finding (or, with ``--strict``, any finding at all) was reported.
+    """
+    from repro.analysis import lint_circuit, lint_path, sort_findings
+
+    rules = args.rules.split(",") if args.rules else None
+    findings = []
+    status = EXIT_OK
+    for target in args.targets:
+        try:
+            if target.endswith((".bench", ".isc")):
+                findings.extend(lint_path(target, rules=rules))
+            else:
+                findings.extend(
+                    lint_circuit(build_circuit(target), rules=rules)
+                )
+        except (OSError, KeyError, ValueError, ReproError) as exc:
+            # str(OSError) keeps the strerror; args[0] would be the errno.
+            if isinstance(exc, OSError):
+                message = str(exc)
+            else:
+                message = exc.args[0] if exc.args else str(exc)
+            log.error("error: cannot lint %s: %s", target, message)
+            status = EXIT_FAILURE
+    findings = sort_findings(findings)
+    if args.format == "json":
+        print(json.dumps([f.to_payload() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
+        print(
+            f"{len(findings)} finding(s): {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    severe = any(f.severity == "error" for f in findings)
+    if severe or (args.strict and findings):
+        return EXIT_FAILURE
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-motsim",
@@ -585,6 +641,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_mot.add_argument(
         "--depth", type=int, default=1,
         help="backward-implication depth in time units",
+    )
+    p_mot.add_argument(
+        "--learning", action="store_true",
+        help="precompute static indirect implications and install them "
+             "as conflict checks on the backward engine (verdicts are "
+             "identical; infeasible branches conflict earlier)",
     )
     p_mot.add_argument(
         "--list-mot", action="store_true",
@@ -735,6 +797,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("names", nargs="*", help="circuits (default subset)")
     p_scan.add_argument("--fault-cap", type=int, default=150)
     p_scan.set_defaults(func=cmd_scan)
+
+    p_lint = sub.add_parser(
+        "lint", help="static netlist checks (loops, floating nets, "
+                     "constant cones, unreachable logic)"
+    )
+    p_lint.add_argument(
+        "targets", nargs="+",
+        help=".bench/.isc files (by extension) or registered circuit "
+             "names",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (json is machine-readable)",
+    )
+    p_lint.add_argument(
+        "--rules", metavar="R1,R2,...",
+        help="comma-separated subset of rules to run (default all; see "
+             "repro.analysis.ALL_RULES)",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on warnings too, not just errors",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

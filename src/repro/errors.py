@@ -70,6 +70,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+#: The closed set of per-fault verdict statuses.  Every
+#: ``FaultVerdict.status`` the package constructs -- and every status
+#: string literal in library code -- must come from this tuple; the
+#: custom AST lint (``tools/repro_lint.py``, rule ``RL002``) enforces
+#: it so a typo'd status can never leak into reports or journals.
+VERDICT_STATUSES = (
+    "conv",        # detected by conventional simulation
+    "mot",         # detected by the MOT procedure
+    "dropped",     # failed the necessary condition (C)
+    "undetected",  # survived the full procedure
+    "aborted",     # the per-fault budget ran out
+    "errored",     # the simulation raised and was quarantined
+)
+
 
 class ReproError(Exception):
     """Base class for every deliberate error raised by this package."""

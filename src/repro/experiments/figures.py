@@ -9,7 +9,7 @@ asserts the counts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.circuits.library import fig4, s27
 from repro.faults.injection import inject_fault

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.circuits.registry import BenchmarkEntry, get_entry
 from repro.faults.collapse import collapse_faults

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.circuit.scan import scan_coverage_faults, scan_transform
-from repro.circuits.registry import benchmark_entries, get_entry
+from repro.circuits.registry import get_entry
 from repro.experiments.runner import sample_faults
 from repro.faults.collapse import collapse_faults
 from repro.fsim.conventional import run_conventional

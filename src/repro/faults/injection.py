@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.circuit.netlist import Circuit, Flop, Gate, Pin
+from repro.circuit.netlist import Circuit, Flop, Gate
 from repro.errors import FaultModelError
 from repro.faults.model import Fault
 from repro.logic.gates import GateType

@@ -25,13 +25,13 @@ detection *site* is not tracked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
 from repro.fsim.conventional import ConventionalCampaign, ConventionalVerdict
 from repro.logic.gates import GateType
-from repro.logic.values import ONE, UNKNOWN, ZERO
+from repro.logic.values import ONE, ZERO
 from repro.obs.metrics import get_metrics
 from repro.sim.sequential import simulate_sequence
 

@@ -24,7 +24,7 @@ raised only when no consistent completion exists.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.logic.gates import GateType
@@ -34,6 +34,11 @@ from repro.obs.metrics import get_metrics
 
 Assignment = Tuple[int, int]
 
+#: Learned-implication trigger map (see :mod:`repro.analysis.learning`):
+#: a ``(line, value)`` just specified maps to the ``(line, value)`` pairs
+#: whose *presence* in the frame contradicts a learned implication.
+LearnedChecks = Mapping[Assignment, Tuple[Assignment, ...]]
+
 
 class FrameEngine:
     """Reusable implication engine for one circuit.
@@ -41,10 +46,21 @@ class FrameEngine:
     The engine precomputes, for every line, the driving gate and the
     consuming gates, so each :meth:`imply` call touches only the affected
     cone.
+
+    When *learned* checks are installed (:meth:`set_learned`), every
+    newly specified value is additionally tested against the statically
+    learned indirect implications: a contradiction raises
+    :class:`~repro.logic.Conflict` immediately, before (or instead of)
+    the direct propagation discovering it.  Learned values are checked,
+    never assigned, so the recorded implication sets are identical with
+    and without learning.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(
+        self, circuit: Circuit, learned: Optional[LearnedChecks] = None
+    ) -> None:
         self.circuit = circuit
+        self.learned = learned if learned else None
         self._gate_types: List[GateType] = [g.gate_type for g in circuit.gates]
         self._gate_outputs: List[int] = [g.output for g in circuit.gates]
         self._gate_inputs: List[Tuple[int, ...]] = [g.inputs for g in circuit.gates]
@@ -59,6 +75,39 @@ class FrameEngine:
         self._reverse_topo = list(reversed(circuit.topo_gates))
 
     # ------------------------------------------------------------------
+    def set_learned(self, learned: Optional[LearnedChecks]) -> None:
+        """Install (or clear, with ``None``/empty) learned checks."""
+        self.learned = learned if learned else None
+
+    def _check_learned(
+        self, line: int, value: int, values: List[int]
+    ) -> None:
+        """Test the learned implications triggered by ``line = value``.
+
+        Only called when ``self.learned`` is installed.  Raises
+        :class:`Conflict` when the current frame values contradict a
+        learned implication -- which is sound because every installed
+        implication holds in the circuit being implied (fault masking is
+        the caller's responsibility, see
+        :meth:`repro.analysis.learning.ImplicationDB.for_fault`).
+        """
+        assert self.learned is not None
+        checks = self.learned.get((line, value))
+        if not checks:
+            return
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("learning.hits")
+        for other_line, other_value in checks:
+            if values[other_line] == other_value:
+                if metrics.enabled:
+                    metrics.counter("learning.conflicts_early")
+                names = self.circuit.line_names
+                raise Conflict(
+                    f"learned implication violated: {names[line]}={value} "
+                    f"with {names[other_line]}={other_value}"
+                )
+
     def _process_gate(
         self,
         gate_index: int,
@@ -83,6 +132,8 @@ class FrameEngine:
                 record.append((out_line, new_out))
             if queue is not None:
                 queue.append(out_line)
+            if self.learned is not None:
+                self._check_learned(out_line, new_out, values)
         for line, old, new in zip(in_lines, in_values, new_ins):
             if new != old:
                 values[line] = new
@@ -91,6 +142,8 @@ class FrameEngine:
                     record.append((line, new))
                 if queue is not None:
                     queue.append(line)
+                if self.learned is not None:
+                    self._check_learned(line, new, values)
         return changed
 
     def _seed(
@@ -107,6 +160,8 @@ class FrameEngine:
                 seeded.append(line)
                 if record is not None:
                     record.append((line, value))
+                if self.learned is not None:
+                    self._check_learned(line, value, values)
             elif current != value:
                 raise Conflict(
                     f"assignment {self.circuit.line_names[line]}={value} "

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.circuit.netlist import Circuit
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, VERDICT_STATUSES
 from repro.faults.injection import inject_fault
 from repro.faults.model import Fault
 from repro.mot.backward import BackwardCollector, detection_from_info
@@ -89,6 +89,13 @@ class MotConfig:
     implication_mode: str = "fixpoint"
     backward_depth: int = 1
     budget: Optional[FaultBudget] = None
+    #: Run the static learning pass (:mod:`repro.analysis.learning`) once
+    #: at construction and consult the learned indirect implications
+    #: during every backward probe.  Learned implications are applied as
+    #: conflict checks only, so campaign verdicts are unchanged; probes
+    #: on infeasible branches conflict earlier (``learning.hits`` /
+    #: ``learning.conflicts_early`` metrics) and expansion shrinks.
+    learning: bool = False
     #: When the backward-driven expansion fails to resolve every sequence,
     #: retry once with the forward trial-gain selection of [4] (the
     #: proposed tool subsumes the [4] expansion, so its detections are a
@@ -136,6 +143,13 @@ class FaultVerdict:
     num_sequences: int = 0
     num_expansions: int = 0
     detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in VERDICT_STATUSES:
+            raise ValueError(
+                f"unknown verdict status {self.status!r}; must be one of "
+                f"{VERDICT_STATUSES}"
+            )
 
     @property
     def detected(self) -> bool:
@@ -246,6 +260,22 @@ class ProposedSimulator:
         else:
             self.reference_outputs = self.reference.outputs
         self._fallback = None  # lazily built [4]-style expander
+        self.implication_db = None
+        if self.config.learning:
+            # Imported here: repro.analysis imports repro.mot.implication.
+            from repro.analysis.learning import learn_circuit
+
+            # Learning always uses the complete fixpoint propagation,
+            # regardless of the runtime schedule: the pass is offline, so
+            # thoroughness is free, and under the paper's bounded two-pass
+            # schedule the fixpoint-learned implications recover exactly
+            # the conflicts the two sweeps miss.
+            with metrics.phase("learning"):
+                self.implication_db = learn_circuit(circuit)
+            if metrics.enabled:
+                metrics.counter(
+                    "learning.implications", len(self.implication_db)
+                )
 
     # ------------------------------------------------------------------
     def simulate_fault(
@@ -319,6 +349,11 @@ class ProposedSimulator:
             profile,
             mode=self.config.implication_mode,
             depth=self.config.backward_depth,
+            learned=(
+                self.implication_db.for_fault(injected)
+                if self.implication_db is not None
+                else None
+            ),
         )
         with metrics.phase("backward"):
             info = collector.collect()

@@ -42,7 +42,7 @@ from repro.faults.model import Fault
 from repro.logic.values import UNKNOWN
 from repro.mot.backward import BackwardCollector
 from repro.mot.conditions import mot_profile
-from repro.mot.expansion import StateSequence, expand
+from repro.mot.expansion import expand
 from repro.mot.resimulate import SequenceStatus, resimulate_sequence
 from repro.mot.simulator import MotConfig
 from repro.sim.sequential import (

@@ -40,7 +40,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, ContextManager, Dict, Iterable, Iterator, Optional
 
 __all__ = [
     "MetricsSnapshot",
@@ -198,10 +198,10 @@ class _NullPhase:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullPhase":
         return self
 
-    def __exit__(self, *_exc):
+    def __exit__(self, *_exc: object) -> bool:
         return False
 
 
@@ -228,7 +228,7 @@ class NullMetrics:
     def observe(self, name: str, value: float) -> None:
         pass
 
-    def phase(self, name: str):
+    def phase(self, name: str) -> ContextManager[Any]:
         return _NULL_PHASE
 
     def time_phase(self, name: str, seconds: float, count: int = 1) -> None:
@@ -291,7 +291,7 @@ class RecordingMetrics(NullMetrics):
             data["buckets"][bucket] = data["buckets"].get(bucket, 0) + 1
 
     @contextmanager
-    def phase(self, name: str):
+    def phase(self, name: str) -> Iterator["RecordingMetrics"]:
         started = time.perf_counter()
         try:
             yield self

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 Row = Dict[str, object]
 

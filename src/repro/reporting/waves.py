@@ -16,7 +16,7 @@ sequences hold opposite specified values are marked on a conflict rail.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.circuit.netlist import Circuit
 from repro.logic.values import UNKNOWN, value_to_char

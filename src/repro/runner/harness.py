@@ -40,7 +40,7 @@ import traceback
 from dataclasses import asdict, dataclass, is_dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import BudgetExceeded, CampaignInterrupted, JournalError
+from repro.errors import BudgetExceeded, CampaignInterrupted
 from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
 from repro.obs.metrics import get_metrics

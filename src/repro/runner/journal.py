@@ -41,7 +41,7 @@ import hashlib
 import json
 import os
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.circuit.netlist import Pin
 from repro.errors import JournalError

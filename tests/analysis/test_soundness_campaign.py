@@ -1,0 +1,67 @@
+"""Campaign-level soundness: --learning must never change a verdict."""
+
+import os
+
+from repro.circuit.bench import load_bench
+from repro.faults.collapse import collapse_faults
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.obs.metrics import RecordingMetrics, set_metrics
+from repro.patterns.random_gen import random_patterns
+
+CIRCUITS = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "circuits",
+)
+
+
+def run_campaign(bench, length, seed, n_states, learning):
+    circuit = load_bench(os.path.join(CIRCUITS, bench))
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(circuit.num_inputs, length, seed=seed)
+    registry = RecordingMetrics()
+    previous = set_metrics(registry)
+    try:
+        simulator = ProposedSimulator(
+            circuit,
+            patterns,
+            MotConfig(
+                n_states=n_states,
+                implication_mode="two_pass",
+                learning=learning,
+            ),
+        )
+        campaign = simulator.run(faults)
+    finally:
+        set_metrics(previous)
+    verdicts = [
+        (verdict.fault.describe(circuit), verdict.status, verdict.how)
+        for verdict in campaign.verdicts
+    ]
+    return verdicts, registry.snapshot().counters
+
+
+def test_learning_preserves_verdicts_while_firing():
+    off, _ = run_campaign("learned_pair.bench", 4, 1, 64, learning=False)
+    on, counters = run_campaign("learned_pair.bench", 4, 1, 64, learning=True)
+    assert on == off
+    assert counters["learning.conflicts_early"] > 0
+    assert counters["learning.implications"] > 0
+
+
+def test_learning_strictly_reduces_expansion_branches():
+    # With the expansion ceiling unsaturated (n_states far above the
+    # candidate-pair pool), every branch a learned conflict closes is a
+    # phase-2 selection that no longer happens.
+    off, coff = run_campaign(
+        "learned_demo.bench", 3, 2, 1 << 14, learning=False
+    )
+    on, con = run_campaign(
+        "learned_demo.bench", 3, 2, 1 << 14, learning=True
+    )
+    assert on == off
+    assert con["learning.conflicts_early"] > 0
+    assert con["mot.expansion.branches"] < coff["mot.expansion.branches"]
+
+
+def test_learning_off_records_no_learning_metrics():
+    _, counters = run_campaign("learned_pair.bench", 4, 1, 64, learning=False)
+    assert not any(name.startswith("learning.") for name in counters)

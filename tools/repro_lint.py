@@ -1,0 +1,306 @@
+#!/usr/bin/env python
+"""Project-specific AST lint for the repro package.
+
+Four rules, each encoding a convention the generic linters cannot see:
+
+``RL001`` -- no ``print()`` in library code.  Results belong on stdout
+    only in the CLI (``src/repro/cli.py``); everything else reports
+    through the ``repro`` logger or return values, so importing the
+    package never writes to the terminal.
+
+``RL002`` -- verdict status strings come from the taxonomy.  Every
+    literal passed as a ``FaultVerdict`` status or compared against a
+    ``.status`` attribute must be one of
+    :data:`repro.errors.VERDICT_STATUSES`; a typo'd status would
+    otherwise flow silently into reports and checkpoint journals.
+
+``RL003`` -- metric names come from the declared registry.  Literal
+    (or f-string prefixed) names in ``metrics.counter(...)`` /
+    ``.observe(...)`` / ``.phase(...)`` calls must be declared in
+    :mod:`repro.obs.names`; a typo'd name would record under a key no
+    dashboard or CI assertion reads.  Only calls whose receiver is a
+    metrics registry (``metrics`` / ``get_metrics()``) are checked, so
+    unrelated ``counter`` methods (e.g. the circuit-builder kit) pass.
+
+``RL004`` -- no unused imports (``__init__.py`` re-export modules are
+    exempt).
+
+Usage::
+
+    python tools/repro_lint.py [PATH ...] [--format text|json]
+
+Paths default to ``src/repro``.  Exit code 1 when findings exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from typing import Iterator, List, Optional, Tuple
+
+_TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_TOOL_DIR)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.errors import VERDICT_STATUSES  # noqa: E402
+from repro.obs.names import METRIC_PREFIXES, is_declared  # noqa: E402
+
+#: Files where RL001 does not apply (stdout is their job).
+_PRINT_ALLOWED = {os.path.join("repro", "cli.py")}
+#: Metric-recording method names checked by RL003.
+_METRIC_METHODS = {"counter", "observe", "phase"}
+#: Receiver names accepted as a metrics registry for RL003.
+_METRIC_RECEIVERS = {"metrics", "get_metrics"}
+
+
+class Problem:
+    def __init__(self, rule: str, file: str, line: int, message: str) -> None:
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.message = message
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def _is_metrics_receiver(node: ast.expr) -> bool:
+    """True for ``metrics.X`` / ``get_metrics().X`` receivers."""
+    if isinstance(node, ast.Name):
+        return node.id in _METRIC_RECEIVERS
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _METRIC_RECEIVERS
+    return False
+
+
+def _metric_name_literal(node: ast.expr) -> Tuple[Optional[str], bool]:
+    """Extract (name, is_prefix_only) from a metric-name argument.
+
+    A plain string constant yields the full name; an f-string yields its
+    leading constant prefix with ``is_prefix_only=True``; anything else
+    yields ``(None, False)`` and is not checked.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value, True
+    return None, False
+
+
+def _status_literals(node: ast.expr) -> Iterator[ast.Constant]:
+    """String constants inside a value compared against ``.status``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        yield node
+    elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                yield element
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, rel_path: str, init_file: bool) -> None:
+        self.rel_path = rel_path
+        self.init_file = init_file
+        self.problems: List[Problem] = []
+        self.imports: List[Tuple[str, int]] = []  # (bound name, line)
+        self.used_names: set = set()
+
+    def problem(self, rule: str, line: int, message: str) -> None:
+        self.problems.append(Problem(rule, self.rel_path, line, message))
+
+    # -- RL001 / RL002 / RL003 are all call- or compare-shaped ---------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "print"
+            and not any(self.rel_path.endswith(a) for a in _PRINT_ALLOWED)
+        ):
+            self.problem(
+                "RL001", node.lineno,
+                "print() in library code; use the 'repro' logger or "
+                "return the text (stdout belongs to the CLI)",
+            )
+        if isinstance(func, ast.Name) and func.id == "FaultVerdict":
+            status_arg: Optional[ast.expr] = None
+            if len(node.args) >= 2:
+                status_arg = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "status":
+                    status_arg = keyword.value
+            if isinstance(status_arg, ast.Constant) and isinstance(
+                status_arg.value, str
+            ):
+                self._check_status(status_arg)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _METRIC_METHODS
+            and _is_metrics_receiver(func.value)
+            and node.args
+        ):
+            name, prefix_only = _metric_name_literal(node.args[0])
+            if name is not None:
+                self._check_metric_name(node.args[0], name, prefix_only)
+        self.generic_visit(node)
+
+    def _check_status(self, literal: ast.Constant) -> None:
+        if literal.value not in VERDICT_STATUSES:
+            self.problem(
+                "RL002", literal.lineno,
+                f"verdict status {literal.value!r} is not in "
+                "repro.errors.VERDICT_STATUSES",
+            )
+
+    def _check_metric_name(
+        self, node: ast.expr, name: str, prefix_only: bool
+    ) -> None:
+        if prefix_only:
+            if not any(name.startswith(p) for p in METRIC_PREFIXES):
+                self.problem(
+                    "RL003", node.lineno,
+                    f"dynamic metric name prefix {name!r} is not a "
+                    "declared family in repro.obs.names.METRIC_PREFIXES",
+                )
+        elif not is_declared(name):
+            self.problem(
+                "RL003", node.lineno,
+                f"metric name {name!r} is not declared in "
+                "repro.obs.names.METRIC_NAMES",
+            )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # <expr>.status == "x" / != / in ("x", ...), either operand order.
+        operands = [node.left, *node.comparators]
+        involves_status = any(
+            isinstance(op, ast.Attribute) and op.attr == "status"
+            for op in operands
+        )
+        if involves_status:
+            for operand in operands:
+                for literal in _status_literals(operand):
+                    self._check_status(literal)
+        self.generic_visit(node)
+
+    # -- RL004 ----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            self.imports.append((bound, node.lineno))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            self.imports.append((bound, node.lineno))
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used_names.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # `a.b.c` marks `a` used via its Name node; nothing extra needed,
+        # but visit children so nested names register.
+        self.generic_visit(node)
+
+    def finish(self, tree: ast.Module) -> None:
+        if self.init_file:
+            return  # __init__.py files import for re-export
+        exported = set()
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets
+                )
+                and isinstance(stmt.value, (ast.List, ast.Tuple))
+            ):
+                for element in stmt.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        exported.add(element.value)
+        for bound, line in self.imports:
+            if bound not in self.used_names and bound not in exported:
+                self.problem(
+                    "RL004", line, f"import {bound!r} is unused"
+                )
+
+
+def check_file(path: str, rel_path: str) -> List[Problem]:
+    with open(path) as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Problem(
+                "RL000", rel_path, exc.lineno or 0,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    checker = _Checker(rel_path, os.path.basename(path) == "__init__.py")
+    checker.visit(tree)
+    checker.finish(tree)
+    return checker.problems
+
+
+def iter_python_files(target: str) -> Iterator[str]:
+    if os.path.isfile(target):
+        yield target
+        return
+    for dirpath, dirnames, filenames in os.walk(target):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", default=[os.path.join("src", "repro")],
+        help="files or directories to check (default src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    args = parser.parse_args(argv)
+    problems: List[Problem] = []
+    for target in args.paths:
+        for path in iter_python_files(target):
+            rel = os.path.relpath(path, _REPO_ROOT)
+            if rel.startswith(".."):
+                rel = path
+            problems.extend(check_file(path, rel))
+    problems.sort(key=lambda p: (p.file, p.line, p.rule))
+    if args.format == "json":
+        print(json.dumps([p.to_payload() for p in problems], indent=2))
+    else:
+        for problem in problems:
+            print(problem.render())
+        print(f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
