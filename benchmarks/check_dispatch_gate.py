@@ -1,0 +1,168 @@
+"""Lease dispatch guard (CI gate, plain script -- no pytest).
+
+Static sharding decides who simulates which fault before the first
+verdict lands, so a skewed workload concentrates the slow faults on one
+worker while the others idle.  Lease-based dispatch hands out small
+chunks on demand, which is its whole reason to exist -- and this script
+keeps that claim honest on the standard s27 MOT campaign:
+
+1. **Skewed workload** -- ``REPRO_CHAOS_FAULT_DELAY_MS`` injects a
+   per-fault delay on every even fault index.  Round-robin static
+   sharding with two workers puts *all* slow faults in shard 0 (the
+   worst case the strategy can hit on real workloads); lease dispatch
+   spreads them across both hosts as chunks drain.
+2. **Wall-clock bound** -- the distributed run (two local pseudo-hosts
+   over the subprocess transport) must finish in at most
+   ``--threshold`` (default 0.85) of the static-sharded wall-clock.
+3. **No duplicates, identical verdicts** -- the dispatch journal must
+   hold exactly one verdict per fault index even though leases expire
+   and are reassigned under the skew, and the merged campaign must be
+   bit-identical to the static run's.
+
+Exit status 0 when all three hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.circuits.registry import build_circuit
+from repro.faults.collapse import collapse_faults
+from repro.mot.simulator import ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+from repro.runner.chaos import CHAOS_FAULT_DELAY_ENV
+from repro.runner.dispatch import DispatchConfig, DistributedCampaignRunner
+from repro.runner.journal import record_checksum_ok
+from repro.runner.parallel import ParallelCampaignRunner, ParallelConfig
+from repro.runner.transport import SubprocessTransport
+
+
+def _workload():
+    circuit = build_circuit("s27")
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(4, 16, seed=1)
+    return circuit, faults, patterns
+
+
+def _skew(num_faults: int, delay_ms: int, straggler_ms: int) -> str:
+    """Even indices slow (round-robin with 2 shards gets them all),
+    plus one odd-indexed straggler fault to provoke work stealing and
+    duplicate-verdict dedup in the dispatch run."""
+    delays = {str(i): delay_ms for i in range(0, num_faults, 2)}
+    delays["1"] = straggler_ms
+    return json.dumps(delays)
+
+
+def _signature(campaign):
+    return [
+        (v.fault.line, v.fault.stuck_at, v.fault.pin, v.status, v.how)
+        for v in campaign.verdicts
+    ]
+
+
+def run_static(circuit, faults, patterns):
+    runner = ParallelCampaignRunner(
+        ProposedSimulator(circuit, patterns),
+        ParallelConfig(workers=2, shard_strategy="round_robin"),
+    )
+    started = time.perf_counter()
+    campaign = runner.run(faults)
+    return time.perf_counter() - started, campaign
+
+
+def run_dispatch(circuit, faults, patterns, journal_path):
+    runner = DistributedCampaignRunner(
+        ProposedSimulator(circuit, patterns),
+        ["alpha", "beta"],
+        SubprocessTransport(),
+        DispatchConfig(checkpoint_path=journal_path, chunk_size=2),
+    )
+    started = time.perf_counter()
+    campaign = runner.run(faults)
+    return time.perf_counter() - started, campaign, runner.stats
+
+
+def journal_verdict_indices(path):
+    indices = []
+    with open(path) as handle:
+        for line in handle:
+            record = json.loads(line)
+            if not record_checksum_ok(record):
+                raise AssertionError(f"corrupt journal record: {line[:80]}")
+            if record.get("kind") == "verdict":
+                indices.append(record["index"])
+    return indices
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--delay-ms", type=int, default=400,
+        help="injected delay per even-indexed fault (default 400)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.85,
+        help="dispatch wall-clock must be <= threshold * static "
+             "(default 0.85)",
+    )
+    parser.add_argument(
+        "--journal", default="dispatch_gate.jsonl",
+        help="where the dispatch journal is written",
+    )
+    parser.add_argument(
+        "--straggler-ms", type=int, default=1500,
+        help="injected delay on fault index 1 (default 1500)",
+    )
+    args = parser.parse_args(argv)
+
+    circuit, faults, patterns = _workload()
+    os.environ[CHAOS_FAULT_DELAY_ENV] = _skew(
+        len(faults), args.delay_ms, args.straggler_ms
+    )
+    try:
+        static_s, static_campaign = run_static(circuit, faults, patterns)
+        dispatch_s, dispatch_campaign, stats = run_dispatch(
+            circuit, faults, patterns, args.journal
+        )
+    finally:
+        del os.environ[CHAOS_FAULT_DELAY_ENV]
+
+    ratio = dispatch_s / static_s if static_s else float("inf")
+    print(f"static sharding (round_robin, 2 workers): {static_s:6.2f} s")
+    print(f"lease dispatch  (2 hosts, chunk_size 2) : {dispatch_s:6.2f} s")
+    print(f"ratio: {ratio:.2f} (threshold {args.threshold:.2f})")
+    print(
+        f"leases granted {stats.leases_granted}, "
+        f"expired {stats.leases_expired}, stolen {stats.leases_stolen}, "
+        f"duplicates dropped {stats.duplicates}"
+    )
+
+    failures = []
+    if _signature(dispatch_campaign) != _signature(static_campaign):
+        failures.append("dispatch verdicts differ from static sharding")
+    indices = journal_verdict_indices(args.journal)
+    if sorted(indices) != list(range(len(faults))):
+        failures.append(
+            f"journal does not hold exactly one verdict per fault: "
+            f"{len(indices)} records, {len(set(indices))} unique, "
+            f"{len(faults)} faults"
+        )
+    if ratio > args.threshold:
+        failures.append(
+            f"dispatch did not beat static sharding: ratio {ratio:.2f} "
+            f"> {args.threshold:.2f}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("ok: no duplicates, identical verdicts, "
+              "and dispatch beat static sharding")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

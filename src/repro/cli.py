@@ -14,6 +14,8 @@ Subcommands:
 * ``lint``    -- static netlist checks (loops, floating nets, fanout
   consistency, constant cones, unreachable/unobservable logic) over
   ``.bench``/``.isc`` files or registered circuits
+* ``worker``  -- distributed campaign worker (launched by a transport;
+  speaks newline-JSON on stdin/stdout, not for interactive use)
 
 External circuits are given as ``.bench`` files with ``--bench``;
 registered circuits by name with ``--circuit`` (see ``stats`` for the
@@ -40,6 +42,18 @@ retries run out the residue is finished serially unless
 ``--no-degrade`` is given.  ``--no-supervise`` restores the bare
 sharded runner (first worker death fails the run with a ``--resume``
 hint).
+
+Distributed campaigns (``mot`` subcommand): ``--hosts A,B,...`` runs
+the fault list over named (pseudo-)hosts through the lease-based
+dispatcher (:mod:`repro.runner.dispatch`) -- workers pull small chunk
+leases, a silent lease expires and its faults are reassigned, idle
+hosts steal from stragglers, and duplicated executions are deduplicated
+through the journal so verdicts stay bit-identical to a serial run.
+``--transport local`` (default) launches ``repro worker`` subprocesses;
+``--transport command --command-template 'ssh {host} repro worker
+--host {host}'`` launches workers through any command (SSH, container
+exec).  Supervised distributed runs degrade gracefully: distributed ->
+local-parallel -> serial, resuming from the same journal at each rung.
 
 Observability (``mot`` subcommand): ``--metrics-out FILE`` enables the
 metrics registry (:mod:`repro.obs`) for the campaign and writes the
@@ -84,6 +98,7 @@ from typing import List, Optional
 from repro.circuit.bench import load_bench
 from repro.errors import (
     CampaignInterrupted,
+    DistributedFailed,
     ReproError,
     RetryExhausted,
     WorkerCrashed,
@@ -369,7 +384,52 @@ def _run_mot(args: argparse.Namespace) -> int:
             good_cache=good_cache,
         )
         label = "proposed procedure"
-    if args.workers > 1:
+    if args.hosts:
+        from repro.runner.dispatch import (
+            DispatchConfig,
+            DistributedCampaignRunner,
+        )
+        from repro.runner.transport import make_transport
+
+        hosts = [h for h in args.hosts.split(",") if h.strip()]
+        transport = make_transport(args.transport, args.command_template)
+        dispatch_config = DispatchConfig(
+            chunk_size=args.chunk_size,
+            lease_timeout=args.lease_timeout,
+            host_blacklist_after=args.host_blacklist_after,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            budget=_mot_budget(args),
+        )
+        if args.no_supervise:
+            runner = DistributedCampaignRunner(
+                simulator, hosts, transport, dispatch_config
+            )
+        else:
+            runner = SupervisedCampaignRunner(
+                simulator,
+                ParallelConfig(
+                    workers=max(args.workers, 1),
+                    budget=_mot_budget(args),
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume,
+                    fail_fast=args.fail_fast,
+                ),
+                SupervisorConfig(
+                    retry=RetryPolicy(max_retries=args.max_retries),
+                    allow_degraded=not args.no_degrade,
+                ),
+                hosts=hosts,
+                transport=transport,
+                dispatch=dispatch_config,
+            )
+        label += (
+            f", {len(hosts)} hosts over {args.transport} transport"
+            f" ({'unsupervised' if args.no_supervise else 'supervised'})"
+        )
+    elif args.workers > 1:
         parallel_config = ParallelConfig(
             workers=args.workers,
             shard_strategy=args.shard_strategy,
@@ -527,6 +587,20 @@ def cmd_witness(args: argparse.Namespace) -> int:
         return 0 if verified else 1
     print("(circuit too large for exhaustive verification)")
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Serve fault chunks over the distributed worker protocol.
+
+    Not meant for interactive use: a dispatcher
+    (:mod:`repro.runner.dispatch`) launches this subcommand through a
+    :class:`~repro.runner.transport.Transport` and speaks newline-JSON
+    over stdin/stdout.  Everything interesting lives in
+    :func:`repro.runner.transport.worker_main`.
+    """
+    from repro.runner.transport import worker_main
+
+    return worker_main(args.host)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -702,6 +776,40 @@ def build_parser() -> argparse.ArgumentParser:
              "cost estimate)",
     )
     p_mot.add_argument(
+        "--hosts", metavar="A,B,...",
+        help="run the campaign distributed over these (pseudo-)host "
+             "names via lease-based chunk dispatch; a lost host's "
+             "leases are reassigned and verdicts stay identical to a "
+             "serial run",
+    )
+    p_mot.add_argument(
+        "--transport", choices=("local", "command"), default="local",
+        help="how workers are launched per host: local subprocesses "
+             "(default) or an arbitrary --command-template",
+    )
+    p_mot.add_argument(
+        "--command-template", metavar="CMD",
+        help="worker launch command with a {host} placeholder, e.g. "
+             "'ssh {host} repro worker --host {host}' (required for "
+             "--transport command)",
+    )
+    p_mot.add_argument(
+        "--chunk-size", type=_positive_int, default=4, metavar="N",
+        help="faults per lease chunk in distributed runs",
+    )
+    p_mot.add_argument(
+        "--lease-timeout", type=_positive_float, default=60.0,
+        metavar="SECONDS",
+        help="seconds a lease may go without progress before its "
+             "faults are reassigned to another host",
+    )
+    p_mot.add_argument(
+        "--host-blacklist-after", type=_positive_int, default=2,
+        metavar="N",
+        help="host failures tolerated before the host is blacklisted "
+             "for the rest of the campaign",
+    )
+    p_mot.add_argument(
         "--max-retries", type=_nonnegative_int, default=3, metavar="N",
         help="supervised runs: relaunch dead workers up to N times "
              "with exponential backoff before degrading (0 disables "
@@ -798,6 +906,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("--fault-cap", type=int, default=150)
     p_scan.set_defaults(func=cmd_scan)
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve fault chunks over the distributed worker protocol "
+             "(launched by a transport; speaks JSON on stdin/stdout)",
+    )
+    p_worker.add_argument(
+        "--host", default="local",
+        help="(pseudo-)host name this worker identifies as",
+    )
+    p_worker.set_defaults(func=cmd_worker)
+
     p_lint = sub.add_parser(
         "lint", help="static netlist checks (loops, floating nets, "
                      "constant cones, unreachable logic)"
@@ -837,7 +956,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "resume with: --checkpoint %s --resume", exc.journal_path
             )
         return EXIT_INTERRUPTED
-    except (RetryExhausted, WorkerCrashed) as exc:
+    except (RetryExhausted, WorkerCrashed, DistributedFailed) as exc:
         log.error("error: %s", exc)
         if exc.journal_path:
             log.error(

@@ -61,6 +61,17 @@ drivers) can distinguish *our* diagnostics from genuine bugs with one
     deadline) with faults still unsimulated, and graceful degradation
     to a serial run was disabled (:mod:`repro.runner.supervisor`).
 
+``TransportError``
+    A distributed-campaign worker could not be launched, or violated
+    the newline-JSON worker protocol (:mod:`repro.runner.transport`).
+
+``DistributedFailed``
+    A distributed campaign ran out of usable hosts (all dead or
+    blacklisted) with faults still unsimulated
+    (:mod:`repro.runner.dispatch`).  Journaled verdicts were flushed
+    first, so the run can be completed with ``--resume`` -- or
+    automatically by the supervisor, which degrades to local workers.
+
 This module is intentionally a leaf (stdlib imports only): ``circuit``,
 ``faults``, ``mot`` and ``runner`` all import from it without cycles.
 """
@@ -278,6 +289,71 @@ class PoisonFault(ReproError):
             f"fault index {index} kills its worker ({reason}; implicated "
             f"in {implicated} worker death(s)) and poison isolation is "
             f"disabled"
+        )
+
+
+class TransportError(ReproError):
+    """Raised when a distributed worker cannot be launched or breaks
+    the worker protocol.
+
+    Attributes
+    ----------
+    host:
+        Host label the worker was assigned to (``""`` when unknown).
+    detail:
+        What went wrong (spawn failure, handshake timeout, protocol
+        violation).
+    """
+
+    def __init__(self, host: str, detail: str) -> None:
+        self.host = host
+        self.detail = detail
+        where = f" on host {host!r}" if host else ""
+        super().__init__(f"worker transport failure{where}: {detail}")
+
+
+class DistributedFailed(ReproError):
+    """Raised when a distributed campaign runs out of usable hosts.
+
+    Every verdict received before the failure was durably journaled, so
+    a checkpointed run can be completed with ``--resume`` -- or
+    automatically by the supervisor, which catches this error and
+    degrades to the local parallel runner.
+
+    Attributes
+    ----------
+    completed:
+        Verdicts durably journaled before the failure.
+    remaining:
+        Faults still missing a verdict.
+    journal_path:
+        Checkpoint journal holding the completed verdicts (``None``
+        when checkpointing was off -- the partial results are lost).
+    blacklisted:
+        Host labels excluded after repeated failures.
+    """
+
+    def __init__(
+        self,
+        completed: int,
+        remaining: int,
+        journal_path: "str | None" = None,
+        blacklisted: "list[str] | None" = None,
+    ) -> None:
+        self.completed = completed
+        self.remaining = remaining
+        self.journal_path = journal_path
+        self.blacklisted = list(blacklisted or [])
+        where = f"; journal: {journal_path}" if journal_path else ""
+        banned = (
+            f" (blacklisted hosts: {', '.join(self.blacklisted)})"
+            if self.blacklisted
+            else ""
+        )
+        super().__init__(
+            f"distributed campaign out of usable hosts{banned}: "
+            f"{completed} verdicts recovered, {remaining} faults "
+            f"unsimulated{where}"
         )
 
 

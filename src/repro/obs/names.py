@@ -31,6 +31,16 @@ METRIC_NAMES = frozenset(
         "campaign.fault_ms",
         "campaign.verdict.errored",
         "supervisor.poisoned",
+        # Distributed dispatch (repro.runner.dispatch / transport).
+        "dispatch.duplicates",
+        "dispatch.lease.expired",
+        "dispatch.lease.granted",
+        "dispatch.lease.stolen",
+        "host.blacklisted",
+        "host.failures",
+        "journal.corrupt_lines",
+        "supervision.log.corrupt_lines",
+        "worker.chunks",
         # Conventional / parallel / deductive fault simulation.
         "fsim.conventional.detected",
         "fsim.conventional.faults",

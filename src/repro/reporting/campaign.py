@@ -208,9 +208,17 @@ def render_supervision_report(stats) -> str:
     supervision never had to intervene, so callers can print the result
     unconditionally.
     """
+    host_failures = getattr(stats, "host_failures", None) or {}
+    blacklisted = getattr(stats, "blacklisted_hosts", None) or []
+    distributed_failed = getattr(stats, "distributed_failed", False)
+    distributed = getattr(stats, "distributed", None)
     interventions = (
         stats.retries or stats.stalls or stats.probes
         or stats.poisoned or stats.degraded
+        or host_failures or blacklisted or distributed_failed
+        or (distributed is not None
+            and (distributed.leases_expired or distributed.leases_stolen
+                 or distributed.duplicates or distributed.relaunches))
     )
     if not interventions:
         return ""
@@ -218,6 +226,39 @@ def render_supervision_report(stats) -> str:
         f"  supervision: {stats.attempts} attempt(s), "
         f"{stats.retries} retr{'y' if stats.retries == 1 else 'ies'}"
     ]
+    if distributed is not None:
+        if distributed.leases_expired:
+            lines.append(
+                f"    leases expired/reassigned: "
+                f"{distributed.leases_expired}"
+            )
+        if distributed.leases_stolen:
+            lines.append(
+                f"    straggler leases stolen  : "
+                f"{distributed.leases_stolen}"
+            )
+        if distributed.duplicates:
+            lines.append(
+                f"    duplicate verdicts dropped: "
+                f"{distributed.duplicates}"
+            )
+        if distributed.relaunches:
+            lines.append(
+                f"    host workers relaunched  : {distributed.relaunches}"
+            )
+    if host_failures:
+        detail = ", ".join(
+            f"{host} x{count}" for host, count in sorted(host_failures.items())
+        )
+        lines.append(f"    host failures            : {detail}")
+    if blacklisted:
+        lines.append(
+            f"    hosts blacklisted        : {', '.join(blacklisted)}"
+        )
+    if distributed_failed:
+        lines.append(
+            "    distributed rung failed; degraded to local execution"
+        )
     if stats.stalls:
         lines.append(
             f"    stalled workers recycled : {stats.stalls}"

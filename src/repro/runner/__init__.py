@@ -8,7 +8,9 @@ Public surface:
 * :mod:`repro.runner.harness` -- the resilient campaign harness;
 * :mod:`repro.runner.parallel` -- sharded multi-process campaigns;
 * :mod:`repro.runner.retry` -- retry policy (backoff, jitter, deadline);
-* :mod:`repro.runner.supervisor` -- self-healing campaign supervision.
+* :mod:`repro.runner.supervisor` -- self-healing campaign supervision;
+* :mod:`repro.runner.transport` -- transport-agnostic worker protocol;
+* :mod:`repro.runner.dispatch` -- lease-based distributed dispatcher.
 
 Submodules are loaded lazily (PEP 562): the simulators in ``repro.mot``
 import :mod:`repro.runner.budget` while :mod:`repro.runner.harness`
@@ -32,6 +34,8 @@ _EXPORTS = {
     "WorkerStalled": "errors",
     "PoisonFault": "errors",
     "RetryExhausted": "errors",
+    "TransportError": "errors",
+    "DistributedFailed": "errors",
     # budget
     "FaultBudget": "budget",
     "BudgetMeter": "budget",
@@ -62,6 +66,20 @@ _EXPORTS = {
     "SupervisorConfig": "supervisor",
     "SupervisorStats": "supervisor",
     "run_supervised_campaign": "supervisor",
+    # transport
+    "PROTOCOL_VERSION": "transport",
+    "WorkloadSpec": "transport",
+    "Transport": "transport",
+    "SubprocessTransport": "transport",
+    "CommandTransport": "transport",
+    "WorkerHandle": "transport",
+    "make_transport": "transport",
+    "worker_main": "transport",
+    # dispatch
+    "DispatchConfig": "dispatch",
+    "DispatchStats": "dispatch",
+    "LeaseBook": "dispatch",
+    "DistributedCampaignRunner": "dispatch",
 }
 
 __all__ = list(_EXPORTS)

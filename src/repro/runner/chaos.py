@@ -20,21 +20,55 @@ and must end as an ``errored``/``poison`` verdict.
 The hook costs one ``os.environ`` lookup per fault when unset and is a
 no-op outside tests.  It lives in its own module so nothing here is
 imported unless the harness actually runs a campaign.
+
+**Distributed chaos.**  The distributed smoke tests additionally need
+host-level failures and schedule skew:
+
+* ``REPRO_CHAOS_KILL_HOST`` names a pseudo-host; a ``repro worker``
+  process serving that host hard-exits after finishing its Nth chunk
+  (``REPRO_CHAOS_KILL_HOST_AFTER``, default 1).
+  ``REPRO_CHAOS_KILL_HOST_MARKER`` makes the death one-shot exactly
+  like the per-fault marker, so the dispatcher's reassignment path --
+  not an infinite kill loop -- is what gets exercised.
+* ``REPRO_CHAOS_LEASE_DELAY_MS`` stalls a worker before it starts each
+  chunk (``"<host>:<ms>"`` to stall one host, bare ``"<ms>"`` for all),
+  forcing lease deadlines to expire while the worker is still alive --
+  the straggler/work-stealing scenario.
+* ``REPRO_CHAOS_FAULT_DELAY_MS`` sleeps before simulating specific
+  faults: a JSON object mapping global fault indices to milliseconds
+  (key ``"*"`` is the default for unlisted faults).  The dispatch
+  benchmark uses it to build deterministically skewed workloads.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 __all__ = [
     "CHAOS_KILL_ENV",
     "CHAOS_MARKER_ENV",
     "CHAOS_EXIT_CODE",
+    "CHAOS_KILL_HOST_ENV",
+    "CHAOS_KILL_HOST_AFTER_ENV",
+    "CHAOS_KILL_HOST_MARKER_ENV",
+    "CHAOS_LEASE_DELAY_ENV",
+    "CHAOS_FAULT_DELAY_ENV",
     "maybe_chaos_kill",
+    "maybe_chaos_kill_host",
+    "maybe_chaos_lease_delay",
+    "maybe_chaos_fault_delay",
 ]
 
 CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_INDEX"
 CHAOS_MARKER_ENV = "REPRO_CHAOS_KILL_MARKER"
+
+CHAOS_KILL_HOST_ENV = "REPRO_CHAOS_KILL_HOST"
+CHAOS_KILL_HOST_AFTER_ENV = "REPRO_CHAOS_KILL_HOST_AFTER"
+CHAOS_KILL_HOST_MARKER_ENV = "REPRO_CHAOS_KILL_HOST_MARKER"
+CHAOS_LEASE_DELAY_ENV = "REPRO_CHAOS_LEASE_DELAY_MS"
+CHAOS_FAULT_DELAY_ENV = "REPRO_CHAOS_FAULT_DELAY_MS"
 
 #: Mimics the exit code the kernel OOM killer produces (128 + SIGKILL).
 CHAOS_EXIT_CODE = 137
@@ -64,3 +98,86 @@ def maybe_chaos_kill(index: int) -> None:
         except OSError:
             pass
     os._exit(CHAOS_EXIT_CODE)
+
+
+def maybe_chaos_kill_host(host: str, chunks_done: int) -> None:
+    """Hard-exit a worker process if chaos is armed for *host*.
+
+    Called by the worker loop after each completed chunk with the
+    running chunk count; fires once *chunks_done* reaches the
+    configured threshold.  Never raises: malformed values disarm.
+    """
+    target = os.environ.get(CHAOS_KILL_HOST_ENV)
+    if not target or target != host:
+        return
+    try:
+        after = int(os.environ.get(CHAOS_KILL_HOST_AFTER_ENV, "1"))
+    except ValueError:
+        return
+    if chunks_done < after:
+        return
+    marker = os.environ.get(CHAOS_KILL_HOST_MARKER_ENV)
+    if marker:
+        if os.path.exists(marker):
+            return  # already fired once; the host is transiently fatal
+        try:
+            with open(marker, "w") as handle:
+                handle.write(host)
+        except OSError:
+            pass
+    os._exit(CHAOS_EXIT_CODE)
+
+
+def maybe_chaos_lease_delay(host: str) -> None:
+    """Sleep before a chunk if lease-expiry chaos is armed for *host*.
+
+    Accepts ``"<host>:<ms>"`` (stall one host) or ``"<ms>"`` (stall
+    every host).  Never raises: malformed values disarm.
+    """
+    armed = os.environ.get(CHAOS_LEASE_DELAY_ENV)
+    if not armed:
+        return
+    target, _, ms_text = armed.rpartition(":")
+    if target and target != host:
+        return
+    try:
+        ms = float(ms_text)
+    except ValueError:
+        return
+    if ms > 0:
+        time.sleep(ms / 1000.0)
+
+
+_fault_delay_cache: tuple = ()
+
+
+def maybe_chaos_fault_delay(index: int) -> None:
+    """Sleep before simulating fault *index* if delay chaos is armed.
+
+    The environment variable holds a JSON object mapping fault indices
+    (as strings) to milliseconds; key ``"*"`` applies to every fault
+    not listed.  The parse is memoized per value so the per-fault cost
+    stays one dict lookup.  Never raises: malformed values disarm.
+    """
+    global _fault_delay_cache
+    armed = os.environ.get(CHAOS_FAULT_DELAY_ENV)
+    if not armed:
+        return
+    if not _fault_delay_cache or _fault_delay_cache[0] != armed:
+        try:
+            parsed = json.loads(armed)
+        except ValueError:
+            parsed = None
+        if not isinstance(parsed, dict):
+            parsed = {}
+        _fault_delay_cache = (armed, parsed)
+    delays = _fault_delay_cache[1]
+    value = delays.get(str(index), delays.get("*"))
+    if value is None:
+        return
+    try:
+        ms = float(value)
+    except (TypeError, ValueError):
+        return
+    if ms > 0:
+        time.sleep(ms / 1000.0)

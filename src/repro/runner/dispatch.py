@@ -1,0 +1,784 @@
+"""Lease-based chunk dispatcher for distributed campaigns.
+
+Static sharding (:mod:`repro.runner.parallel`) decides the whole
+assignment up front, which is exactly wrong once hosts can die or
+straggle: a dead shard strands its faults until a full retry round, and
+one slow host stretches the campaign to its pace.  The dispatcher
+replaces the static split with **dynamic chunk leases**:
+
+* The fault list becomes a queue of small chunks.  Workers *pull*: an
+  idle worker is granted a lease -- a chunk plus a deadline -- and
+  streams back one verdict per fault.
+* Progress extends the lease deadline; a lease that stops progressing
+  **expires**, its unfinished faults return to the queue for any other
+  worker, and the silent host is quarantined from new grants until it
+  reports back (it may be slow, not dead -- its late verdicts are still
+  accepted).
+* When the queue is empty but leases are still outstanding, idle
+  workers **steal**: the dispatcher compares a lease's silence against
+  the observed per-fault latency (the same signal the
+  ``campaign.fault_ms`` histogram tracks) and speculatively re-leases a
+  straggler's unfinished faults to an idle host.
+* Replay is **idempotent by construction**: every verdict carries its
+  global fault index, the first verdict journaled per index wins, and
+  later duplicates -- from expiry reassignment or stealing -- are
+  counted (``dispatch.duplicates``) and dropped.  Double execution can
+  never double-count.
+* A lost host (transport EOF, heartbeat silence) is just a bigger
+  version of the same event: its leases are revoked and requeued, the
+  host is relaunched, and after ``host_blacklist_after`` failures it is
+  blacklisted.  When every host is blacklisted,
+  :class:`~repro.errors.DistributedFailed` reports what the journal
+  already holds -- ``--resume`` continues from there, locally if need
+  be.
+
+The journal (:mod:`repro.runner.journal`) is the durable half of the
+design: verdicts are checksummed and flushed every
+``checkpoint_every``, lease grants/expiries/steals and host events are
+journaled as coordination records next to the verdicts they explain,
+and a resumed run seeds the deduplication set from whatever the
+(salvaged) journal holds.
+"""
+
+from __future__ import annotations
+
+import logging
+import statistics
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from repro.errors import (
+    CampaignInterrupted,
+    DistributedFailed,
+    TransportError,
+)
+from repro.faults.model import Fault
+from repro.mot.simulator import Campaign, FaultVerdict
+from repro.obs.metrics import MetricsSnapshot, get_metrics
+from repro.runner.budget import FaultBudget
+from repro.runner.harness import simulator_manifest
+from repro.runner.journal import (
+    CampaignJournal,
+    fault_to_payload,
+    host_to_record,
+    lease_to_record,
+    verdict_from_record,
+    verdict_to_record,
+)
+from repro.runner.transport import (
+    PROTOCOL_VERSION,
+    Transport,
+    WorkerHandle,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "DispatchConfig",
+    "DispatchStats",
+    "Lease",
+    "LeaseBook",
+    "DistributedCampaignRunner",
+]
+
+log = logging.getLogger("repro.runner.dispatch")
+
+
+@dataclass(frozen=True)
+class DispatchConfig:
+    """Behavior knobs of :class:`DistributedCampaignRunner`.
+
+    Attributes
+    ----------
+    chunk_size:
+        Faults per lease.  Small chunks bound the reassignment cost of
+        a lost host to ``chunk_size`` re-simulations per lease.
+    lease_timeout:
+        Seconds a lease may go without progress (grant or verdict)
+        before it expires and its unfinished faults are requeued.
+    straggler_factor:
+        Work stealing threshold: with the queue empty, a lease silent
+        for longer than ``straggler_factor`` times the observed median
+        per-fault latency is speculatively re-leased to an idle host.
+    min_latency_samples:
+        Verdicts observed before the latency estimate is trusted for
+        stealing (expiry does not wait for samples).
+    start_timeout:
+        Seconds a launched worker has to complete the init/ready
+        handshake before it counts as a host failure.
+    shutdown_timeout:
+        Seconds to wait for a worker's ``bye`` (with its metrics
+        snapshot) at the end of the campaign.
+    poll_interval:
+        Idle sleep between event-loop passes when no messages arrived.
+    host_blacklist_after:
+        Host failures (crash, handshake timeout, protocol violation)
+        tolerated before the host is blacklisted for the campaign.
+    checkpoint_path / checkpoint_every / resume:
+        Campaign journal location and flush cadence, exactly as in
+        :class:`~repro.runner.harness.HarnessConfig`.  ``None`` runs
+        without a journal (deduplication is then in-memory only).
+    budget:
+        Per-fault :class:`~repro.runner.budget.FaultBudget`, shipped to
+        every worker in the ``init`` message.
+    """
+
+    chunk_size: int = 4
+    lease_timeout: float = 60.0
+    straggler_factor: float = 4.0
+    min_latency_samples: int = 3
+    start_timeout: float = 60.0
+    shutdown_timeout: float = 10.0
+    poll_interval: float = 0.02
+    host_blacklist_after: int = 2
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 25
+    resume: bool = False
+    budget: Optional[FaultBudget] = None
+
+
+@dataclass
+class DispatchStats:
+    """What the dispatcher did beyond the verdicts themselves."""
+
+    hosts: int = 0
+    leases_granted: int = 0
+    leases_expired: int = 0
+    leases_stolen: int = 0
+    duplicates: int = 0
+    relaunches: int = 0
+    reused: int = 0
+    simulated: int = 0
+    errored: int = 0
+    aborted: int = 0
+    host_failures: Dict[str, int] = field(default_factory=dict)
+    blacklisted: List[str] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Lease bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class Lease:
+    """One granted chunk: indices, owner, and a progress deadline."""
+
+    id: int
+    host: str
+    indices: List[int]
+    granted_at: float
+    deadline: float
+    speculative: bool = False
+    stolen_from: Optional[int] = None
+    last_progress: float = 0.0
+    stolen: bool = False  # a speculative copy of this lease exists
+
+    def unfinished(self, done: Dict[int, Any]) -> List[int]:
+        return [i for i in self.indices if i not in done]
+
+
+class LeaseBook:
+    """The dispatcher's source of truth for who owns which fault.
+
+    Tracks three disjoint-by-construction views of the fault index
+    space: a pending queue, active leases (an index may be covered by
+    several when stealing duplicated it), and the ``done`` map of
+    first-arrived verdicts.  :meth:`complete` is the idempotency
+    point: the first verdict per index wins, every later one is a
+    counted duplicate -- which is the entire correctness argument for
+    replaying chunks at will.
+    """
+
+    def __init__(self, indices: Sequence[int], chunk_size: int,
+                 lease_timeout: float) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.pending: Deque[int] = deque(indices)
+        self.chunk_size = chunk_size
+        self.lease_timeout = lease_timeout
+        self.leases: Dict[int, Lease] = {}
+        self.done: Dict[int, FaultVerdict] = {}
+        self.duplicates = 0
+        self._next_id = 1
+
+    # ------------------------------------------------------------ state
+    @property
+    def exhausted(self) -> bool:
+        """True when no work is pending or in flight."""
+        return not self.pending and not any(
+            lease.unfinished(self.done) for lease in self.leases.values()
+        )
+
+    def remaining(self) -> int:
+        """Fault indices without a verdict yet (pending or leased)."""
+        outstanding = set(self.pending)
+        for lease in self.leases.values():
+            outstanding.update(lease.unfinished(self.done))
+        return len(outstanding - set(self.done))
+
+    # ------------------------------------------------------------ grant
+    def grant(self, host: str, now: float) -> Optional[Lease]:
+        """Lease the next chunk of pending faults to *host*."""
+        indices: List[int] = []
+        while self.pending and len(indices) < self.chunk_size:
+            index = self.pending.popleft()
+            if index not in self.done and index not in indices:
+                indices.append(index)
+        if not indices:
+            return None
+        lease = Lease(
+            id=self._next_id,
+            host=host,
+            indices=indices,
+            granted_at=now,
+            deadline=now + self.lease_timeout,
+            last_progress=now,
+        )
+        self._next_id += 1
+        self.leases[lease.id] = lease
+        return lease
+
+    def steal(self, host: str, now: float,
+              silence_threshold: float) -> Optional[Lease]:
+        """Speculatively re-lease a straggler's unfinished faults.
+
+        Picks the lease (of another host, not already duplicated) that
+        has been silent the longest beyond *silence_threshold* seconds.
+        The original lease keeps running -- whichever copy reports a
+        fault first wins at :meth:`complete`.
+        """
+        best: Optional[Lease] = None
+        for lease in self.leases.values():
+            if lease.host == host or lease.speculative or lease.stolen:
+                continue
+            if not lease.unfinished(self.done):
+                continue
+            if now - lease.last_progress < silence_threshold:
+                continue
+            if best is None or lease.last_progress < best.last_progress:
+                best = lease
+        if best is None:
+            return None
+        best.stolen = True
+        copy = Lease(
+            id=self._next_id,
+            host=host,
+            indices=best.unfinished(self.done),
+            granted_at=now,
+            deadline=now + self.lease_timeout,
+            speculative=True,
+            stolen_from=best.id,
+            last_progress=now,
+        )
+        self._next_id += 1
+        self.leases[copy.id] = copy
+        return copy
+
+    # --------------------------------------------------------- progress
+    def complete(self, index: int, verdict: FaultVerdict,
+                 now: float) -> bool:
+        """Record one verdict; True when it is the first for *index*."""
+        for lease in self.leases.values():
+            if index in lease.indices:
+                lease.last_progress = now
+                lease.deadline = now + self.lease_timeout
+        if index in self.done:
+            self.duplicates += 1
+            return False
+        self.done[index] = verdict
+        return True
+
+    def release(self, lease_id: int) -> Optional[Lease]:
+        """Drop a finished lease (``chunk_done``); idempotent."""
+        return self.leases.pop(lease_id, None)
+
+    # ---------------------------------------------------------- failure
+    def expire(self, now: float) -> List[Lease]:
+        """Remove leases past their deadline, requeueing the remainder."""
+        expired = [
+            lease for lease in self.leases.values() if lease.deadline < now
+        ]
+        for lease in expired:
+            del self.leases[lease.id]
+            self._requeue(lease)
+        return expired
+
+    def revoke_host(self, host: str) -> List[Lease]:
+        """Remove every lease owned by *host*, requeueing the remainder."""
+        revoked = [
+            lease for lease in self.leases.values() if lease.host == host
+        ]
+        for lease in revoked:
+            del self.leases[lease.id]
+            self._requeue(lease)
+        return revoked
+
+    def _requeue(self, lease: Lease) -> None:
+        live = {
+            index
+            for other in self.leases.values()
+            for index in other.unfinished(self.done)
+        }
+        for index in lease.unfinished(self.done):
+            if index not in live and index not in self.pending:
+                self.pending.appendleft(index)
+
+
+# ----------------------------------------------------------------------
+# Host bookkeeping
+# ----------------------------------------------------------------------
+class _Host:
+    """One (pseudo-)host: its live worker handle and lifecycle state."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.handle: Optional[WorkerHandle] = None
+        self.state = "down"  # down|starting|ready|busy|quarantined|blacklisted
+        self.lease_id: Optional[int] = None
+        self.started_at = 0.0
+        self.failures = 0
+
+    @property
+    def usable(self) -> bool:
+        return self.state != "blacklisted"
+
+    @property
+    def live(self) -> bool:
+        return self.state in ("starting", "ready", "busy", "quarantined")
+
+
+# ----------------------------------------------------------------------
+# The dispatcher
+# ----------------------------------------------------------------------
+class DistributedCampaignRunner:
+    """Run a campaign over leased chunks on transport-launched workers.
+
+    Drop-in sibling of :class:`~repro.runner.parallel.ParallelCampaignRunner`:
+    same constructor shape (simulator + config), same ``run(faults) ->
+    Campaign`` contract, same journal format -- a distributed journal
+    resumes locally and vice versa.
+    """
+
+    def __init__(
+        self,
+        simulator: Any,
+        hosts: Sequence[str],
+        transport: Transport,
+        config: Optional[DispatchConfig] = None,
+    ) -> None:
+        if not hosts:
+            raise ValueError("at least one host is required")
+        deduped = list(dict.fromkeys(hosts))
+        if len(deduped) != len(hosts):
+            raise ValueError(f"duplicate host names in {list(hosts)!r}")
+        self.simulator = simulator
+        self.hosts = [_Host(name) for name in deduped]
+        self.transport = transport
+        self.config = config or DispatchConfig()
+        if self.config.resume and not self.config.checkpoint_path:
+            raise ValueError("resume requires a checkpoint path")
+        self.stats = DispatchStats(hosts=len(self.hosts))
+        self._workload: Optional[WorkloadSpec] = None
+        self._journal: Optional[CampaignJournal] = None
+        self._book: Optional[LeaseBook] = None
+        self._faults: List[Fault] = []
+        self._latencies: List[float] = []  # per-fault wall ms, parent-side
+        self._seq = 0
+
+    # ------------------------------------------------------------- run
+    def run(self, faults: Sequence[Fault]) -> Campaign:
+        fault_list = list(faults)
+        self._workload = WorkloadSpec.from_simulator(self.simulator)
+        manifest = simulator_manifest(self.simulator, fault_list)
+        journal, reused = self._open_journal(manifest)
+        self._journal = journal
+        self.stats.reused = len(reused)
+
+        book = LeaseBook(
+            [i for i in range(len(fault_list)) if i not in reused],
+            self.config.chunk_size,
+            self.config.lease_timeout,
+        )
+        book.done.update(reused)
+        self._book = book
+        self._faults = fault_list
+
+        try:
+            self._event_loop(book)
+        except KeyboardInterrupt:
+            self._flush()
+            self._shutdown_all(graceful=False)
+            raise CampaignInterrupted(
+                completed=len(book.done),
+                journal_path=self.config.checkpoint_path,
+            ) from None
+        self._shutdown_all(graceful=True)
+        self._flush()
+
+        missing = [i for i in range(len(fault_list)) if i not in book.done]
+        if missing:  # pragma: no cover - defensive; loop exits on failure
+            raise DistributedFailed(
+                completed=len(book.done),
+                remaining=len(missing),
+                journal_path=self.config.checkpoint_path,
+                blacklisted=self.stats.blacklisted,
+            )
+        self.stats.duplicates = book.duplicates
+        campaign = Campaign(
+            circuit_name=self.simulator.circuit.name,
+            verdicts=[book.done[i] for i in range(len(fault_list))],
+        )
+        self.stats.simulated = len(book.done) - self.stats.reused
+        self.stats.errored = campaign.errored
+        self.stats.aborted = campaign.aborted_budget
+        return campaign
+
+    # ------------------------------------------------------ event loop
+    def _event_loop(self, book: LeaseBook) -> None:
+        while not book.exhausted:
+            now = time.monotonic()
+            self._launch_down_hosts(now)
+            self._check_handshakes(now)
+            self._expire_leases(book, now)
+            self._grant_work(book, now)
+            progressed = self._drain_messages(book)
+            if self._no_usable_hosts():
+                self._flush()
+                raise DistributedFailed(
+                    completed=len(book.done),
+                    remaining=book.remaining(),
+                    journal_path=self.config.checkpoint_path,
+                    blacklisted=list(self.stats.blacklisted),
+                )
+            if not progressed:
+                time.sleep(self.config.poll_interval)
+
+    # ------------------------------------------------- host lifecycle
+    def _launch_down_hosts(self, now: float) -> None:
+        for host in self.hosts:
+            if host.state != "down":
+                continue
+            try:
+                host.handle = self.transport.launch(host.name)
+                host.handle.send({
+                    "type": "init",
+                    "protocol": PROTOCOL_VERSION,
+                    "workload": self._workload.to_payload(),
+                    "budget": self._budget_payload(),
+                    "metrics": get_metrics().enabled,
+                })
+            except TransportError as exc:
+                log.warning("host %s: launch failed: %s", host.name,
+                            exc.detail)
+                self._host_failure(host, f"launch failed: {exc.detail}")
+                continue
+            host.state = "starting"
+            host.started_at = now
+            self._coordinate(host_to_record(
+                "launched", self._next_seq(), host=host.name,
+            ))
+
+    def _check_handshakes(self, now: float) -> None:
+        for host in self.hosts:
+            if host.state != "starting":
+                continue
+            if now - host.started_at > self.config.start_timeout:
+                log.warning("host %s: no ready within %.1fs", host.name,
+                            self.config.start_timeout)
+                self._host_failure(host, "handshake timeout")
+
+    def _host_failure(self, host: _Host, detail: str) -> None:
+        """One host strike: revoke, count, relaunch or blacklist."""
+        if host.handle is not None:
+            host.handle.close()
+            host.handle = None
+        if self._book is not None:
+            for lease in self._book.revoke_host(host.name):
+                self._coordinate(lease_to_record(
+                    "revoked", self._next_seq(), lease=lease.id,
+                    host=host.name, indices=lease.unfinished(self._book.done),
+                ))
+        host.lease_id = None
+        host.failures += 1
+        self.stats.host_failures[host.name] = host.failures
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("host.failures")
+        self._coordinate(host_to_record(
+            "lost", self._next_seq(), host=host.name, detail=detail,
+            failures=host.failures,
+        ))
+        if host.failures >= self.config.host_blacklist_after:
+            host.state = "blacklisted"
+            self.stats.blacklisted.append(host.name)
+            if metrics.enabled:
+                metrics.counter("host.blacklisted")
+            self._coordinate(host_to_record(
+                "blacklisted", self._next_seq(), host=host.name,
+            ))
+            log.warning("host %s blacklisted after %d failures",
+                        host.name, host.failures)
+        else:
+            host.state = "down"  # relaunched on the next loop pass
+            self.stats.relaunches += 1
+
+    def _no_usable_hosts(self) -> bool:
+        return not any(host.usable for host in self.hosts)
+
+    # ---------------------------------------------------------- leases
+    def _expire_leases(self, book: LeaseBook, now: float) -> None:
+        for lease in book.expire(now):
+            self.stats.leases_expired += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("dispatch.lease.expired")
+            self._coordinate(lease_to_record(
+                "expired", self._next_seq(), lease=lease.id,
+                host=lease.host, indices=lease.unfinished(book.done),
+            ))
+            log.warning(
+                "lease %d on host %s expired (%.1fs silent); requeued",
+                lease.id, lease.host, now - lease.last_progress,
+            )
+            owner = self._host_by_name(lease.host)
+            if owner is not None and owner.lease_id == lease.id:
+                # Maybe slow, not dead: no new grants until it reports.
+                owner.state = "quarantined" if owner.live else owner.state
+                owner.lease_id = None
+
+    def _grant_work(self, book: LeaseBook, now: float) -> None:
+        for host in self.hosts:
+            if host.state != "ready" or host.lease_id is not None:
+                continue
+            lease = book.grant(host.name, now)
+            event = "granted"
+            if lease is None:
+                threshold = self._steal_threshold()
+                if threshold is not None:
+                    lease = book.steal(host.name, now, threshold)
+                    event = "stolen"
+            if lease is None:
+                continue
+            try:
+                host.handle.send({
+                    "type": "chunk",
+                    "lease": lease.id,
+                    "indices": lease.indices,
+                    "faults": [
+                        fault_to_payload(self._faults[i])
+                        for i in lease.indices
+                    ],
+                })
+            except TransportError as exc:
+                book.release(lease.id)
+                book._requeue(lease)
+                self._host_failure(host, f"send failed: {exc.detail}")
+                continue
+            host.state = "busy"
+            host.lease_id = lease.id
+            metrics = get_metrics()
+            if event == "stolen":
+                self.stats.leases_stolen += 1
+                if metrics.enabled:
+                    metrics.counter("dispatch.lease.stolen")
+            else:
+                self.stats.leases_granted += 1
+                if metrics.enabled:
+                    metrics.counter("dispatch.lease.granted")
+            self._coordinate(lease_to_record(
+                event, self._next_seq(), lease=lease.id, host=host.name,
+                indices=lease.indices, stolen_from=lease.stolen_from,
+            ))
+
+    def _steal_threshold(self) -> Optional[float]:
+        """Silence (seconds) beyond which a lease counts as a straggler."""
+        if len(self._latencies) < self.config.min_latency_samples:
+            return None
+        median_s = statistics.median(self._latencies) / 1000.0
+        return max(self.config.straggler_factor * median_s,
+                   5 * self.config.poll_interval)
+
+    # -------------------------------------------------------- messages
+    def _drain_messages(self, book: LeaseBook) -> bool:
+        progressed = False
+        for host in self.hosts:
+            if not host.live or host.handle is None:
+                continue
+            while True:
+                try:
+                    message = host.handle.recv(timeout=0.0)
+                except TransportError as exc:
+                    self._host_failure(host, exc.detail)
+                    progressed = True
+                    break
+                if message is None:
+                    break
+                progressed = True
+                if not self._handle_message(book, host, message):
+                    break
+        return progressed
+
+    def _handle_message(self, book: LeaseBook, host: _Host,
+                        message: Dict[str, Any]) -> bool:
+        """Process one worker message; False ends this host's drain."""
+        mtype = message.get("type")
+        now = time.monotonic()
+        if mtype == "ready":
+            if message.get("protocol") != PROTOCOL_VERSION:
+                self._host_failure(
+                    host,
+                    f"protocol mismatch: {message.get('protocol')!r}",
+                )
+                return False
+            host.state = "ready"
+            return True
+        if mtype == "verdict":
+            record = message.get("record") or {}
+            try:
+                index = int(record["index"])
+                verdict = verdict_from_record(record)
+            except (KeyError, TypeError, ValueError, IndexError):
+                self._host_failure(host, "malformed verdict record")
+                return False
+            self._observe_latency(host, now)
+            if book.complete(index, verdict, now):
+                if self._journal is not None:
+                    self._journal.append(verdict_to_record(index, verdict))
+                    if self._journal.pending >= self.config.checkpoint_every:
+                        self._journal.flush()
+            else:
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("dispatch.duplicates")
+            return True
+        if mtype == "chunk_done":
+            lease = book.release(message.get("lease"))
+            self._coordinate(lease_to_record(
+                "completed", self._next_seq(),
+                lease=message.get("lease"), host=host.name,
+                count=message.get("count"),
+                elapsed_ms=message.get("elapsed_ms"),
+            ))
+            if host.lease_id == message.get("lease"):
+                host.lease_id = None
+            if host.state in ("busy", "quarantined"):
+                # A quarantined host that reported back is trustworthy
+                # again -- slow, but speaking the protocol.
+                host.state = "ready"
+            if lease is None and host.lease_id is None:
+                host.state = "ready" if host.live else host.state
+            return True
+        if mtype == "error":
+            self._host_failure(
+                host, f"worker error: {message.get('detail')!r}"
+            )
+            return False
+        if mtype == "bye":  # unsolicited; treat as a clean disappearance
+            self._host_failure(host, "worker left early")
+            return False
+        self._host_failure(host, f"unexpected message type {mtype!r}")
+        return False
+
+    def _observe_latency(self, host: _Host, now: float) -> None:
+        """Per-fault wall latency, measured between protocol events.
+
+        The distributed mirror of the ``campaign.fault_ms`` histogram
+        the workers record locally: used only for straggler detection,
+        never re-observed into the registry (the workers' own samples
+        arrive with their ``bye`` snapshots -- re-observing here would
+        double-count)."""
+        book = self._book
+        if book is None or host.lease_id is None:
+            return
+        lease = book.leases.get(host.lease_id)
+        reference = lease.last_progress if lease is not None else now
+        self._latencies.append(max(0.0, (now - reference) * 1000.0))
+        if len(self._latencies) > 256:
+            del self._latencies[:-256]
+
+    # ---------------------------------------------------- journal I/O
+    def _open_journal(self, manifest: Dict[str, Any]):
+        path = self.config.checkpoint_path
+        if path is None:
+            return None, {}
+        journal = CampaignJournal(path)
+        if self.config.resume:
+            try:
+                with open(path):
+                    pass
+            except OSError:
+                journal.create(manifest)
+                return journal, {}
+            existing, reused = journal.load()
+            journal.validate_manifest(existing, manifest)
+            report = journal.last_report
+            if report is not None and report.corrupt_lines:
+                log.warning(
+                    "journal %s: salvaged %d corrupt line(s) "
+                    "(quarantined to %s); the lost verdicts will be "
+                    "re-simulated",
+                    path, report.corrupt_lines, report.quarantine_path,
+                )
+            return journal, reused
+        journal.create(manifest)
+        return journal, {}
+
+    def _coordinate(self, record: Dict[str, Any]) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _flush(self) -> None:
+        if self._journal is not None:
+            self._journal.flush()
+
+    def _budget_payload(self) -> Optional[Dict[str, Any]]:
+        budget = self.config.budget
+        if budget is None or not budget.bounded:
+            return None
+        return {
+            "wall_clock_ms": budget.wall_clock_ms,
+            "max_events": budget.max_events,
+        }
+
+    # -------------------------------------------------------- shutdown
+    def _shutdown_all(self, graceful: bool) -> None:
+        for host in self.hosts:
+            if host.handle is None:
+                continue
+            if graceful and host.live:
+                try:
+                    host.handle.send({"type": "shutdown"})
+                    self._collect_bye(host)
+                except TransportError:
+                    pass
+            host.handle.close(timeout=self.config.shutdown_timeout)
+            host.handle = None
+            if host.live:
+                host.state = "down"
+
+    def _collect_bye(self, host: _Host) -> None:
+        deadline = time.monotonic() + self.config.shutdown_timeout
+        while True:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                return
+            message = host.handle.recv(timeout=timeout)
+            if message is None:
+                return
+            if message.get("type") != "bye":
+                continue  # late verdicts/chunk_done past completion
+            payload = message.get("metrics")
+            metrics = get_metrics()
+            if payload and metrics.enabled:
+                metrics.merge_snapshot(MetricsSnapshot.from_payload(payload))
+            return
+
+    def _host_by_name(self, name: str) -> Optional[_Host]:
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        return None

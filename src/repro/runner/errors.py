@@ -10,10 +10,16 @@ from repro.errors import (
     BudgetExceeded,
     CampaignInterrupted,
     CircuitError,
+    DistributedFailed,
     FaultModelError,
     JournalError,
+    PoisonFault,
     ReproError,
+    RetryExhausted,
+    TransportError,
     WorkerCrashed,
+    WorkerCrashInfo,
+    WorkerStalled,
 )
 
 __all__ = [
@@ -24,4 +30,10 @@ __all__ = [
     "CampaignInterrupted",
     "JournalError",
     "WorkerCrashed",
+    "WorkerCrashInfo",
+    "WorkerStalled",
+    "PoisonFault",
+    "RetryExhausted",
+    "TransportError",
+    "DistributedFailed",
 ]

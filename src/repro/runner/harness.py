@@ -37,6 +37,7 @@ import signal
 import threading
 import time
 import traceback
+import warnings
 from dataclasses import asdict, dataclass, is_dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
@@ -45,7 +46,7 @@ from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
 from repro.obs.metrics import get_metrics
 from repro.runner.budget import BudgetMeter, FaultBudget
-from repro.runner.chaos import maybe_chaos_kill
+from repro.runner.chaos import maybe_chaos_fault_delay, maybe_chaos_kill
 from repro.runner.journal import (
     CampaignJournal,
     campaign_manifest,
@@ -57,9 +58,75 @@ __all__ = [
     "HarnessConfig",
     "HarnessStats",
     "CampaignHarness",
+    "probe_meter_support",
     "run_campaign",
+    "simulate_fault_once",
     "simulator_manifest",
 ]
+
+
+def probe_meter_support(simulator: Any) -> bool:
+    """True when ``simulator.simulate_fault`` accepts a budget ``meter``."""
+    try:
+        parameters = inspect.signature(simulator.simulate_fault).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    return "meter" in parameters
+
+
+def simulate_fault_once(
+    simulator: Any,
+    fault: Fault,
+    budget: Optional[FaultBudget] = None,
+    supports_meter: Optional[bool] = None,
+    fail_fast: bool = False,
+) -> FaultVerdict:
+    """Simulate one fault with budget + quarantine semantics.
+
+    The single place verdict semantics are defined: the serial harness,
+    the multiprocessing shard workers, and the distributed transport
+    workers all call this, so a fault produces the same verdict no
+    matter which execution layer ran it.  ``KeyboardInterrupt``
+    propagates (callers own interruption policy); any other exception
+    becomes an ``errored`` verdict unless ``fail_fast``.
+    """
+    if supports_meter is None:
+        supports_meter = probe_meter_support(simulator)
+    kwargs: Dict[str, Any] = {}
+    if budget is not None and budget.bounded and supports_meter:
+        kwargs["meter"] = BudgetMeter(budget)
+    started = time.perf_counter()
+    try:
+        verdict = simulator.simulate_fault(fault, **kwargs)
+    except BudgetExceeded as exc:
+        # Simulators convert this themselves; kept for simulators
+        # that let the meter's exception escape.
+        verdict = FaultVerdict(fault, "aborted", how="budget",
+                               detail=str(exc))
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        if fail_fast:
+            raise
+        verdict = FaultVerdict(
+            fault,
+            "errored",
+            how=type(exc).__name__,
+            detail=traceback.format_exc(),
+        )
+    metrics = get_metrics()
+    if metrics.enabled:
+        # Counted once per *simulated* fault (reused verdicts are
+        # not re-counted), so the merged campaign counters of a
+        # fresh run equal the campaign summary.
+        metrics.counter(f"campaign.verdict.{verdict.status}")
+        if verdict.status == "mot":
+            metrics.counter(f"campaign.how.{verdict.how}")
+        metrics.observe(
+            "campaign.fault_ms",
+            (time.perf_counter() - started) * 1000.0,
+        )
+    return verdict
 
 
 def simulator_manifest(simulator: Any, faults: List[Fault]) -> Dict[str, Any]:
@@ -163,11 +230,7 @@ class CampaignHarness:
     # ------------------------------------------------------------------
     @staticmethod
     def _probe_meter_support(simulator: Any) -> bool:
-        try:
-            parameters = inspect.signature(simulator.simulate_fault).parameters
-        except (TypeError, ValueError):  # builtins / exotic callables
-            return False
-        return "meter" in parameters
+        return probe_meter_support(simulator)
 
     def _manifest(self, faults: List[Fault]) -> Dict[str, Any]:
         if self.config.manifest_override is not None:
@@ -197,47 +260,22 @@ class CampaignHarness:
 
     # ------------------------------------------------------------------
     def _simulate_one(self, fault: Fault) -> FaultVerdict:
-        """Simulate one fault with budget + quarantine semantics."""
-        kwargs: Dict[str, Any] = {}
-        budget = self.config.budget
-        if budget is not None and budget.bounded and self._supports_meter:
-            kwargs["meter"] = BudgetMeter(budget)
-        started = time.perf_counter()
+        """Simulate one fault, tracking harness stats and interruption."""
         try:
-            verdict = self.simulator.simulate_fault(fault, **kwargs)
-        except BudgetExceeded as exc:
-            # Simulators convert this themselves; kept for simulators
-            # that let the meter's exception escape.
-            verdict = FaultVerdict(fault, "aborted", how="budget",
-                                   detail=str(exc))
+            verdict = simulate_fault_once(
+                self.simulator,
+                fault,
+                budget=self.config.budget,
+                supports_meter=self._supports_meter,
+                fail_fast=self.config.fail_fast,
+            )
         except KeyboardInterrupt:
             self._interrupted = True
             raise
-        except Exception as exc:
-            if self.config.fail_fast:
-                raise
-            verdict = FaultVerdict(
-                fault,
-                "errored",
-                how=type(exc).__name__,
-                detail=traceback.format_exc(),
-            )
         if verdict.status == "errored":
             self.stats.errored += 1
         elif verdict.status == "aborted":
             self.stats.aborted += 1
-        metrics = get_metrics()
-        if metrics.enabled:
-            # Counted once per *simulated* fault (reused verdicts are
-            # not re-counted), so the merged campaign counters of a
-            # fresh run equal the campaign summary.
-            metrics.counter(f"campaign.verdict.{verdict.status}")
-            if verdict.status == "mot":
-                metrics.counter(f"campaign.how.{verdict.how}")
-            metrics.observe(
-                "campaign.fault_ms",
-                (time.perf_counter() - started) * 1000.0,
-            )
         return verdict
 
     # ------------------------------------------------------------------
@@ -280,6 +318,7 @@ class CampaignHarness:
                 global_index = self._journal_index(index)
                 self._write_progress(in_flight=global_index)
                 maybe_chaos_kill(global_index)
+                maybe_chaos_fault_delay(global_index)
                 try:
                     verdict = self._simulate_one(fault)
                 except KeyboardInterrupt:
@@ -330,6 +369,16 @@ class CampaignHarness:
                 journal.create(manifest)  # first run of a resumable loop
                 return journal, {}
             existing, reused = journal.load()
+            report = journal.last_report
+            if report is not None and report.corrupt_lines:
+                warnings.warn(
+                    f"journal {path!r}: salvaged around "
+                    f"{report.corrupt_lines} corrupt line(s)"
+                    + (f" (quarantined to {report.quarantine_path!r})"
+                       if report.quarantine_path else "")
+                    + "; the lost verdicts will be re-simulated",
+                    stacklevel=3,
+                )
             journal.validate_manifest(existing, manifest)
             return journal, reused
         journal.create(manifest)

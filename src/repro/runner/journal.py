@@ -33,6 +33,28 @@ worker's serialized metrics registry -- appended after the last
 verdict.  Verdict readers skip it like events; the parallel merge step
 collects the payloads with :func:`load_metrics_payloads` and folds
 them into the parent registry before shard files are removed.
+
+**Hardening for multi-host coordination.**  Distributed campaigns
+(:mod:`repro.runner.dispatch`) use the journal as their durable merge
+and deduplication substrate, which raises the bar on corruption
+handling:
+
+* every record written through :meth:`CampaignJournal.append` (and the
+  manifest) carries a ``crc`` field -- a CRC-32 over the record's
+  canonical JSON -- so a torn or bit-flipped line is *detected*, not
+  silently replayed as a wrong verdict;
+* :meth:`CampaignJournal.load` **salvages** interior corruption: a bad
+  line anywhere in the file (malformed JSON, checksum mismatch,
+  invalid verdict payload) is skipped, counted, and quarantined to a
+  ``<path>.corrupt`` sidecar instead of killing ``--resume``.  The
+  faults whose verdicts were lost are simply re-simulated.  Only an
+  unreadable *manifest* still raises -- a journal whose identity line
+  cannot be trusted must never be merged;
+* ``kind: "lease"`` and ``kind: "host"`` records journal the
+  dispatcher's coordination decisions (grants, expiries, reassignments,
+  host failures) next to the verdicts they explain.  Verdict readers
+  skip them; :func:`load_coordination_records` merges them (from one or
+  several journals) deterministically by ``(ts, seq)``.
 """
 
 from __future__ import annotations
@@ -41,16 +63,21 @@ import hashlib
 import json
 import os
 import time
-from typing import Any, Dict, List, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.circuit.netlist import Pin
 from repro.errors import JournalError
 from repro.faults.model import Fault
 from repro.mot.simulator import FaultCounters, FaultVerdict
+from repro.obs.metrics import get_metrics
 
 __all__ = [
     "JOURNAL_VERSION",
+    "COORDINATION_KINDS",
     "CampaignJournal",
+    "JournalLoadReport",
     "SupervisionLog",
     "campaign_manifest",
     "fault_to_payload",
@@ -58,10 +85,20 @@ __all__ = [
     "verdict_to_record",
     "verdict_from_record",
     "metrics_to_record",
+    "lease_to_record",
+    "host_to_record",
+    "seal_record",
+    "record_checksum_ok",
     "load_metrics_payloads",
+    "load_coordination_records",
 ]
 
 JOURNAL_VERSION = 1
+
+#: Record kinds that ride along in a verdict journal and are skipped by
+#: verdict readers: supervision events, metrics snapshots, and the
+#: distributed dispatcher's lease / host coordination trail.
+COORDINATION_KINDS = ("event", "metrics", "lease", "host")
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +160,59 @@ def metrics_to_record(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"kind": "metrics", "payload": payload}
 
 
+def lease_to_record(event: str, seq: int, **fields: Any) -> Dict[str, Any]:
+    """One journal line recording a dispatcher lease decision.
+
+    ``seq`` is the parent's monotonically increasing coordination
+    sequence number; together with the wall-clock ``ts`` it makes
+    multi-journal merges deterministic (see
+    :func:`load_coordination_records`).
+    """
+    record: Dict[str, Any] = {
+        "kind": "lease", "event": event, "seq": seq, "ts": time.time(),
+    }
+    record.update(fields)
+    return record
+
+
+def host_to_record(event: str, seq: int, **fields: Any) -> Dict[str, Any]:
+    """One journal line recording a host-level dispatcher event."""
+    record: Dict[str, Any] = {
+        "kind": "host", "event": event, "seq": seq, "ts": time.time(),
+    }
+    record.update(fields)
+    return record
+
+
+# ----------------------------------------------------------------------
+# Record checksums
+# ----------------------------------------------------------------------
+def _record_crc(record: Dict[str, Any]) -> str:
+    """CRC-32 (hex) over the canonical JSON of *record* minus ``crc``."""
+    body = {key: value for key, value in record.items() if key != "crc"}
+    encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def seal_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Return *record* with its ``crc`` integrity field (re)computed."""
+    sealed = dict(record)
+    sealed["crc"] = _record_crc(sealed)
+    return sealed
+
+
+def record_checksum_ok(record: Dict[str, Any]) -> bool:
+    """True when *record* has no ``crc`` (legacy journals) or it matches.
+
+    A mismatch means the line was torn or bit-flipped after it was
+    sealed; readers treat such lines as corrupt and quarantine them.
+    """
+    crc = record.get("crc")
+    if crc is None:
+        return True
+    return crc == _record_crc(record)
+
+
 def load_metrics_payloads(path: str) -> List[Dict[str, Any]]:
     """Every ``kind: "metrics"`` payload in the journal at *path*.
 
@@ -143,11 +233,54 @@ def load_metrics_payloads(path: str) -> List[Dict[str, Any]]:
             record = json.loads(line)
         except json.JSONDecodeError:
             continue
-        if isinstance(record, dict) and record.get("kind") == "metrics":
+        if not isinstance(record, dict) or not record_checksum_ok(record):
+            continue
+        if record.get("kind") == "metrics":
             payload = record.get("payload")
             if isinstance(payload, dict):
                 payloads.append(payload)
     return payloads
+
+
+def load_coordination_records(paths: "Sequence[str] | str") -> List[Dict[str, Any]]:
+    """Every coordination record (lease / host / event) across *paths*.
+
+    Records are merged **deterministically**: sorted by ``(ts, seq,
+    kind, event)``, so the same set of journal files always yields the
+    same trail regardless of the order the files are listed or were
+    written in.  Malformed and checksum-failed lines are skipped --
+    coordination records are an audit trail, and damage to them must
+    never block reading the verdicts they annotate.
+    """
+    if isinstance(paths, str):
+        paths = [paths]
+    records: List[Dict[str, Any]] = []
+    for path in paths:
+        try:
+            with open(path) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict) or not record_checksum_ok(record):
+                continue
+            if record.get("kind") in ("lease", "host", "event"):
+                records.append(record)
+    records.sort(
+        key=lambda r: (
+            r.get("ts", 0.0),
+            r.get("seq", -1),
+            str(r.get("kind", "")),
+            str(r.get("event", "")),
+        )
+    )
+    return records
 
 
 def _stable_digest(value: Any) -> str:
@@ -191,12 +324,52 @@ def campaign_manifest(
 # ----------------------------------------------------------------------
 # The journal file
 # ----------------------------------------------------------------------
+@dataclass
+class JournalLoadReport:
+    """What :meth:`CampaignJournal.load` found beyond the verdicts.
+
+    Attributes
+    ----------
+    records:
+        Verdict records accepted.
+    skipped:
+        Coordination records (events, metrics, leases, host events) and
+        unknown future record kinds skipped by the verdict reader.
+    corrupt_lines:
+        Lines dropped as corrupt: malformed JSON, non-object lines,
+        checksum mismatches, and structurally invalid verdict payloads.
+    checksum_failures:
+        The subset of ``corrupt_lines`` whose JSON parsed but whose
+        ``crc`` did not match (a bit flip or interior torn write).
+    torn_tail:
+        True when the final line was a partial write (the classic
+        crash-mid-flush signature); it is counted in ``corrupt_lines``.
+    quarantine_path:
+        Sidecar file holding the corrupt lines (``None`` when the load
+        was clean).
+    """
+
+    records: int = 0
+    skipped: int = 0
+    corrupt_lines: int = 0
+    checksum_failures: int = 0
+    torn_tail: bool = False
+    quarantine_path: Optional[str] = None
+
+
 class CampaignJournal:
-    """Buffered append-only JSONL checkpoint file."""
+    """Buffered append-only JSONL checkpoint file.
+
+    Every record appended through this class is sealed with a CRC-32
+    integrity field (:func:`seal_record`); :meth:`load` verifies seals
+    and salvages around corrupt lines.  ``last_report`` holds the
+    :class:`JournalLoadReport` of the most recent :meth:`load`.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
         self._buffer: List[str] = []
+        self.last_report: Optional[JournalLoadReport] = None
 
     # -------------------------------------------------------------- write
     def create(self, manifest: Dict[str, Any]) -> None:
@@ -204,19 +377,34 @@ class CampaignJournal:
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         with open(self.path, "w") as handle:
-            handle.write(json.dumps(manifest, sort_keys=True) + "\n")
+            handle.write(json.dumps(seal_record(manifest), sort_keys=True) + "\n")
         self._buffer = []
 
     def append(self, record: Dict[str, Any]) -> None:
-        """Buffer one verdict record (written on the next flush)."""
-        self._buffer.append(json.dumps(record, sort_keys=True))
+        """Buffer one record, sealed, for the next flush."""
+        self._buffer.append(json.dumps(seal_record(record), sort_keys=True))
 
     def flush(self) -> None:
-        """Durably append every buffered record."""
+        """Durably append every buffered record.
+
+        A journal that last crashed mid-write ends in a torn partial
+        line; appending straight after it would concatenate the first
+        new record onto the fragment and lose both.  The flush starts
+        on a fresh line in that case, so the fragment stays isolated
+        (and is quarantined by the next :meth:`load`).
+        """
         if not self._buffer:
             return
+        prefix = ""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    prefix = "\n"
+        except (OSError, ValueError):
+            pass  # missing or empty file: nothing to repair
         with open(self.path, "a") as handle:
-            handle.write("\n".join(self._buffer) + "\n")
+            handle.write(prefix + "\n".join(self._buffer) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         self._buffer = []
@@ -230,9 +418,17 @@ class CampaignJournal:
     def load(self) -> Tuple[Dict[str, Any], Dict[int, FaultVerdict]]:
         """Read the journal back: ``(manifest, {fault index: verdict})``.
 
-        A trailing partial line (from a crash mid-write) is tolerated
-        and dropped; any other malformed content raises
-        :class:`~repro.errors.JournalError`.
+        Corrupt lines **anywhere** in the file -- a torn tail from a
+        crash mid-flush, an interior torn write from a multi-writer
+        race, a bit flip caught by the record checksum, a structurally
+        invalid verdict payload -- are skipped, counted, and quarantined
+        to ``<path>.corrupt`` instead of raising: the faults whose
+        verdicts were lost are simply re-simulated by the resuming run.
+        ``last_report`` describes what was salvaged, and the
+        ``journal.corrupt_lines`` counter is recorded when metrics are
+        on.  Only an unreadable or mismatched *manifest* still raises
+        :class:`~repro.errors.JournalError` -- a journal whose identity
+        cannot be verified must never be merged.
         """
         try:
             with open(self.path) as handle:
@@ -242,6 +438,12 @@ class CampaignJournal:
         if not lines:
             raise JournalError(f"journal {self.path} is empty")
         manifest = self._parse_line(lines[0], line_number=1)
+        if not record_checksum_ok(manifest):
+            raise JournalError(
+                f"journal {self.path}: manifest checksum mismatch "
+                f"(refusing to trust the file)"
+            )
+        manifest.pop("crc", None)
         if manifest.get("kind") != "manifest":
             raise JournalError(
                 f"journal {self.path} does not start with a manifest"
@@ -251,6 +453,8 @@ class CampaignJournal:
                 f"journal {self.path} has version {manifest.get('version')!r}, "
                 f"expected {JOURNAL_VERSION}"
             )
+        report = JournalLoadReport()
+        corrupt: List[Tuple[int, str, str]] = []
         verdicts: Dict[int, FaultVerdict] = {}
         for number, line in enumerate(lines[1:], start=2):
             if not line.strip():
@@ -258,18 +462,63 @@ class CampaignJournal:
             try:
                 record = self._parse_line(line, line_number=number)
             except JournalError:
-                if number == len(lines):  # torn tail write: drop it
-                    break
-                raise
-            if record.get("kind") in ("event", "metrics"):
-                continue  # supervision/metrics records ride along
-            if record.get("kind") != "verdict":
-                raise JournalError(
-                    f"journal {self.path}: line {number}: unexpected record "
-                    f"kind {record.get('kind')!r}"
-                )
-            verdicts[int(record["index"])] = verdict_from_record(record)
+                if number == len(lines):
+                    report.torn_tail = True
+                    corrupt.append((number, line, "torn or malformed line"))
+                else:
+                    corrupt.append((number, line, "malformed JSON"))
+                continue
+            if not record_checksum_ok(record):
+                report.checksum_failures += 1
+                corrupt.append((number, line, "checksum mismatch"))
+                continue
+            record.pop("crc", None)
+            kind = record.get("kind")
+            if kind != "verdict":
+                # Coordination records ride along; unknown future kinds
+                # are skipped too, so old readers survive new writers.
+                report.skipped += 1
+                continue
+            try:
+                index = int(record["index"])
+                verdict = verdict_from_record(record)
+            except (KeyError, TypeError, ValueError, IndexError):
+                corrupt.append((number, line, "invalid verdict payload"))
+                continue
+            verdicts[index] = verdict
+            report.records += 1
+        report.corrupt_lines = len(corrupt)
+        if corrupt:
+            report.quarantine_path = self._quarantine(corrupt)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("journal.corrupt_lines", len(corrupt))
+        self.last_report = report
         return manifest, verdicts
+
+    def _quarantine(self, corrupt: List[Tuple[int, str, str]]) -> str:
+        """Write the corrupt lines to the ``.corrupt`` sidecar.
+
+        One JSON object per bad line (original line number, reason, raw
+        content) so operators can inspect -- and, for torn-but-valid
+        tails, even hand-repair -- what was dropped.  Overwritten on
+        every salvaging load: the sidecar mirrors the journal's current
+        damage, not its history.
+        """
+        path = self.path + ".corrupt"
+        try:
+            with open(path, "w") as handle:
+                for number, raw, reason in corrupt:
+                    handle.write(
+                        json.dumps(
+                            {"line": number, "reason": reason, "raw": raw},
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+        except OSError:  # pragma: no cover - quarantine must never kill a load
+            return path
+        return path
 
     def validate_manifest(self, manifest: Dict[str, Any],
                           expected: Dict[str, Any]) -> None:
@@ -311,6 +560,7 @@ class SupervisionLog:
 
     def __init__(self, path: str) -> None:
         self.path = path
+        self.corrupt_lines = 0
 
     def create(self) -> None:
         """Start a fresh log (truncates any existing file)."""
@@ -332,7 +582,20 @@ class SupervisionLog:
             pass
 
     def load(self) -> List[Dict[str, Any]]:
-        """Read every event back, dropping a torn final line."""
+        """Read every event back, skipping (and counting) corrupt lines."""
+        events, _ = self.load_with_errors()
+        return events
+
+    def load_with_errors(self) -> Tuple[List[Dict[str, Any]], int]:
+        """Read events plus the number of corrupt lines encountered.
+
+        The log is advisory, so damage never raises: malformed lines --
+        torn tails and interior garbage alike -- are dropped and counted
+        (also exposed as ``self.corrupt_lines`` and, when metrics are
+        on, the ``supervision.log.corrupt_lines`` counter) so operators
+        can see that the sidecar lost events rather than silently
+        reading an incomplete history.
+        """
         try:
             with open(self.path) as handle:
                 lines = handle.read().splitlines()
@@ -341,18 +604,20 @@ class SupervisionLog:
                 f"cannot read supervision log {self.path}: {exc}"
             ) from None
         events: List[Dict[str, Any]] = []
-        for number, line in enumerate(lines, start=1):
+        corrupt = 0
+        for line in lines:
             if not line.strip():
                 continue
             try:
                 parsed = json.loads(line)
             except json.JSONDecodeError:
-                if number == len(lines):  # torn tail write: drop it
-                    break
-                raise JournalError(
-                    f"supervision log {self.path}: line {number}: "
-                    f"malformed JSON"
-                ) from None
+                corrupt += 1
+                continue
             if isinstance(parsed, dict) and parsed.get("kind") == "event":
                 events.append(parsed)
-        return events
+        self.corrupt_lines = corrupt
+        if corrupt:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("supervision.log.corrupt_lines", corrupt)
+        return events, corrupt

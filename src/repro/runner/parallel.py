@@ -681,6 +681,16 @@ class ParallelCampaignRunner:
             if missing_ok and not os.path.exists(path):
                 return None
             raise
+        report = journal.last_report
+        if report is not None and report.corrupt_lines:
+            warnings.warn(
+                f"journal {path!r}: salvaged around "
+                f"{report.corrupt_lines} corrupt line(s)"
+                + (f" (quarantined to {report.quarantine_path!r})"
+                   if report.quarantine_path else "")
+                + "; the lost verdicts will be re-simulated",
+                stacklevel=3,
+            )
         journal.validate_manifest(existing, manifest)
         return verdicts
 

@@ -41,6 +41,18 @@ worker failure into a policy decision instead of a campaign abort:
   cgroup).  With degradation off, :class:`~repro.errors.RetryExhausted`
   reports exactly how far the campaign got;
 
+* **host-level failure handling** -- given ``hosts`` (and a
+  :class:`~repro.runner.transport.Transport`), the supervisor first
+  runs the campaign through the lease-based
+  :class:`~repro.runner.dispatch.DistributedCampaignRunner`.  Heartbeat
+  loss there already means lease revocation and reassignment, and
+  repeatedly failing hosts are blacklisted; only when the dispatcher
+  runs out of usable hosts entirely
+  (:class:`~repro.errors.DistributedFailed`) does the supervisor step
+  down the ladder -- **distributed -> local-parallel -> serial** --
+  resuming from the same journal at every rung, so no verdict is ever
+  recomputed on the way down;
+
 * **post-mortem trail** -- every decision (attempt, crash, stall,
   probe, poison, retry + backoff, degradation, completion) is appended
   to a :class:`~repro.runner.journal.SupervisionLog` sidecar
@@ -59,12 +71,24 @@ import tempfile
 import time
 from collections import Counter
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import (
     CampaignInterrupted,
+    DistributedFailed,
     PoisonFault,
     RetryExhausted,
+    TransportError,
     WorkerCrashed,
 )
 from repro.faults.model import Fault
@@ -89,6 +113,10 @@ from repro.runner.parallel import (
     _worker_main,
 )
 from repro.runner.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.dispatch import DispatchConfig, DispatchStats
+    from repro.runner.transport import Transport
 
 __all__ = [
     "SupervisorConfig",
@@ -153,6 +181,12 @@ class SupervisorStats:
     simulated: int = 0
     errored: int = 0
     aborted: int = 0
+    #: Host-level ladder (populated only for distributed campaigns).
+    distributed_hosts: int = 0
+    distributed_failed: bool = False
+    host_failures: Dict[str, int] = field(default_factory=dict)
+    blacklisted_hosts: List[str] = field(default_factory=list)
+    distributed: Optional[DispatchStats] = None
 
 
 class SupervisedCampaignRunner:
@@ -164,12 +198,25 @@ class SupervisedCampaignRunner:
         config: Optional[ParallelConfig] = None,
         supervision: Optional[SupervisorConfig] = None,
         sleep: Callable[[float], None] = time.sleep,
+        hosts: Optional[Sequence[str]] = None,
+        transport: Optional[Transport] = None,
+        dispatch: Optional[DispatchConfig] = None,
     ) -> None:
         self.simulator = simulator
         self.config = config or ParallelConfig()
         self.supervision = supervision or SupervisorConfig()
         self.stats = SupervisorStats()
         self._sleep = sleep
+        # Distributed rung of the ladder: only armed when hosts are
+        # given.  The transport defaults to local subprocesses, which
+        # exercises the full protocol without any remote machinery.
+        self.hosts = list(hosts) if hosts else []
+        self.dispatch = dispatch
+        if self.hosts and transport is None:
+            from repro.runner.transport import SubprocessTransport
+
+            transport = SubprocessTransport()
+        self.transport = transport
         # Validate the parallel knobs once, up front, with the same
         # rules a direct ParallelCampaignRunner would apply.
         ParallelCampaignRunner(simulator, self.config)
@@ -230,6 +277,13 @@ class SupervisedCampaignRunner:
         resume = self.config.resume
         retries = 0
         first_reused: Optional[int] = None
+        if self.hosts:
+            campaign, resume, first_reused = self._run_distributed(
+                fault_list, path, public_path, log, resume
+            )
+            if campaign is not None:
+                self._finalize(campaign, log, first_reused)
+                return campaign
         while True:
             self.stats.attempts += 1
             runner = ParallelCampaignRunner(
@@ -328,6 +382,78 @@ class SupervisedCampaignRunner:
                 first_reused = runner.stats.reused
             self._finalize(campaign, log, first_reused)
             return campaign
+
+    # ------------------------------------------------------------------
+    def _run_distributed(
+        self,
+        fault_list: List[Fault],
+        path: str,
+        public_path: Optional[str],
+        log: SupervisionLog,
+        resume: bool,
+    ) -> Tuple[Optional[Campaign], bool, Optional[int]]:
+        """Top rung of the ladder: the lease-based dispatcher.
+
+        Returns ``(campaign, resume, first_reused)``; a ``None``
+        campaign means the dispatcher ran out of usable hosts and the
+        caller should continue down the ladder with ``resume=True`` --
+        every verdict the hosts produced is already in the journal.
+        """
+        from repro.runner.dispatch import (
+            DispatchConfig,
+            DistributedCampaignRunner,
+        )
+
+        self.stats.attempts += 1
+        self.stats.distributed_hosts = len(self.hosts)
+        dispatch = self.dispatch or DispatchConfig()
+        dispatch = replace(
+            dispatch,
+            checkpoint_path=path,
+            checkpoint_every=self.config.checkpoint_every,
+            resume=resume,
+            budget=dispatch.budget or self.config.budget,
+        )
+        runner = DistributedCampaignRunner(
+            self.simulator, self.hosts, self.transport, dispatch
+        )
+        log.record(
+            "distributed_started",
+            hosts=list(self.hosts),
+            transport=self.transport.kind,
+        )
+        try:
+            campaign = runner.run(fault_list)
+        except CampaignInterrupted as exc:
+            log.record("interrupted", completed=exc.completed)
+            raise CampaignInterrupted(
+                completed=exc.completed, journal_path=public_path
+            ) from None
+        except (DistributedFailed, TransportError) as exc:
+            self.stats.distributed_failed = True
+            self.stats.distributed = runner.stats
+            self.stats.host_failures = dict(runner.stats.host_failures)
+            self.stats.blacklisted_hosts = list(runner.stats.blacklisted)
+            completed = getattr(exc, "completed", 0)
+            remaining = getattr(exc, "remaining", len(fault_list))
+            log.record(
+                "distributed_failed",
+                completed=completed,
+                remaining=remaining,
+                blacklisted=list(runner.stats.blacklisted),
+                detail=str(exc),
+            )
+            if not self.supervision.allow_degraded:
+                raise
+            log.record(
+                "degraded_to_parallel",
+                remaining=remaining,
+            )
+            return None, True, runner.stats.reused
+        self.stats.distributed = runner.stats
+        self.stats.host_failures = dict(runner.stats.host_failures)
+        self.stats.blacklisted_hosts = list(runner.stats.blacklisted)
+        return campaign, resume, runner.stats.reused
 
     # ------------------------------------------------------------------
     def _finalize(

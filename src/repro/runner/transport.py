@@ -1,0 +1,584 @@
+"""Transport-agnostic worker protocol for distributed campaigns.
+
+A distributed campaign is the same per-fault loop as everywhere else in
+the runner -- :func:`~repro.runner.harness.simulate_fault_once` -- but
+executed by **worker processes the dispatcher cannot assume anything
+about**: a subprocess on this box, an SSH session to another one, a
+container exec.  This module isolates everything transport-specific so
+the dispatcher (:mod:`repro.runner.dispatch`) sees one interface:
+
+* :class:`Transport` -- ``launch(host) -> WorkerHandle``.  Two
+  implementations ship: :class:`SubprocessTransport` (spawn
+  ``python -m repro worker`` locally; the distributed analogue of the
+  ``multiprocessing`` sharding) and :class:`CommandTransport` (spawn
+  any user-supplied command template with ``{host}`` substituted --
+  ``ssh {host} repro worker --host {host}`` is the canonical shape).
+* :class:`WorkerHandle` -- one live worker: line-framed JSON messages
+  over the child's stdin/stdout, non-blocking receive with a deadline,
+  and EOF surfaced as :class:`~repro.errors.TransportError` so a dead
+  host looks the same no matter which transport lost it.
+* :class:`WorkloadSpec` -- the JSON-serializable description of *what*
+  to simulate (circuit, patterns, simulator class + config) that the
+  dispatcher ships in the ``init`` message, and
+* :func:`worker_main` -- the worker side of the protocol, mounted as
+  the ``repro worker`` CLI subcommand.
+
+Protocol (version 1), newline-delimited JSON objects
+----------------------------------------------------
+::
+
+    parent -> worker   {"type": "init", "protocol": 1, "workload": ...,
+                        "budget": ... | null, "metrics": bool}
+    worker -> parent   {"type": "ready", "protocol": 1, "host": ..., "pid": ...}
+    parent -> worker   {"type": "chunk", "lease": N, "indices": [...],
+                        "faults": [...]}
+    worker -> parent   {"type": "verdict", "lease": N, "record": ...}   (per fault)
+    worker -> parent   {"type": "chunk_done", "lease": N, "count": ...,
+                        "elapsed_ms": ...}
+    parent -> worker   {"type": "shutdown"}
+    worker -> parent   {"type": "bye", "chunks": ..., "metrics": ... | null}
+    worker -> parent   {"type": "error", "detail": ...}                 (fatal)
+
+Workers stream one ``verdict`` message per fault *before* the chunk's
+``chunk_done``, so a worker that dies mid-chunk loses only the faults
+it had not yet reported -- the dispatcher re-leases exactly the
+remainder.  Fault indices ride in every record, which is what makes
+replayed chunks idempotent: the dispatcher journals the first verdict
+per index and drops duplicates (see ``LeaseBook``).
+
+The worker's stdout **is** the protocol channel; nothing else in the
+package may write to it (the repo lint bans ``print`` outright, which
+is what makes mounting the worker inside the normal CLI safe).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import select
+import shlex
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.netlist import Circuit
+from repro.circuits.registry import build_circuit
+from repro.errors import TransportError
+from repro.mot.baseline import BaselineConfig, BaselineSimulator
+from repro.mot.simulator import MotConfig, ProposedSimulator
+from repro.mot.unrestricted import UnrestrictedConfig, UnrestrictedSimulator
+from repro.obs import ObsSpec, install_worker_obs
+from repro.obs.metrics import get_metrics
+from repro.runner.budget import FaultBudget
+from repro.runner.chaos import (
+    maybe_chaos_fault_delay,
+    maybe_chaos_kill,
+    maybe_chaos_kill_host,
+    maybe_chaos_lease_delay,
+)
+from repro.runner.harness import probe_meter_support, simulate_fault_once
+from repro.runner.journal import fault_from_payload, verdict_to_record
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "WorkloadSpec",
+    "Transport",
+    "SubprocessTransport",
+    "CommandTransport",
+    "WorkerHandle",
+    "make_transport",
+    "worker_main",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Simulator classes a workload may name, with their config dataclass.
+_SIMULATORS = {
+    "ProposedSimulator": (ProposedSimulator, MotConfig),
+    "BaselineSimulator": (BaselineSimulator, BaselineConfig),
+    "UnrestrictedSimulator": (UnrestrictedSimulator, UnrestrictedConfig),
+}
+
+
+# ----------------------------------------------------------------------
+# Config (de)serialization
+# ----------------------------------------------------------------------
+def _known_fields(cls: type, fields: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop keys a (possibly older) worker's dataclass does not know."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    return {k: v for k, v in fields.items() if k in known}
+
+
+def _budget_from_fields(fields: Any) -> Optional[FaultBudget]:
+    if not isinstance(fields, dict):
+        return None
+    budget = FaultBudget(**_known_fields(FaultBudget, fields))
+    return budget if budget.bounded else None
+
+
+def _config_from_fields(simulator_kind: str, fields: Dict[str, Any]) -> Any:
+    """Rebuild the simulator config dataclass from its ``asdict`` form."""
+    _, config_cls = _SIMULATORS[simulator_kind]
+    kwargs = _known_fields(config_cls, fields)
+    if "budget" in kwargs:
+        kwargs["budget"] = _budget_from_fields(kwargs["budget"])
+    if simulator_kind == "UnrestrictedSimulator":
+        restricted = kwargs.get("restricted")
+        if isinstance(restricted, dict):
+            inner = _known_fields(MotConfig, restricted)
+            if "budget" in inner:
+                inner["budget"] = _budget_from_fields(inner["budget"])
+            kwargs["restricted"] = MotConfig(**inner)
+    return config_cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Workload description
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything a worker needs to rebuild the parent's simulator.
+
+    The circuit ships either by registered name (``circuit_kind ==
+    "registered"``: the worker calls
+    :func:`~repro.circuits.registry.build_circuit`) or as ``.bench``
+    text (``"bench"``: the worker parses ``circuit_text``).  Fault
+    *lists* never ship here -- chunks carry explicit fault payloads
+    with global indices, so workload and work assignment stay
+    independent.
+    """
+
+    circuit_kind: str
+    circuit_name: str
+    circuit_text: Optional[str]
+    patterns: List[List[int]]
+    simulator_kind: str
+    simulator_config: Dict[str, Any]
+
+    # ------------------------------------------------------------- build
+    @classmethod
+    def from_simulator(cls, simulator: Any) -> "WorkloadSpec":
+        """Describe *simulator* so a remote worker can rebuild it.
+
+        Prefers shipping the registered circuit name (self-verifying:
+        both sides build from the same registry).  Falls back to
+        ``.bench`` text, but only after proving locally that the text
+        reparses to the *identical* line numbering -- fault payloads
+        reference lines by id, so a renumbering round-trip would
+        silently mis-target every fault on the worker.
+        """
+        kind = type(simulator).__name__
+        if kind not in _SIMULATORS:
+            raise ValueError(
+                f"cannot ship simulator {kind!r}: not one of "
+                f"{sorted(_SIMULATORS)}"
+            )
+        config = simulator.config
+        config_fields = (
+            dataclasses.asdict(config)
+            if dataclasses.is_dataclass(config)
+            else {}
+        )
+        circuit = simulator.circuit
+        circuit_kind, circuit_text = cls._circuit_source(circuit)
+        return cls(
+            circuit_kind=circuit_kind,
+            circuit_name=circuit.name,
+            circuit_text=circuit_text,
+            patterns=[list(p) for p in simulator.patterns],
+            simulator_kind=kind,
+            simulator_config=config_fields,
+        )
+
+    @staticmethod
+    def _circuit_source(circuit: Circuit):
+        try:
+            rebuilt = build_circuit(circuit.name)
+        except Exception:
+            rebuilt = None
+        if rebuilt is not None and rebuilt.line_names == circuit.line_names:
+            return "registered", None
+        text = write_bench(circuit)
+        reparsed = parse_bench(text, circuit.name)
+        if reparsed.line_names != circuit.line_names:
+            raise ValueError(
+                f"circuit {circuit.name!r} does not survive a .bench "
+                f"round-trip with stable line ids; cannot ship it to "
+                f"remote workers"
+            )
+        return "bench", text
+
+    def build_simulator(self) -> Any:
+        """Rebuild the simulator on the worker side."""
+        if self.circuit_kind == "registered":
+            circuit = build_circuit(self.circuit_name)
+        elif self.circuit_kind == "bench":
+            circuit = parse_bench(self.circuit_text or "", self.circuit_name)
+        else:
+            raise ValueError(f"unknown circuit_kind {self.circuit_kind!r}")
+        simulator_cls, _ = _SIMULATORS[self.simulator_kind]
+        config = _config_from_fields(self.simulator_kind,
+                                     self.simulator_config)
+        return simulator_cls(circuit, self.patterns, config=config)
+
+    # ----------------------------------------------------------- payload
+    def to_payload(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "WorkloadSpec":
+        if payload.get("simulator_kind") not in _SIMULATORS:
+            raise ValueError(
+                f"unknown simulator_kind "
+                f"{payload.get('simulator_kind')!r}"
+            )
+        return cls(
+            circuit_kind=payload["circuit_kind"],
+            circuit_name=payload["circuit_name"],
+            circuit_text=payload.get("circuit_text"),
+            patterns=[list(p) for p in payload["patterns"]],
+            simulator_kind=payload["simulator_kind"],
+            simulator_config=dict(payload.get("simulator_config") or {}),
+        )
+
+
+# ----------------------------------------------------------------------
+# Parent side: worker handles and transports
+# ----------------------------------------------------------------------
+class WorkerHandle:
+    """One live worker process, speaking line-framed JSON.
+
+    ``recv`` never blocks past its deadline and raises
+    :class:`TransportError` when the worker's stdout reaches EOF (the
+    transport-agnostic signature of a dead host); a torn final line --
+    the worker was killed mid-``write`` -- is dropped, mirroring the
+    journal's torn-tail tolerance.
+    """
+
+    def __init__(self, host: str, process: subprocess.Popen) -> None:
+        self.host = host
+        self.process = process
+        self._buffer = b""
+        self._pending: List[bytes] = []
+        self._eof = False
+
+    # ---------------------------------------------------------- send
+    def send(self, message: Dict[str, Any]) -> None:
+        data = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            self.process.stdin.write(data)
+            self.process.stdin.flush()
+        except (OSError, ValueError) as exc:
+            raise TransportError(
+                self.host, f"cannot write to worker: {exc}"
+            ) from None
+
+    # ---------------------------------------------------------- recv
+    def recv(self, timeout: float = 0.0) -> Optional[Dict[str, Any]]:
+        """Next message, or ``None`` when *timeout* elapses first."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            if self._pending:
+                return self._decode(self._pending.pop(0))
+            if self._eof:
+                code = self.process.poll()
+                raise TransportError(
+                    self.host,
+                    f"worker closed its protocol stream"
+                    f" (exit code {code})",
+                )
+            remaining = deadline - time.monotonic()
+            got_data = self._fill(max(0.0, remaining))
+            if not got_data and remaining <= 0:
+                return None
+
+    def _fill(self, timeout: float) -> bool:
+        """Pull available bytes from the worker; True if any arrived."""
+        stream = self.process.stdout
+        try:
+            ready, _, _ = select.select([stream], [], [], timeout)
+        except (OSError, ValueError):
+            self._eof = True
+            return True
+        if not ready:
+            return False
+        try:
+            data = os.read(stream.fileno(), 1 << 16)
+        except OSError:
+            data = b""
+        if not data:
+            self._eof = True  # torn partial tail in the buffer is dropped
+            return True
+        self._buffer += data
+        *lines, self._buffer = self._buffer.split(b"\n")
+        self._pending.extend(line for line in lines if line.strip())
+        return True
+
+    def _decode(self, line: bytes) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise TransportError(
+                self.host,
+                f"malformed protocol line: {line[:120]!r}",
+            ) from None
+        if not isinstance(parsed, dict):
+            raise TransportError(
+                self.host, f"protocol line is not an object: {line[:120]!r}"
+            )
+        return parsed
+
+    # --------------------------------------------------------- control
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def close(self, timeout: float = 5.0) -> Optional[int]:
+        """Tear the worker down (idempotent); returns its exit code."""
+        for stream in (self.process.stdin, self.process.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            try:
+                return self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                return None
+
+
+class Transport:
+    """Launch workers on (pseudo-)hosts; the dispatcher's only view."""
+
+    kind = "abstract"
+
+    def launch(self, host: str) -> WorkerHandle:
+        raise NotImplementedError
+
+    @staticmethod
+    def _spawn(argv: Sequence[str], host: str) -> WorkerHandle:
+        try:
+            process = subprocess.Popen(
+                list(argv),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=None,  # workers inherit stderr for tracebacks
+            )
+        except OSError as exc:
+            raise TransportError(
+                host, f"cannot spawn {argv[0]!r}: {exc}"
+            ) from None
+        return WorkerHandle(host, process)
+
+
+class SubprocessTransport(Transport):
+    """Local worker processes: ``python -m repro worker --host <host>``.
+
+    The distributed-protocol analogue of the ``multiprocessing``
+    sharding -- same box, but exercising the exact protocol a remote
+    host would speak, which is what the smoke tests rely on.
+    """
+
+    kind = "local"
+
+    def __init__(self, python: Optional[str] = None) -> None:
+        self.python = python or sys.executable
+
+    def launch(self, host: str) -> WorkerHandle:
+        argv = [self.python, "-m", "repro", "worker", "--host", host]
+        return self._spawn(argv, host)
+
+
+class CommandTransport(Transport):
+    """Workers launched via an arbitrary command template.
+
+    The template must contain ``{host}``; it is substituted (shell-
+    quoted) and the result split with :mod:`shlex`.  Anything that can
+    exec a command and forward stdin/stdout works unmodified::
+
+        ssh {host} repro worker --host {host}
+        docker exec -i {host} repro worker --host {host}
+        env PYTHONPATH=src python -m repro worker --host {host}
+    """
+
+    kind = "command"
+
+    def __init__(self, template: str) -> None:
+        if "{host}" not in template:
+            raise ValueError(
+                "command template must contain a {host} placeholder"
+            )
+        self.template = template
+
+    def launch(self, host: str) -> WorkerHandle:
+        command = self.template.replace("{host}", shlex.quote(host))
+        argv = shlex.split(command)
+        if not argv:
+            raise TransportError(host, "command template expands to nothing")
+        return self._spawn(argv, host)
+
+
+def make_transport(
+    kind: str, command_template: Optional[str] = None
+) -> Transport:
+    """Build the transport the CLI's ``--transport`` flag names."""
+    if kind == "local":
+        return SubprocessTransport()
+    if kind == "command":
+        if not command_template:
+            raise ValueError(
+                "--transport command requires --command-template"
+            )
+        return CommandTransport(command_template)
+    raise ValueError(f"unknown transport {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _read_message(stream: Any) -> Optional[Dict[str, Any]]:
+    """Next parent message from *stream*; None on EOF; raises ValueError
+    on a malformed line (the parent is speaking, so torn lines are a
+    protocol violation here, not salvageable damage)."""
+    while True:
+        line = stream.readline()
+        if not line:
+            return None
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        if not line.strip():
+            continue
+        parsed = json.loads(line)
+        if not isinstance(parsed, dict):
+            raise ValueError(f"protocol line is not an object: {line[:120]!r}")
+        return parsed
+
+
+def worker_main(host: str, stdin: Any = None, stdout: Any = None) -> int:
+    """Serve chunks over the worker protocol until shutdown.
+
+    Mounted as ``repro worker --host <name>``.  Returns the process
+    exit code: 0 after a clean ``shutdown``/``bye`` exchange, 1 on any
+    protocol or workload failure (reported to the parent as an
+    ``error`` message when the pipe still works), 130 on SIGINT.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+
+    def emit(message: Dict[str, Any]) -> None:
+        stdout.write(json.dumps(message, sort_keys=True) + "\n")
+        stdout.flush()
+
+    def fail(detail: str) -> int:
+        try:
+            emit({"type": "error", "host": host, "detail": detail})
+        except (OSError, ValueError):  # parent already gone
+            pass
+        return 1
+
+    try:
+        try:
+            init = _read_message(stdin)
+        except ValueError as exc:
+            return fail(f"malformed init: {exc}")
+        if init is None:
+            return 1  # parent vanished before speaking
+        if init.get("type") != "init":
+            return fail(f"expected init, got {init.get('type')!r}")
+        if init.get("protocol") != PROTOCOL_VERSION:
+            return fail(
+                f"protocol mismatch: parent speaks "
+                f"{init.get('protocol')!r}, worker speaks "
+                f"{PROTOCOL_VERSION}"
+            )
+        if init.get("metrics"):
+            install_worker_obs(ObsSpec(metrics=True))
+        try:
+            workload = WorkloadSpec.from_payload(init["workload"])
+            simulator = workload.build_simulator()
+        except Exception as exc:
+            return fail(f"cannot build workload: {type(exc).__name__}: {exc}")
+        budget = _budget_from_fields(init.get("budget"))
+        supports_meter = probe_meter_support(simulator)
+        emit({
+            "type": "ready",
+            "protocol": PROTOCOL_VERSION,
+            "host": host,
+            "pid": os.getpid(),
+        })
+
+        chunks_done = 0
+        while True:
+            try:
+                message = _read_message(stdin)
+            except ValueError as exc:
+                return fail(f"malformed message: {exc}")
+            if message is None:
+                return 1  # parent vanished mid-campaign
+            mtype = message.get("type")
+            if mtype == "shutdown":
+                payload = None
+                metrics = get_metrics()
+                if metrics.enabled:
+                    snapshot = metrics.snapshot()
+                    if not snapshot.empty:
+                        payload = snapshot.to_payload()
+                emit({
+                    "type": "bye",
+                    "host": host,
+                    "chunks": chunks_done,
+                    "metrics": payload,
+                })
+                return 0
+            if mtype != "chunk":
+                return fail(f"unexpected message type {mtype!r}")
+            maybe_chaos_lease_delay(host)
+            lease = message.get("lease")
+            indices = message.get("indices") or []
+            fault_payloads = message.get("faults") or []
+            if len(indices) != len(fault_payloads):
+                return fail(
+                    f"chunk {lease!r}: {len(indices)} indices for "
+                    f"{len(fault_payloads)} faults"
+                )
+            started = time.perf_counter()
+            for index, payload in zip(indices, fault_payloads):
+                index = int(index)
+                fault = fault_from_payload(payload)
+                maybe_chaos_kill(index)
+                maybe_chaos_fault_delay(index)
+                verdict = simulate_fault_once(
+                    simulator,
+                    fault,
+                    budget=budget,
+                    supports_meter=supports_meter,
+                )
+                emit({
+                    "type": "verdict",
+                    "lease": lease,
+                    "host": host,
+                    "record": verdict_to_record(index, verdict),
+                })
+            chunks_done += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("worker.chunks")
+            emit({
+                "type": "chunk_done",
+                "lease": lease,
+                "host": host,
+                "count": len(indices),
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            })
+            maybe_chaos_kill_host(host, chunks_done)
+    except KeyboardInterrupt:
+        return 130
+    except Exception as exc:  # pragma: no cover - last-resort report
+        return fail(f"worker crashed: {type(exc).__name__}: {exc}")

@@ -96,7 +96,8 @@ def test_journal_tolerates_torn_tail_line(tmp_path):
     assert set(verdicts) == {0}
 
 
-def test_journal_rejects_garbage_in_the_middle(tmp_path):
+def test_journal_salvages_garbage_in_the_middle(tmp_path):
+    """A torn interior write must not kill the valid records after it."""
     path = str(tmp_path / "run.jsonl")
     journal = CampaignJournal(path)
     journal.create(_manifest())
@@ -106,8 +107,55 @@ def test_journal_rejects_garbage_in_the_middle(tmp_path):
             json.dumps(verdict_to_record(0, FaultVerdict(Fault(1, 0, None),
                                                          "conv"))) + "\n"
         )
-    with pytest.raises(JournalError):
-        CampaignJournal(path).load()
+    reader = CampaignJournal(path)
+    _, verdicts = reader.load()
+    assert set(verdicts) == {0}
+    report = reader.last_report
+    assert report.corrupt_lines == 1
+    assert report.records == 1
+    assert not report.torn_tail
+    assert report.quarantine_path == path + ".corrupt"
+    with open(report.quarantine_path) as handle:
+        quarantined = [json.loads(line) for line in handle]
+    assert quarantined[0]["line"] == 2
+    assert quarantined[0]["raw"] == "not json"
+
+
+def test_journal_detects_checksum_mismatch(tmp_path):
+    """A bit flip inside an otherwise well-formed sealed record is
+    caught by the CRC and quarantined instead of being trusted."""
+    path = str(tmp_path / "run.jsonl")
+    journal = CampaignJournal(path)
+    journal.create(_manifest())
+    journal.append(verdict_to_record(0, FaultVerdict(Fault(1, 0, None), "conv")))
+    journal.append(verdict_to_record(1, FaultVerdict(Fault(2, 1, None), "mot")))
+    journal.flush()
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    # Flip the verdict status of the sealed record for fault 0.
+    lines[1] = lines[1].replace('"conv"', '"mot"')
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    reader = CampaignJournal(path)
+    _, verdicts = reader.load()
+    assert set(verdicts) == {1}
+    assert reader.last_report.checksum_failures == 1
+    assert reader.last_report.corrupt_lines == 1
+
+
+def test_journal_unsealed_records_still_load(tmp_path):
+    """Pre-hardening journals (no ``crc`` field) remain readable."""
+    path = str(tmp_path / "run.jsonl")
+    manifest = _manifest()
+    with open(path, "w") as handle:
+        handle.write(json.dumps(manifest, sort_keys=True) + "\n")
+        handle.write(
+            json.dumps(verdict_to_record(0, FaultVerdict(Fault(1, 0, None),
+                                                         "conv"))) + "\n"
+        )
+    loaded_manifest, verdicts = CampaignJournal(path).load()
+    assert loaded_manifest == manifest
+    assert set(verdicts) == {0}
 
 
 def test_journal_rejects_missing_manifest_and_bad_version(tmp_path):
@@ -170,11 +218,13 @@ def test_supervision_log_tolerates_torn_tail(tmp_path):
     assert [e["event"] for e in log.load()] == ["attempt_started"]
 
 
-def test_supervision_log_rejects_garbage_in_the_middle(tmp_path):
+def test_supervision_log_counts_garbage_in_the_middle(tmp_path):
     log = SupervisionLog(str(tmp_path / "run.jsonl.events"))
     log.create()
     with open(log.path, "a") as handle:
         handle.write("not json\n")
         handle.write(json.dumps({"kind": "event", "event": "x"}) + "\n")
-    with pytest.raises(JournalError, match="malformed"):
-        log.load()
+    events, corrupt = log.load_with_errors()
+    assert [e["event"] for e in events] == ["x"]
+    assert corrupt == 1
+    assert log.corrupt_lines == 1

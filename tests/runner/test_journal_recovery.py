@@ -1,0 +1,190 @@
+"""Crash-recovery property tests: the journal under arbitrary damage.
+
+The crash-proofness claim is quantified, not anecdotal: a campaign
+journal truncated at **every** byte offset must either refuse to load
+(damage inside the manifest -- identity can no longer be verified) or
+resume to a campaign bit-identical to the uninterrupted run, reusing
+exactly the records that survived intact and re-simulating exactly the
+lost suffix.  Interior damage (bit flips, garbage lines, torn writes
+followed by more appends) must salvage the same way, with the damage
+quarantined to the ``.corrupt`` sidecar.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.errors import JournalError
+from repro.faults.collapse import collapse_faults
+from repro.mot.simulator import ProposedSimulator
+from repro.runner.harness import CampaignHarness, HarnessConfig
+from repro.runner.journal import CampaignJournal, record_checksum_ok
+
+from tests.helpers import toggle_circuit
+
+
+def _simulator():
+    return ProposedSimulator(toggle_circuit(), [[0], [1], [1], [0]])
+
+
+def _faults():
+    return collapse_faults(toggle_circuit())
+
+
+def _run(path, resume=False):
+    harness = CampaignHarness(
+        _simulator(),
+        HarnessConfig(
+            checkpoint_path=path, resume=resume, handle_sigint=False
+        ),
+    )
+    with warnings.catch_warnings():
+        # Salvage warnings are expected throughout; they are pinned
+        # explicitly once in test_bit_flip_in_every_record.
+        warnings.simplefilter("ignore", UserWarning)
+        campaign = harness.run(_faults())
+    return campaign, harness.stats
+
+
+def _run_warning(path):
+    """Like :func:`_run` with ``resume=True`` but warnings unfiltered."""
+    harness = CampaignHarness(
+        _simulator(),
+        HarnessConfig(
+            checkpoint_path=path, resume=True, handle_sigint=False
+        ),
+    )
+    return harness.run(_faults()), harness.stats
+
+
+def _signature(campaign):
+    return [
+        (v.fault.line, v.fault.stuck_at, v.fault.pin, v.status, v.how)
+        for v in campaign.verdicts
+    ]
+
+
+def test_truncation_at_every_byte_offset(tmp_path):
+    base = str(tmp_path / "base.jsonl")
+    reference, _ = _run(base)
+    data = open(base, "rb").read()
+    # Per-line byte layout: a line's content is intact at offset N iff
+    # N >= its end (the newline itself is not needed -- splitlines()).
+    line_ends = []
+    start = 0
+    for line in data.split(b"\n")[:-1]:
+        line_ends.append(start + len(line))
+        start += len(line) + 1
+    manifest_end = line_ends[0]
+    total = len(_faults())
+
+    for offset in range(len(data) + 1):
+        path = str(tmp_path / "cut.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(data[:offset])
+        if offset < manifest_end:
+            # Damage inside the manifest: identity unverifiable,
+            # loading must refuse rather than guess.
+            with pytest.raises(JournalError):
+                CampaignJournal(path).load()
+            continue
+        survivors = sum(1 for end in line_ends[1:] if end <= offset)
+        resumed, stats = _run(path, resume=True)
+        assert stats.reused == survivors, f"offset {offset}"
+        assert stats.simulated == total - survivors, f"offset {offset}"
+        assert _signature(resumed) == _signature(reference), \
+            f"offset {offset}"
+        # The repaired journal is whole again: a second resume reuses
+        # everything and re-simulates nothing.
+        again, stats = _run(path, resume=True)
+        assert stats.reused == total, f"offset {offset}"
+        assert stats.simulated == 0, f"offset {offset}"
+        assert _signature(again) == _signature(reference)
+
+
+def test_bit_flip_in_every_record(tmp_path):
+    base = str(tmp_path / "base.jsonl")
+    reference, _ = _run(base)
+    lines = open(base, "rb").read().split(b"\n")[:-1]
+    total = len(_faults())
+
+    for target in range(1, len(lines)):
+        damaged = list(lines)
+        # Flip one character inside the record's JSON payload.
+        line = bytearray(damaged[target])
+        line[len(line) // 2] ^= 0x20
+        damaged[target] = bytes(line)
+        path = str(tmp_path / f"flip{target}.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(damaged) + b"\n")
+
+        journal = CampaignJournal(path)
+        _, verdicts = journal.load()
+        report = journal.last_report
+        assert report.corrupt_lines == 1
+        assert len(verdicts) == total - 1
+        # The damage is quarantined for inspection.
+        sidecar = [
+            json.loads(entry)
+            for entry in open(report.quarantine_path)
+        ]
+        assert len(sidecar) == 1
+        assert sidecar[0]["line"] == target + 1
+
+        with pytest.warns(UserWarning, match="salvaged"):
+            resumed, stats = _run_warning(path)
+        assert stats.reused == total - 1
+        assert stats.simulated == 1
+        assert _signature(resumed) == _signature(reference)
+
+
+def test_garbage_lines_and_torn_write_then_append(tmp_path):
+    """A torn tail followed by appends never swallows the new records."""
+    base = str(tmp_path / "journal.jsonl")
+    reference, _ = _run(base)
+    data = open(base, "rb").read()
+    lines = data.split(b"\n")[:-1]
+    # Tear the final record in half, as a crash mid-write would.
+    torn = b"\n".join(lines[:-1]) + b"\n" + lines[-1][: len(lines[-1]) // 2]
+    with open(base, "wb") as handle:
+        handle.write(torn)
+
+    resumed, stats = _run(base, resume=True)
+    assert stats.reused == len(lines) - 2  # all but the torn record
+    assert stats.simulated == 1
+    assert _signature(resumed) == _signature(reference)
+
+    # The resume appended on a fresh line: every record in the file is
+    # either intact (checksum passes) or the quarantined fragment.
+    bad = 0
+    for line in open(base, "rb").read().split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            bad += 1
+            continue
+        assert record_checksum_ok(record)
+    assert bad == 1  # the fragment itself, isolated, nothing else lost
+
+
+def test_interleaved_garbage_lines_are_skipped_and_quarantined(tmp_path):
+    base = str(tmp_path / "journal.jsonl")
+    reference, _ = _run(base)
+    lines = open(base, "rb").read().split(b"\n")[:-1]
+    noisy = [lines[0], b"<<<not json>>>"]
+    for line in lines[1:]:
+        noisy.extend([line, b'{"kind": "verdict", "index": "broken"}'])
+    with open(base, "wb") as handle:
+        handle.write(b"\n".join(noisy) + b"\n")
+
+    journal = CampaignJournal(base)
+    _, verdicts = journal.load()
+    assert len(verdicts) == len(lines) - 1  # every real record survives
+    assert journal.last_report.corrupt_lines == len(lines)
+
+    resumed, stats = _run(base, resume=True)
+    assert stats.simulated == 0  # no verdict was actually lost
+    assert _signature(resumed) == _signature(reference)
