@@ -29,10 +29,67 @@ def test_frame_eval_s5378_like(benchmark):
     benchmark(eval_frame, circuit, pattern, state)
 
 
+def test_frame_eval_ir_single_s5378_like(benchmark):
+    """Width-1 kernel evaluation: the engine-swap overhead floor."""
+    from repro.sim.ir import compile_circuit
+    from repro.sim.kernel import eval_frame_values
+
+    circuit = build_circuit("s5378_like")
+    compile_circuit(circuit)  # compile outside the measured region
+    pattern = random_patterns(circuit.num_inputs, 1, seed=0)[0]
+    state = [UNKNOWN] * circuit.num_flops
+    benchmark(eval_frame_values, circuit, pattern, state)
+
+
+def test_frame_eval_ppsfp64_s5378_like(benchmark):
+    """PPSFP: 64 patterns through one levelized pass over the IR.
+
+    Compare per-pattern cost against ``test_frame_eval_s5378_like``;
+    the hard >= 10x gate lives in ``check_kernel_gate.py``.
+    """
+    from repro.sim.ir import compile_circuit
+    from repro.sim.kernel import eval_frame_planes
+
+    circuit = build_circuit("s5378_like")
+    compile_circuit(circuit)
+    patterns = random_patterns(circuit.num_inputs, 64, seed=0)
+    planes = benchmark(eval_frame_planes, circuit, patterns)
+    assert planes.width == 64
+
+
 def test_sequential_sim_s1423_like(benchmark):
     circuit = build_circuit("s1423_like")
     patterns = random_patterns(circuit.num_inputs, 32, seed=0)
     benchmark(simulate_sequence, circuit, patterns)
+
+
+def test_sequential_sim_ir_s1423_like(benchmark):
+    """The same trajectory through the compiled kernel."""
+    from repro.sim.ir import compile_circuit
+
+    circuit = build_circuit("s1423_like")
+    compile_circuit(circuit)
+    patterns = random_patterns(circuit.num_inputs, 32, seed=0)
+    benchmark(simulate_sequence, circuit, patterns, engine="ir")
+
+
+def test_sequential_packed64_s1423_like(benchmark):
+    """64 independent test sequences per levelized pass per frame."""
+    from repro.sim.ir import compile_circuit
+    from repro.sim.kernel import simulate_sequences_packed
+
+    circuit = build_circuit("s1423_like")
+    compile_circuit(circuit)
+    sequences = [
+        random_patterns(circuit.num_inputs, 16, seed=seed)
+        for seed in range(64)
+    ]
+    packed = benchmark.pedantic(
+        lambda: simulate_sequences_packed(circuit, sequences),
+        rounds=3,
+        iterations=1,
+    )
+    assert packed.width == 64
 
 
 def test_fault_injection_s5378_like(benchmark):
@@ -59,14 +116,35 @@ def test_collapse_s35932_like(benchmark):
 
 
 def test_parallel_fault_sim_s208_like(benchmark):
-    """Bit-parallel conventional simulation of the full collapsed list."""
+    """Bit-parallel conventional simulation, object-graph engine."""
     from repro.fsim.parallel import run_parallel_conventional
 
     circuit = build_circuit("s208_like")
     faults = collapse_faults(circuit)
     patterns = random_patterns(circuit.num_inputs, 24, seed=1)
     campaign = benchmark.pedantic(
-        lambda: run_parallel_conventional(circuit, faults, patterns),
+        lambda: run_parallel_conventional(
+            circuit, faults, patterns, engine="interp"
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert campaign.total == len(faults)
+
+
+def test_parallel_fault_sim_ir_s208_like(benchmark):
+    """The same campaign with batches compiled to IR plane masks."""
+    from repro.fsim.parallel import run_parallel_conventional
+    from repro.sim.ir import compile_circuit
+
+    circuit = build_circuit("s208_like")
+    compile_circuit(circuit)
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(circuit.num_inputs, 24, seed=1)
+    campaign = benchmark.pedantic(
+        lambda: run_parallel_conventional(
+            circuit, faults, patterns, engine="ir"
+        ),
         rounds=3,
         iterations=1,
     )

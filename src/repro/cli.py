@@ -277,10 +277,15 @@ def cmd_fsim(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args)
     faults = _faults(circuit, args.uncollapsed)
     patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
-    if args.engine == "parallel":
+    if args.engine in ("parallel", "ir"):
         from repro.fsim.parallel import run_parallel_conventional
 
-        campaign = run_parallel_conventional(circuit, faults, patterns)
+        # "parallel" keeps the object-graph walk; "ir" compiles each
+        # fault batch into plane masks over the levelized circuit IR.
+        campaign = run_parallel_conventional(
+            circuit, faults, patterns,
+            engine="ir" if args.engine == "ir" else "interp",
+        )
     else:
         campaign = run_conventional(circuit, faults, patterns)
     print(
@@ -348,7 +353,7 @@ def _run_mot(args: argparse.Namespace) -> int:
     )
     # One good-machine simulation for the whole campaign -- shared by
     # the simulator, its forward fallback, and every worker process.
-    good_cache = GoodMachineCache.compute(circuit, patterns)
+    good_cache = GoodMachineCache.compute(circuit, patterns, engine=args.engine)
     if args.unrestricted:
         from repro.mot.unrestricted import (
             UnrestrictedConfig,
@@ -360,14 +365,17 @@ def _run_mot(args: argparse.Namespace) -> int:
             patterns,
             UnrestrictedConfig(
                 n_references=args.n_references,
-                restricted=MotConfig(n_states=args.n_states),
+                restricted=MotConfig(
+                    n_states=args.n_states, sim_engine=args.engine
+                ),
             ),
             good_cache=good_cache,
         )
         label = f"unrestricted MOT ({simulator.n_references} references)"
     elif args.baseline:
         simulator = BaselineSimulator(
-            circuit, patterns, BaselineConfig(n_states=args.n_states),
+            circuit, patterns,
+            BaselineConfig(n_states=args.n_states, sim_engine=args.engine),
             good_cache=good_cache,
         )
         label = "[4] baseline"
@@ -380,6 +388,7 @@ def _run_mot(args: argparse.Namespace) -> int:
                 implication_mode=args.implication_mode,
                 backward_depth=args.depth,
                 learning=args.learning,
+                sim_engine=args.engine,
             ),
             good_cache=good_cache,
         )
@@ -682,8 +691,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_circuit_args(p_fsim)
     _add_workload_args(p_fsim)
     p_fsim.add_argument(
-        "--engine", choices=("serial", "parallel"), default="serial",
-        help="fault-simulation engine",
+        "--engine", choices=("serial", "parallel", "ir"), default="serial",
+        help="fault-simulation engine: serial (one fault at a time), "
+             "parallel (bit-parallel over the object graph), or ir "
+             "(bit-parallel over the compiled levelized IR; fastest)",
     )
     p_fsim.add_argument(
         "--list-undetected", action="store_true",
@@ -694,6 +705,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_mot = sub.add_parser("mot", help="MOT fault simulation")
     _add_circuit_args(p_mot)
     _add_workload_args(p_mot)
+    p_mot.add_argument(
+        "--engine", choices=("ir", "interp"), default="ir",
+        help="good-machine simulation engine: ir (compiled two-plane "
+             "kernel, default) or interp (per-gate interpreter); "
+             "verdicts are bit-identical either way",
+    )
     p_mot.add_argument(
         "--baseline", action="store_true",
         help="run the [4] state-expansion baseline instead",

@@ -20,6 +20,15 @@ branches (a single pin) exactly like the netlist-transformation injector.
 The results are bit-identical to the serial simulator (asserted in
 ``tests/fsim/test_parallel.py``, including property tests); only the
 detection *site* is not tracked.
+
+Two evaluation engines implement the same batch semantics:
+
+* ``"ir"`` (default) -- per-batch pin overrides are compiled once into
+  plane masks over the levelized :class:`~repro.sim.ir.CircuitIR` and
+  evaluated by :func:`repro.sim.kernel.simulate_fault_batch`; the hot
+  loop walks flat integer arrays instead of the netlist;
+* ``"interp"`` -- the original object-graph walk, kept as the reference
+  implementation the differential suite compares against.
 """
 
 from __future__ import annotations
@@ -97,12 +106,20 @@ def _batches(faults: Sequence[Fault], batch: int) -> Iterable[List[Fault]]:
 class ParallelFaultSimulator:
     """Parallel-fault three-valued sequential simulator."""
 
-    def __init__(self, circuit: Circuit, batch: int = DEFAULT_BATCH) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        batch: int = DEFAULT_BATCH,
+        engine: str = "ir",
+    ) -> None:
         if batch < 1:
             raise ValueError("batch must be positive")
+        if engine not in ("ir", "interp"):
+            raise ValueError(f"unknown parallel-fault engine {engine!r}")
         self.circuit = circuit
         self.batch = batch
-        # Pre-resolve gate structure for the hot loop.
+        self.engine = engine
+        # Pre-resolve gate structure for the interpreted hot loop.
         self._plan = [
             (g.gate_type, gate_index, g.output, g.inputs)
             for gate_index, g in (
@@ -226,10 +243,24 @@ class ParallelFaultSimulator:
         """
         metrics = get_metrics()
         verdicts: List[ConventionalVerdict] = []
+        ir_engine = self.engine == "ir"
+        if ir_engine:
+            from repro.sim.kernel import (
+                compile_fault_batch,
+                simulate_fault_batch,
+            )
         with metrics.phase("fsim"):
-            reference = simulate_sequence(self.circuit, patterns)
+            reference = simulate_sequence(
+                self.circuit, patterns, engine=self.engine
+            )
             for chunk in _batches(faults, self.batch):
-                detected_mask = self._simulate_batch(chunk, patterns)
+                if ir_engine:
+                    compiled_ir = compile_fault_batch(self.circuit, chunk)
+                    detected_mask = simulate_fault_batch(
+                        self.circuit, compiled_ir, patterns
+                    )
+                else:
+                    detected_mask = self._simulate_batch(chunk, patterns)
                 if metrics.enabled:
                     metrics.counter("fsim.parallel.batches")
                 for position, fault in enumerate(chunk):
@@ -254,6 +285,7 @@ def run_parallel_conventional(
     faults: Sequence[Fault],
     patterns: Sequence[Sequence[int]],
     batch: int = DEFAULT_BATCH,
+    engine: str = "ir",
 ) -> ConventionalCampaign:
     """Convenience wrapper around :class:`ParallelFaultSimulator`."""
-    return ParallelFaultSimulator(circuit, batch).run(faults, patterns)
+    return ParallelFaultSimulator(circuit, batch, engine).run(faults, patterns)

@@ -60,6 +60,9 @@ class BaselineConfig:
     #: Optional per-fault work / wall-clock budget (see
     #: :class:`repro.mot.simulator.MotConfig`).
     budget: Optional[FaultBudget] = None
+    #: Good-machine simulation engine (see
+    #: :class:`repro.mot.simulator.MotConfig.sim_engine`).
+    sim_engine: str = "ir"
 
 
 class BaselineSimulator:
@@ -89,7 +92,9 @@ class BaselineSimulator:
         if self.good_cache is not None:
             self.reference = self.good_cache.result
         else:
-            self.reference = simulate_sequence(circuit, self.patterns)
+            self.reference = simulate_sequence(
+                circuit, self.patterns, engine=self.config.sim_engine
+            )
         if reference_outputs is not None:
             if len(reference_outputs) != len(self.patterns):
                 raise ValueError("reference response length mismatch")

@@ -47,6 +47,8 @@ METRIC_NAMES = frozenset(
         "fsim.deductive.frames",
         "fsim.parallel.batches",
         "fsim.parallel.faults",
+        # Compiled circuit IR (repro.sim.ir / repro.sim.kernel).
+        "kernel.compile",
         # Good-machine cache.
         "goodcache.compute",
         "goodcache.hit",

@@ -1,4 +1,12 @@
-"""Three-valued frame and sequential simulation."""
+"""Three-valued frame and sequential simulation.
+
+Two engines share one semantics: the per-gate plan interpreter
+(:mod:`repro.sim.frame` / :mod:`repro.sim.sequential`) and the compiled
+two-plane bit-parallel kernel (:mod:`repro.sim.ir` /
+:mod:`repro.sim.kernel`).  They are bit-identical -- enforced by the
+cross-engine differential suite -- and selected via ``engine="interp"``
+/ ``engine="ir"`` arguments (or ``--engine`` on the CLI).
+"""
 
 from repro.sim.frame import eval_frame, evaluate_plan, frame_plan
 from repro.sim.goodcache import (
@@ -6,6 +14,17 @@ from repro.sim.goodcache import (
     circuit_fingerprint,
     clear_shared_good_cache,
     shared_good_cache,
+)
+from repro.sim.ir import CircuitIR, compile_circuit
+from repro.sim.kernel import (
+    CompiledFaultBatch,
+    FramePlanes,
+    PackedSequences,
+    compile_fault_batch,
+    eval_frame_patterns,
+    eval_frame_planes,
+    simulate_fault_batch,
+    simulate_sequences_packed,
 )
 from repro.sim.sequential import (
     SequentialResult,
@@ -18,6 +37,16 @@ __all__ = [
     "eval_frame",
     "evaluate_plan",
     "frame_plan",
+    "CircuitIR",
+    "compile_circuit",
+    "CompiledFaultBatch",
+    "FramePlanes",
+    "PackedSequences",
+    "compile_fault_batch",
+    "eval_frame_patterns",
+    "eval_frame_planes",
+    "simulate_fault_batch",
+    "simulate_sequences_packed",
     "SequentialResult",
     "simulate_sequence",
     "simulate_injected",

@@ -53,6 +53,7 @@ def simulate_sequence(
     initial_state: Optional[Sequence[int]] = None,
     forced_ps: Optional[Dict[int, int]] = None,
     keep_frames: bool = False,
+    engine: str = "interp",
 ) -> SequentialResult:
     """Simulate *patterns* on *circuit* with three-valued logic.
 
@@ -72,7 +73,24 @@ def simulate_sequence(
         entries are pinned to the stuck value at every time unit.
     keep_frames:
         Keep all per-frame line values (needed by backward implications).
+    engine:
+        ``"interp"`` (per-gate plan interpreter) or ``"ir"`` (compiled
+        two-plane kernel); the trajectories are bit-identical, asserted
+        by the cross-engine differential suite.
     """
+    if engine == "ir":
+        from repro.sim.kernel import simulate_sequence_ir
+
+        result: SequentialResult = simulate_sequence_ir(
+            circuit,
+            patterns,
+            initial_state=initial_state,
+            forced_ps=forced_ps,
+            keep_frames=keep_frames,
+        )
+        return result
+    if engine != "interp":
+        raise ValueError(f"unknown simulation engine {engine!r}")
     num_flops = circuit.num_flops
     if initial_state is None:
         state = [UNKNOWN] * num_flops
@@ -108,6 +126,7 @@ def simulate_injected(
     patterns: Patterns,
     initial_state: Optional[Sequence[int]] = None,
     keep_frames: bool = False,
+    engine: str = "interp",
 ) -> SequentialResult:
     """Simulate the faulty circuit of *injected* (convenience wrapper)."""
     return simulate_sequence(
@@ -116,6 +135,7 @@ def simulate_injected(
         initial_state=initial_state,
         forced_ps=injected.forced_ps,
         keep_frames=keep_frames,
+        engine=engine,
     )
 
 

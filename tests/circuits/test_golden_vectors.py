@@ -1,0 +1,70 @@
+"""Golden-vector regression: both engines must replay the frozen fixtures.
+
+``tests/circuits/golden/*.json`` (regenerated only deliberately, via
+``tools/make_golden_vectors.py``) freeze the fault-free output response
+and state trajectory of the example ``.bench`` circuits under committed
+pattern sequences.  Replaying them through the interpreter *and* the
+compiled IR kernel pins the simulation semantics: a kernel edit that
+changes any value at any time unit fails here against a reviewed
+artifact, not just against the other engine.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.circuit.bench import load_bench
+from repro.logic.values import value_from_char
+from repro.sim.sequential import simulate_sequence
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+_GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+EXPECTED_FIXTURES = {"s27", "toggle", "fig4", "learned_demo"}
+
+
+def _fixtures():
+    return sorted(
+        name for name in os.listdir(_GOLDEN_DIR) if name.endswith(".json")
+    )
+
+
+def _decode(rows):
+    return [[value_from_char(char) for char in row] for row in rows]
+
+
+def test_every_expected_fixture_is_committed():
+    names = {os.path.splitext(name)[0] for name in _fixtures()}
+    assert EXPECTED_FIXTURES <= names, (
+        f"missing golden fixtures: {EXPECTED_FIXTURES - names}; "
+        "regenerate with tools/make_golden_vectors.py"
+    )
+
+
+@pytest.mark.parametrize("fixture_name", _fixtures())
+@pytest.mark.parametrize("engine", ["interp", "ir"])
+def test_engines_replay_the_golden_trajectory(fixture_name, engine):
+    with open(os.path.join(_GOLDEN_DIR, fixture_name)) as handle:
+        fixture = json.load(handle)
+    circuit = load_bench(os.path.join(_REPO_ROOT, fixture["bench"]))
+    # The fixture's signal orders must still describe this netlist --
+    # a reordered or renamed port would silently misalign the vectors.
+    assert [circuit.line_names[line] for line in circuit.inputs] == (
+        fixture["inputs"]
+    )
+    assert [circuit.line_names[line] for line in circuit.outputs] == (
+        fixture["outputs_order"]
+    )
+    assert [circuit.line_names[f.ps] for f in circuit.flops] == (
+        fixture["flops"]
+    )
+    patterns = _decode(fixture["patterns"])
+    assert len(patterns) == fixture["length"]
+    result = simulate_sequence(circuit, patterns, engine=engine)
+    assert result.outputs == _decode(fixture["outputs"]), (
+        f"{fixture_name}: {engine} output response drifted from golden"
+    )
+    assert result.states == _decode(fixture["states"]), (
+        f"{fixture_name}: {engine} state trajectory drifted from golden"
+    )

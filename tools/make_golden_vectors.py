@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate the golden-vector fixtures under ``tests/circuits/golden/``.
+
+Each fixture freezes the fault-free trajectory (output response and
+state trajectory) of one example ``.bench`` circuit under a fixed
+seeded pattern sequence, simulated by the **interpreted** engine -- the
+reference semantics.  The replay test
+(``tests/circuits/test_golden_vectors.py``) drives the same workload
+through both the interpreter and the compiled IR kernel and compares
+against the committed JSON, so a kernel edit that drifts from the
+frozen behavior fails visibly instead of silently.
+
+Values are serialized as ``01x`` strings (one character per signal per
+time unit, :data:`repro.logic.values.VALUE_CHARS`).  The patterns are
+stored in the fixture too: replay never depends on the random generator
+staying stable.
+
+Run from the repository root after an *intentional* semantic change:
+
+    python tools/make_golden_vectors.py
+
+and commit the diff together with the change that explains it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.circuit.bench import load_bench
+from repro.logic.values import VALUE_CHARS
+from repro.patterns.random_gen import random_patterns
+from repro.sim.sequential import simulate_sequence
+
+#: (bench file, sequence length, pattern seed) per fixture.
+WORKLOADS = (
+    ("examples/circuits/s27.bench", 16, 2026),
+    ("examples/circuits/toggle.bench", 12, 7),
+    ("examples/circuits/fig4.bench", 12, 4),
+    ("examples/circuits/learned_demo.bench", 10, 11),
+)
+
+GOLDEN_DIR = os.path.join("tests", "circuits", "golden")
+
+
+def _encode(rows):
+    return ["".join(VALUE_CHARS[value] for value in row) for row in rows]
+
+
+def main() -> int:
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    os.chdir(root)
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for bench_path, length, seed in WORKLOADS:
+        circuit = load_bench(bench_path)
+        patterns = random_patterns(circuit.num_inputs, length, seed=seed)
+        result = simulate_sequence(circuit, patterns, engine="interp")
+        fixture = {
+            "bench": bench_path.replace(os.sep, "/"),
+            "circuit": circuit.name,
+            "pattern_seed": seed,
+            "length": length,
+            "inputs": [circuit.line_names[line] for line in circuit.inputs],
+            "outputs_order": [
+                circuit.line_names[line] for line in circuit.outputs
+            ],
+            "flops": [circuit.line_names[flop.ps] for flop in circuit.flops],
+            "patterns": _encode(patterns),
+            "outputs": _encode(result.outputs),
+            "states": _encode(result.states),
+        }
+        name = os.path.splitext(os.path.basename(bench_path))[0]
+        out_path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        with open(out_path, "w") as handle:
+            json.dump(fixture, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out_path} ({length} frames)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
