@@ -1,0 +1,163 @@
+"""Transport-level chaos: a wrapper around one live worker handle.
+
+:class:`ChaosWorkerHandle` wraps any object speaking the
+:class:`~repro.runner.transport.WorkerHandle` interface (duck-typed:
+``send`` / ``recv`` / ``alive`` / ``close`` / ``host`` / ``process``)
+and consults the plan on every protocol frame:
+
+* **send side** (``transport.send``): ``drop`` discards the frame,
+  ``duplicate`` sends it twice, ``delay`` sleeps ``value`` ms first,
+  ``truncate`` writes only the first half of the serialized frame with
+  no newline -- the worker sees a torn line fused onto the next frame
+  and must reject it as a protocol violation.
+* **recv side** (``transport.recv``): ``drop`` discards the received
+  frame, ``duplicate`` re-delivers a copy after ``value`` further
+  frames (0 = immediately next), ``delay`` holds the frame back until
+  ``value`` further frames have been delivered, ``reorder`` swaps it
+  with the following frame (``delay`` with a hold of 1).
+
+Held frames are never lost: they are released when their hold count
+reaches zero, when the stream times out, and before a dead-worker
+``TransportError`` propagates -- chaos may reorder and duplicate what
+the worker said, but only an explicit ``drop`` erases it.  That is
+what lets the invariant checker demand zero lost verdicts even under a
+reordering transport.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos.plan import ChaosPlan
+
+__all__ = ["ChaosWorkerHandle"]
+
+
+class ChaosWorkerHandle:
+    """One worker handle with scripted frame-level faults applied."""
+
+    def __init__(self, inner: Any, plan: ChaosPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        # Frames ready to deliver ahead of the wire, and frames held
+        # back as (message, frames-still-to-wait) pairs.
+        self._queue: List[Dict[str, Any]] = []
+        self._held: List[Tuple[Dict[str, Any], int]] = []
+        # A transport error deferred while held frames drained; raised
+        # on the next recv so a worker death is delayed, never eaten.
+        self._pending_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------- passthrough
+    @property
+    def host(self) -> str:
+        return self.inner.host
+
+    @property
+    def process(self) -> Any:
+        return self.inner.process
+
+    def alive(self) -> bool:
+        return self.inner.alive()
+
+    def close(self, timeout: float = 5.0) -> Optional[int]:
+        return self.inner.close(timeout=timeout)
+
+    # -------------------------------------------------------------- send
+    def send(self, message: Dict[str, Any]) -> None:
+        fired = self.plan.decide(
+            "transport.send", host=self.host, kind=message.get("type")
+        )
+        if not fired:
+            self.inner.send(message)
+            return
+        actions = [injection.action for injection in fired]
+        if "drop" in actions:
+            return
+        for injection in fired:
+            if injection.action == "delay" and injection.value > 0:
+                time.sleep(injection.value / 1000.0)
+                break
+        if "truncate" in actions:
+            self._send_truncated(message)
+            return
+        self.inner.send(message)
+        if "duplicate" in actions:
+            self.inner.send(message)
+
+    def _send_truncated(self, message: Dict[str, Any]) -> None:
+        """Write half the frame, no newline: a torn line on the wire."""
+        data = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        torn = data[: max(1, len(data) // 2)]
+        process = self.inner.process
+        try:
+            process.stdin.write(torn)
+            process.stdin.flush()
+        except (OSError, ValueError):
+            pass  # the worker is already gone; dispatch will notice
+
+    # -------------------------------------------------------------- recv
+    def recv(self, timeout: float = 0.0) -> Optional[Dict[str, Any]]:
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            if self._queue:
+                return self._queue.pop(0)
+            if self._pending_error is not None:
+                error, self._pending_error = self._pending_error, None
+                raise error
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                message = self.inner.recv(remaining)
+            except Exception as exc:
+                # Dead worker: deliver everything chaos was still
+                # holding before the transport error surfaces.
+                if self._release_all():
+                    self._pending_error = exc
+                    return self._queue.pop(0)
+                raise
+            if message is None:
+                if self._release_all():
+                    return self._queue.pop(0)
+                return None
+            fired = self.plan.decide(
+                "transport.recv", host=self.host, kind=message.get("type")
+            )
+            held = False
+            for injection in fired:
+                if injection.action == "drop":
+                    message = None
+                    break
+                if injection.action == "duplicate":
+                    hold = max(0, int(injection.value))
+                    self._held.append((copy.deepcopy(message), hold))
+                elif injection.action == "delay":
+                    self._held.append((message, max(1, int(injection.value))))
+                    held = True
+                elif injection.action == "reorder":
+                    self._held.append((message, 1))
+                    held = True
+            if message is None or held:
+                continue
+            self._tick_held()
+            return message
+
+    def _tick_held(self) -> None:
+        """One frame was delivered: count held frames down, release ripe
+        ones (in hold order) behind the frames already queued."""
+        still: List[Tuple[Dict[str, Any], int]] = []
+        for message, hold in self._held:
+            if hold <= 1:
+                self._queue.append(message)
+            else:
+                still.append((message, hold - 1))
+        self._held = still
+
+    def _release_all(self) -> bool:
+        """Flush every held frame into the queue (timeout / EOF)."""
+        if not self._held:
+            return bool(self._queue)
+        self._queue.extend(message for message, _ in self._held)
+        self._held = []
+        return True

@@ -1,0 +1,297 @@
+"""End-to-end invariants a chaos run must not break.
+
+A chaos scenario may drop frames, kill workers, skew clocks, and tear
+journal writes -- but the campaign layer promises the *result* is
+indistinguishable from a quiet run.  :func:`check_invariants` turns
+that promise into five concrete checks:
+
+``coverage``
+    Every fault produced exactly one verdict: no verdict lost to a
+    dropped frame or a killed worker, none invented.
+``no-duplicates``
+    The journal holds at most one verdict record per fault index --
+    first-write-wins deduplication held under reordering and replay.
+``replay-idempotent``
+    Loading the journal twice yields the same verdicts, and they match
+    the campaign that was just run: a ``--resume`` would re-simulate
+    nothing and change nothing.
+``metrics-consistent``
+    The merged ``campaign.verdict.<status>`` (and ``campaign.how.*``)
+    counters equal the campaign's own per-status counts and sum to the
+    fault-list length -- duplicated executions were counted once.
+``csv-identical``
+    The per-fault CSV is byte-identical to a fault-free serial
+    reference run: chaos perturbed the machinery, not the verdicts.
+
+Checks that lack their input (no journal configured, no reference run,
+metrics disabled) are reported as skipped, not passed.  Callers must
+uninstall the chaos plan before checking -- otherwise ``journal.read``
+injections would corrupt the verification pass itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import VERDICT_STATUSES
+
+__all__ = ["InvariantCheck", "InvariantReport", "check_invariants"]
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One named invariant: passed, failed (with detail), or skipped."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    skipped: bool = False
+
+
+@dataclass
+class InvariantReport:
+    """The verdict of :func:`check_invariants` over one chaos run."""
+
+    checks: List[InvariantCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def violations(self) -> List[InvariantCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            if check.skipped:
+                mark = "skip"
+            else:
+                mark = "ok" if check.ok else "FAIL"
+            line = f"  [{mark:>4}] {check.name}"
+            if check.detail:
+                line += f": {check.detail}"
+            lines.append(line)
+        verdict = "invariants hold" if self.ok else "INVARIANT VIOLATION"
+        return "\n".join([verdict] + lines) + "\n"
+
+
+def _check_coverage(campaign, faults) -> InvariantCheck:
+    if len(campaign.verdicts) != len(faults):
+        return InvariantCheck(
+            "coverage", False,
+            f"{len(campaign.verdicts)} verdicts for {len(faults)} faults",
+        )
+    mismatched = [
+        i for i, verdict in enumerate(campaign.verdicts)
+        if verdict.fault != faults[i]
+    ]
+    if mismatched:
+        return InvariantCheck(
+            "coverage", False,
+            f"verdict/fault mismatch at indices {mismatched[:5]}",
+        )
+    return InvariantCheck("coverage", True, f"{len(faults)} faults")
+
+
+def _journal_verdict_indices(path: str) -> List[int]:
+    """Fault indices of every parseable verdict record, in file order."""
+    indices: List[int] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn/corrupt line; load() quarantines it
+            if isinstance(record, dict) and record.get("kind") == "verdict":
+                try:
+                    indices.append(int(record["index"]))
+                except (KeyError, TypeError, ValueError):
+                    continue
+    return indices
+
+
+def _check_no_duplicates(journal_path: Optional[str]) -> InvariantCheck:
+    if journal_path is None:
+        return InvariantCheck(
+            "no-duplicates", True, "no journal configured", skipped=True
+        )
+    indices = _journal_verdict_indices(journal_path)
+    seen: Dict[int, int] = {}
+    for index in indices:
+        seen[index] = seen.get(index, 0) + 1
+    duplicated = sorted(i for i, n in seen.items() if n > 1)
+    if duplicated:
+        return InvariantCheck(
+            "no-duplicates", False,
+            f"indices journaled more than once: {duplicated[:5]}",
+        )
+    return InvariantCheck(
+        "no-duplicates", True, f"{len(indices)} verdict records"
+    )
+
+
+def _verdict_key(verdict) -> tuple:
+    return (
+        verdict.status,
+        verdict.how,
+        verdict.counters.n_det,
+        verdict.counters.n_conf,
+        verdict.counters.n_extra,
+        verdict.num_sequences,
+        verdict.num_expansions,
+    )
+
+
+def _check_replay(campaign, journal_path: Optional[str]) -> InvariantCheck:
+    if journal_path is None:
+        return InvariantCheck(
+            "replay-idempotent", True, "no journal configured", skipped=True
+        )
+    from repro.runner.journal import CampaignJournal
+
+    first = CampaignJournal(journal_path).load()[1]
+    second = CampaignJournal(journal_path).load()[1]
+    if {i: _verdict_key(v) for i, v in first.items()} != \
+            {i: _verdict_key(v) for i, v in second.items()}:
+        return InvariantCheck(
+            "replay-idempotent", False, "two loads disagree"
+        )
+    divergent = [
+        i for i, verdict in first.items()
+        if i >= len(campaign.verdicts)
+        or _verdict_key(campaign.verdicts[i]) != _verdict_key(verdict)
+    ]
+    if divergent:
+        return InvariantCheck(
+            "replay-idempotent", False,
+            f"journal disagrees with campaign at indices "
+            f"{sorted(divergent)[:5]}",
+        )
+    missing = len(campaign.verdicts) - len(first)
+    if missing:
+        return InvariantCheck(
+            "replay-idempotent", False,
+            f"{missing} verdict(s) in campaign but not in journal",
+        )
+    return InvariantCheck(
+        "replay-idempotent", True, f"{len(first)} verdicts replayed"
+    )
+
+
+def _check_metrics(campaign, faults, metrics) -> InvariantCheck:
+    if metrics is None:
+        return InvariantCheck(
+            "metrics-consistent", True, "metrics disabled", skipped=True
+        )
+    counters = metrics.counters
+    problems: List[str] = []
+    total = 0
+    for status in sorted(VERDICT_STATUSES):
+        counted = counters.get(f"campaign.verdict.{status}", 0)
+        total += counted
+        expected = campaign.count(status)
+        if counted != expected:
+            problems.append(
+                f"campaign.verdict.{status}={counted} != {expected}"
+            )
+    if total != len(faults):
+        problems.append(
+            f"sum(campaign.verdict.*)={total} != {len(faults)} faults"
+        )
+    expected_how: Dict[str, int] = {}
+    for verdict in campaign.verdicts:
+        if verdict.status == "mot":
+            expected_how[verdict.how] = expected_how.get(verdict.how, 0) + 1
+    counted_how = {
+        name[len("campaign.how."):]: value
+        for name, value in counters.items()
+        if name.startswith("campaign.how.")
+    }
+    if counted_how != expected_how:
+        problems.append(
+            f"campaign.how.* {counted_how} != {expected_how}"
+        )
+    if problems:
+        return InvariantCheck(
+            "metrics-consistent", False, "; ".join(problems)
+        )
+    return InvariantCheck(
+        "metrics-consistent", True, f"{total} verdicts counted once each"
+    )
+
+
+def _check_csv(campaign, reference, circuit) -> InvariantCheck:
+    if reference is None or circuit is None:
+        return InvariantCheck(
+            "csv-identical", True, "no reference run", skipped=True
+        )
+    from repro.reporting.campaign import campaign_csv
+
+    chaos_csv = campaign_csv(campaign, circuit)
+    quiet_csv = campaign_csv(reference, circuit)
+    if chaos_csv == quiet_csv:
+        return InvariantCheck(
+            "csv-identical", True,
+            f"{len(chaos_csv.splitlines())} CSV lines byte-identical"
+        )
+    for number, (left, right) in enumerate(
+        zip(chaos_csv.splitlines(), quiet_csv.splitlines()), start=1
+    ):
+        if left != right:
+            return InvariantCheck(
+                "csv-identical", False,
+                f"first divergence at CSV line {number}: "
+                f"{left!r} != {right!r}",
+            )
+    return InvariantCheck(
+        "csv-identical", False,
+        f"CSV line counts differ: {len(chaos_csv.splitlines())} vs "
+        f"{len(quiet_csv.splitlines())}",
+    )
+
+
+def check_invariants(
+    campaign,
+    faults: Sequence,
+    *,
+    reference=None,
+    circuit=None,
+    journal_path: Optional[str] = None,
+    metrics=None,
+) -> InvariantReport:
+    """Check every chaos invariant that has its input available.
+
+    Parameters
+    ----------
+    campaign:
+        The :class:`~repro.mot.simulator.Campaign` the chaos run
+        produced.
+    faults:
+        The fault list the campaign was asked to simulate.
+    reference:
+        A fault-free serial campaign over the same workload (enables
+        ``csv-identical``).
+    circuit:
+        The circuit both campaigns simulated (required with
+        *reference*).
+    journal_path:
+        The chaos run's checkpoint journal (enables ``no-duplicates``
+        and ``replay-idempotent``).
+    metrics:
+        The merged :class:`~repro.obs.metrics.MetricsSnapshot` of the
+        chaos run (enables ``metrics-consistent``).
+    """
+    report = InvariantReport()
+    report.checks.append(_check_coverage(campaign, faults))
+    report.checks.append(_check_no_duplicates(journal_path))
+    report.checks.append(_check_replay(campaign, journal_path))
+    report.checks.append(_check_metrics(campaign, faults, metrics))
+    report.checks.append(_check_csv(campaign, reference, circuit))
+    return report

@@ -1,0 +1,266 @@
+"""Compiled chaos plans: seeded decisions and the injection log.
+
+A :class:`ChaosPlan` is the executable form of a
+:class:`~repro.chaos.scenario.ChaosScenario`.  Runner seams call
+:meth:`ChaosPlan.decide` with the site name and the event's context
+(host, message kind, fault index); the plan counts the event, evaluates
+every spec scripted for that site, and returns the actions that fire.
+
+**Determinism.**  Every decision is a pure function of ``(seed, site,
+scope, event count, spec position)`` -- no wall clock, no global RNG
+state -- hashed through SHA-256 by the :class:`ChaosClock`.  Events are
+counted per ``(site, scope)`` where the scope is the host the event
+belongs to: one host's protocol stream is deterministic even when the
+interleaving *across* hosts is not, so host-scoped counting is what
+lets the same scenario + seed replay the identical failure sequence on
+a live multi-process run.  The injection log is sorted by ``(site,
+scope, seq, spec position)`` before rendering, making the log file
+byte-identical across replays regardless of cross-host interleaving.
+
+The :class:`ChaosClock` doubles as the dispatcher's skewable time
+source: ``dispatch.clock`` / ``skew`` injections advance
+:meth:`ChaosClock.now` past ``time.monotonic()``, expiring leases early
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos.scenario import ChaosScenario, InjectionSpec
+from repro.obs.metrics import get_metrics
+
+__all__ = [
+    "ChaosClock",
+    "Injection",
+    "InjectionEvent",
+    "ChaosPlan",
+]
+
+
+class ChaosClock:
+    """Seeded decision source plus a skewable monotonic clock.
+
+    ``decision`` maps ``(site, scope, event, spec)`` to a float in
+    ``[0, 1)`` -- the deterministic stand-in for ``random.random()``
+    that makes ``rate`` probabilistic triggers replayable.  ``now`` is
+    ``time.monotonic()`` plus the accumulated skew injected through
+    ``dispatch.clock`` events.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self.skew = 0.0
+
+    def decision(self, site: str, scope: str, event: int, spec: int) -> float:
+        """Deterministic uniform variate for one (event, spec) pair."""
+        key = f"{self.seed}:{site}:{scope}:{event}:{spec}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def now(self) -> float:
+        """Monotonic seconds, advanced by any injected skew."""
+        return time.monotonic() + self.skew
+
+    def advance(self, seconds: float) -> None:
+        """Skew the clock forward (``dispatch.clock`` / ``skew``)."""
+        self.skew += float(seconds)
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One action a seam must perform *now*: what, with which parameter."""
+
+    action: str
+    value: float
+    spec: InjectionSpec
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One fired injection, as recorded in the log."""
+
+    site: str
+    scope: str
+    seq: int
+    position: int
+    action: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Canonical one-line JSON for the injection log."""
+        payload: Dict[str, Any] = {
+            "site": self.site,
+            "scope": self.scope,
+            "seq": self.seq,
+            "spec": self.position,
+            "action": self.action,
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ChaosPlan:
+    """The compiled, stateful form of one scenario.
+
+    Thread-safe: the dispatcher's event loop and the journal flush can
+    consult the plan from one process concurrently.  Each process
+    (dispatcher, every worker) compiles its own plan from the same
+    scenario; their per-site counters are independent, which is exactly
+    right -- a worker's events are its own stream.
+    """
+
+    def __init__(self, scenario: ChaosScenario) -> None:
+        self.scenario = scenario
+        self.clock = ChaosClock(scenario.seed)
+        self._lock = threading.Lock()
+        self._by_site: Dict[str, List[Tuple[int, InjectionSpec]]] = {}
+        for position, spec in enumerate(scenario.faults):
+            self._by_site.setdefault(spec.site, []).append((position, spec))
+        #: Sites with at least one spec; seams skip everything else.
+        self.active_sites = frozenset(self._by_site)
+        # (site, scope) -> events seen; (position, scope) -> matches /
+        # firings, so `after` and `times` count per host stream.
+        self._events: Dict[Tuple[str, str], int] = {}
+        self._matches: Dict[Tuple[int, str], int] = {}
+        self._fired: Dict[Tuple[int, str], int] = {}
+        self._log: List[InjectionEvent] = []
+
+    # ------------------------------------------------------------ decide
+    def decide(
+        self,
+        site: str,
+        host: str = "",
+        kind: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> List[Injection]:
+        """Count one *site* event and return the actions that fire.
+
+        Returns the (usually empty) list of :class:`Injection` in spec
+        order; the caller performs them.  Never raises.
+        """
+        specs = self._by_site.get(site)
+        if not specs:
+            return []
+        scope = host or ""
+        fired: List[Injection] = []
+        with self._lock:
+            seq = self._events.get((site, scope), 0)
+            self._events[(site, scope)] = seq + 1
+            for position, spec in specs:
+                if spec.host is not None and spec.host != host:
+                    continue
+                if spec.kind is not None and spec.kind != kind:
+                    continue
+                if spec.index is not None and spec.index != index:
+                    continue
+                match = self._matches.get((position, scope), 0)
+                self._matches[(position, scope)] = match + 1
+                if match < spec.after:
+                    continue
+                if (spec.times is not None
+                        and self._fired.get((position, scope), 0)
+                        >= spec.times):
+                    continue
+                if spec.rate < 1.0:
+                    roll = self.clock.decision(site, scope, match, position)
+                    if roll >= spec.rate:
+                        continue
+                if spec.once and not self._claim_marker(spec):
+                    continue
+                self._fired[(position, scope)] = (
+                    self._fired.get((position, scope), 0) + 1
+                )
+                detail: Dict[str, Any] = {}
+                if kind is not None:
+                    detail["kind"] = kind
+                if index is not None:
+                    detail["index"] = index
+                if spec.value:
+                    detail["value"] = spec.value
+                self._log.append(
+                    InjectionEvent(
+                        site=site,
+                        scope=scope,
+                        seq=match,
+                        position=position,
+                        action=spec.action,
+                        detail=detail,
+                    )
+                )
+                if site == "dispatch.clock" and spec.action == "skew":
+                    self.clock.advance(spec.value)
+                fired.append(Injection(spec.action, spec.value, spec))
+        if fired:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("chaos.injections", len(fired))
+        return fired
+
+    def decide_one(
+        self,
+        site: str,
+        host: str = "",
+        kind: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> Optional[Injection]:
+        """Like :meth:`decide` but returns the first firing action."""
+        fired = self.decide(site, host=host, kind=kind, index=index)
+        return fired[0] if fired else None
+
+    @staticmethod
+    def _claim_marker(spec: InjectionSpec) -> bool:
+        """Atomically claim the cross-process one-shot marker.
+
+        True when this process won the right to fire; False when the
+        marker already exists (some process fired earlier) or the spec
+        is ``once`` without a marker path and has no way to coordinate
+        (it then behaves as ``times``-limited within this process only).
+        """
+        marker = spec.marker
+        if not marker:
+            return True
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return True  # unwritable marker dir: fail open, fire once here
+        try:
+            os.write(fd, f"{spec.site}:{spec.action}".encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    # --------------------------------------------------------------- log
+    @property
+    def injections(self) -> int:
+        """Total injections fired so far."""
+        with self._lock:
+            return len(self._log)
+
+    def events(self) -> List[InjectionEvent]:
+        """The fired injections, sorted for byte-stable rendering."""
+        with self._lock:
+            log = list(self._log)
+        log.sort(key=lambda e: (e.site, e.scope, e.seq, e.position))
+        return log
+
+    def log_lines(self) -> List[str]:
+        """One canonical JSON line per fired injection, stably sorted."""
+        return [event.render() for event in self.events()]
+
+    def write_log(self, path: str) -> None:
+        """Write the injection log to *path* (byte-identical on replay)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            for line in self.log_lines():
+                handle.write(line + "\n")

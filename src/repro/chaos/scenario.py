@@ -1,0 +1,333 @@
+"""Chaos scenarios: the declarative spec a plan is compiled from.
+
+A scenario is a seed plus a list of **injection specs**.  Each spec
+names a *site* (a seam in the runner where the plan is consulted), an
+*action* the site knows how to perform, optional filters (host,
+protocol message kind, fault index) and a trigger: skip the first
+``after`` matching events, then fire up to ``times`` times with
+probability ``rate`` per eligible event.  ``value`` parameterizes the
+action (milliseconds for delays, seconds for clock skew, a line number
+for journal bit flips).
+
+Sites and their closed action sets:
+
+``transport.send``
+    The dispatcher is about to send one protocol message to a worker.
+    ``drop`` discards it, ``duplicate`` sends it twice, ``delay``
+    sleeps ``value`` ms first, ``truncate`` writes only the first half
+    of the frame with no newline terminator (a torn frame the worker
+    must reject).
+``transport.recv``
+    The dispatcher received one protocol message from a worker.
+    ``drop`` discards it, ``duplicate`` delivers it twice, ``delay``
+    holds it back for ``value`` subsequent messages from the same
+    worker, ``reorder`` swaps it with the next message.
+``worker.ready``
+    A worker is about to send its ``ready`` handshake.  ``kill_before``
+    hard-exits first (handshake never arrives), ``kill_after``
+    hard-exits right after it, ``hang`` sleeps ``value`` ms before
+    answering (exceeding the handshake deadline without dying).
+``worker.chunk``
+    A worker received a chunk.  ``delay`` sleeps ``value`` ms before
+    starting it (the straggler / lease-expiry scenario), ``kill``
+    hard-exits instead of working.
+``worker.chunk_done``
+    A worker finished a chunk.  ``kill`` hard-exits after reporting it.
+``worker.fault``
+    A worker (or the local harness) is about to simulate one fault.
+    ``kill`` hard-exits, ``delay`` sleeps ``value`` ms first,
+    ``kill_mid_write`` simulates the fault, writes half of its verdict
+    frame and hard-exits mid-write (a torn protocol line).
+``dispatch.clock``
+    The dispatcher handled one protocol message.  ``skew`` advances the
+    dispatcher's monotonic clock by ``value`` seconds, expiring leases
+    early.
+``journal.write``
+    The journal is about to flush buffered records.  ``eio`` /
+    ``enospc`` raise the corresponding transient ``OSError``, ``torn``
+    writes half of the first buffered record with no newline (repaired
+    by the next flush, quarantined by the next load).
+``journal.read``
+    The journal is being loaded.  ``bit_flip`` flips one character of
+    record line ``value`` (the middle record when ``value`` is 0),
+    which the record CRC must catch and quarantine.
+
+Scenario files are plain JSON::
+
+    {
+      "name": "host-kill",
+      "seed": 7,
+      "faults": [
+        {"site": "worker.chunk_done", "action": "kill",
+         "host": "alpha", "after": 1, "once": true}
+      ]
+    }
+
+``once: true`` makes an injection one-shot **across processes** via a
+marker file (auto-assigned by the campaign driver when ``marker`` is
+not given) -- the cross-process analogue of ``times: 1``, needed when
+the injected process is relaunched and would otherwise re-fire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ChaosError
+
+__all__ = [
+    "SITE_ACTIONS",
+    "InjectionSpec",
+    "ChaosScenario",
+]
+
+#: Closed catalog of injection sites and the actions each supports.
+SITE_ACTIONS: Dict[str, frozenset] = {
+    "transport.send": frozenset({"drop", "duplicate", "delay", "truncate"}),
+    "transport.recv": frozenset({"drop", "duplicate", "delay", "reorder"}),
+    "worker.ready": frozenset({"kill_before", "kill_after", "hang"}),
+    "worker.chunk": frozenset({"delay", "kill"}),
+    "worker.chunk_done": frozenset({"kill"}),
+    "worker.fault": frozenset({"kill", "delay", "kill_mid_write"}),
+    "dispatch.clock": frozenset({"skew"}),
+    "journal.write": frozenset({"eio", "enospc", "torn"}),
+    "journal.read": frozenset({"bit_flip"}),
+}
+
+
+@dataclass(frozen=True)
+class InjectionSpec:
+    """One scripted failure: site, action, filters and trigger.
+
+    Attributes
+    ----------
+    site / action:
+        Where and what, from :data:`SITE_ACTIONS`.
+    host:
+        Only fire for events on this (pseudo-)host; ``None`` matches
+        every host.  Filtering by host also scopes the event counting,
+        which is what keeps multi-host schedules deterministic: events
+        of different hosts interleave nondeterministically, events of
+        *one* host do not.
+    kind:
+        Only fire for this protocol message type (transport sites).
+    index:
+        Only fire for this global fault index (``worker.fault``).
+    after:
+        Skip the first *after* matching events (0 = fire immediately).
+    times:
+        Fire at most this many times per scope (``None`` = unlimited).
+    rate:
+        Probability per eligible event, decided by the seeded
+        :class:`~repro.chaos.plan.ChaosClock` (1.0 = always).
+    value:
+        Action parameter: milliseconds for delays/hangs, seconds for
+        ``skew``, the record line number for ``bit_flip``.
+    once / marker:
+        Cross-process one-shot via a marker file created when the
+        injection first fires; once the marker exists the spec never
+        fires again, in this or any later process.
+    """
+
+    site: str
+    action: str
+    host: Optional[str] = None
+    kind: Optional[str] = None
+    index: Optional[int] = None
+    after: int = 0
+    times: Optional[int] = 1
+    rate: float = 1.0
+    value: float = 0.0
+    once: bool = False
+    marker: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        actions = SITE_ACTIONS.get(self.site)
+        if actions is None:
+            raise ChaosError(
+                f"unknown chaos site {self.site!r}; must be one of "
+                f"{sorted(SITE_ACTIONS)}"
+            )
+        if self.action not in actions:
+            raise ChaosError(
+                f"site {self.site!r} does not support action "
+                f"{self.action!r}; must be one of {sorted(actions)}"
+            )
+        if self.after < 0:
+            raise ChaosError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ChaosError(f"times must be >= 1 or null, got {self.times}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ChaosError(f"rate must be in [0, 1], got {self.rate}")
+
+    # ----------------------------------------------------------- payload
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact dict form: defaults are omitted."""
+        payload: Dict[str, Any] = {"site": self.site, "action": self.action}
+        for name in ("host", "kind", "index", "marker"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.after:
+            payload["after"] = self.after
+        if self.times != 1:
+            payload["times"] = self.times
+        if self.rate != 1.0:
+            payload["rate"] = self.rate
+        if self.value:
+            payload["value"] = self.value
+        if self.once:
+            payload["once"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "InjectionSpec":
+        if not isinstance(payload, dict):
+            raise ChaosError(f"injection spec is not an object: {payload!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ChaosError(
+                f"injection spec has unknown keys {unknown}; known keys "
+                f"are {sorted(known)}"
+            )
+        if "site" not in payload or "action" not in payload:
+            raise ChaosError(
+                f"injection spec needs 'site' and 'action': {payload!r}"
+            )
+        try:
+            return cls(
+                site=str(payload["site"]),
+                action=str(payload["action"]),
+                host=payload.get("host"),
+                kind=payload.get("kind"),
+                index=(
+                    int(payload["index"])
+                    if payload.get("index") is not None
+                    else None
+                ),
+                after=int(payload.get("after", 0)),
+                # An absent key means the default (1); an explicit null
+                # means unlimited.  get() alone cannot tell them apart.
+                times=(
+                    int(payload["times"])
+                    if payload.get("times") is not None
+                    else (None if "times" in payload else 1)
+                ),
+                rate=float(payload.get("rate", 1.0)),
+                value=float(payload.get("value", 0.0)),
+                once=bool(payload.get("once", False)),
+                marker=payload.get("marker"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ChaosError(
+                f"invalid injection spec {payload!r}: {exc}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, seeded schedule of injection specs.
+
+    ``workload`` optionally overrides the campaign the chaos driver
+    runs the scenario against (circuit registry name, pattern length
+    and seed, host list, chunk size, lease timeout); unset keys fall
+    back to the driver defaults (the standard s27 campaign on two
+    pseudo-hosts).
+    """
+
+    name: str
+    seed: int
+    faults: List[InjectionSpec] = field(default_factory=list)
+    description: str = ""
+    workload: Dict[str, Any] = field(default_factory=dict)
+
+    # ----------------------------------------------------------- payload
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+        if self.description:
+            payload["description"] = self.description
+        if self.workload:
+            payload["workload"] = dict(self.workload)
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON (environment propagation form)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ChaosScenario":
+        if not isinstance(payload, dict):
+            raise ChaosError(f"scenario is not an object: {payload!r}")
+        faults = payload.get("faults", [])
+        if not isinstance(faults, list):
+            raise ChaosError("scenario 'faults' must be a list")
+        try:
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError):
+            raise ChaosError(
+                f"scenario seed must be an integer, got "
+                f"{payload.get('seed')!r}"
+            ) from None
+        workload = payload.get("workload") or {}
+        if not isinstance(workload, dict):
+            raise ChaosError("scenario 'workload' must be an object")
+        return cls(
+            name=str(payload.get("name", "unnamed")),
+            seed=seed,
+            faults=[InjectionSpec.from_dict(spec) for spec in faults],
+            description=str(payload.get("description", "")),
+            workload=dict(workload),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosScenario":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ChaosError(f"scenario is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ChaosScenario":
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ChaosError(
+                f"cannot read scenario file {path}: {exc}"
+            ) from None
+        return cls.from_json(text)
+
+    # ------------------------------------------------------- derivations
+    def with_seed(self, seed: int) -> "ChaosScenario":
+        """The same schedule under a different seed (soak sweeps)."""
+        return dataclasses.replace(self, seed=seed)
+
+    def with_faults(self, faults: List[InjectionSpec]) -> "ChaosScenario":
+        """The same scenario with a different spec list (shrinking)."""
+        return dataclasses.replace(self, faults=list(faults))
+
+    def with_markers(self, directory: str) -> "ChaosScenario":
+        """Assign a marker file under *directory* to every ``once`` spec
+        that lacks one, so one-shot injections survive process
+        relaunches without the scenario author naming paths."""
+        import os
+
+        faults = []
+        for position, spec in enumerate(self.faults):
+            if spec.once and not spec.marker:
+                marker = os.path.join(
+                    directory, f"chaos-marker-{position}"
+                )
+                spec = dataclasses.replace(spec, marker=marker)
+            faults.append(spec)
+        return self.with_faults(faults)

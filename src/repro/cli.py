@@ -16,6 +16,15 @@ Subcommands:
   ``.bench``/``.isc`` files or registered circuits
 * ``worker``  -- distributed campaign worker (launched by a transport;
   speaks newline-JSON on stdin/stdout, not for interactive use)
+* ``chaos``   -- deterministic fault-injection campaigns
+  (:mod:`repro.chaos`): ``chaos run`` executes a scripted failure
+  scenario (dropped/duplicated/reordered frames, worker kills, torn
+  journal writes, clock skew) against a real distributed campaign and
+  gates on the end-to-end invariants (no verdict lost or duplicated,
+  journal replay idempotent, metrics consistent, CSV byte-identical to
+  a fault-free serial run), optionally shrinking a failing scenario to
+  a minimal reproducer; ``chaos soak`` sweeps the scenario across
+  seeds
 
 External circuits are given as ``.bench`` files with ``--bench``;
 registered circuits by name with ``--circuit`` (see ``stats`` for the
@@ -92,6 +101,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -612,6 +622,91 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return worker_main(args.host)
 
 
+def _chaos_scenario(args: argparse.Namespace):
+    from repro.chaos import ChaosScenario
+
+    scenario = ChaosScenario.from_file(args.scenario)
+    if getattr(args, "seed", None) is not None:
+        scenario = scenario.with_seed(args.seed)
+    return scenario
+
+
+def _chaos_workdir(args: argparse.Namespace) -> str:
+    if args.workdir:
+        return args.workdir
+    import tempfile
+
+    return tempfile.mkdtemp(prefix="repro-chaos-")
+
+
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    """Run one chaos scenario and gate on the invariant checker.
+
+    Exit 0 when the campaign survived every injection with all
+    invariants intact; 1 on any violation (with ``--shrink-on-fail``,
+    after writing a minimal failing scenario next to the run's
+    artifacts).
+    """
+    import shutil
+
+    from repro.chaos import run_scenario, shrink_scenario
+
+    scenario = _chaos_scenario(args)
+    workdir = _chaos_workdir(args)
+    result = run_scenario(
+        scenario, workdir, reference=not args.no_reference
+    )
+    print(result.render(), end="")
+    log.info("chaos artifacts in %s (journal, injection log)", workdir)
+    if args.inject_log and result.injection_log_path:
+        shutil.copyfile(result.injection_log_path, args.inject_log)
+        log.info("injection log copied to %s", args.inject_log)
+    if result.ok:
+        return EXIT_OK
+    if args.shrink_on_fail:
+        shrunk, runs = shrink_scenario(
+            scenario, os.path.join(workdir, "shrink")
+        )
+        out = os.path.join(workdir, "shrunk-scenario.json")
+        with open(out, "w") as handle:
+            handle.write(shrunk.to_json() + "\n")
+        print(
+            f"shrunk to {len(shrunk.faults)} injection spec(s) "
+            f"in {runs} run(s): {out}"
+        )
+    return EXIT_FAILURE
+
+
+def cmd_chaos_soak(args: argparse.Namespace) -> int:
+    """Sweep one scenario across seeds; exit 1 if any seed fails."""
+    from repro.chaos import soak
+
+    scenario = _chaos_scenario(args)
+    workdir = _chaos_workdir(args)
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        log.error("error: --seeds takes comma-separated integers, got %r",
+                  args.seeds)
+        return EXIT_FAILURE
+    if not seeds:
+        log.error("error: --seeds is empty")
+        return EXIT_FAILURE
+    results = soak(scenario, seeds, workdir)
+    failed = [seed for seed, result in results if not result.ok]
+    for seed, result in results:
+        status = "ok" if result.ok else "FAILED"
+        print(f"seed {seed}: {status} ({result.injections} injections)")
+        if not result.ok:
+            print(result.render(), end="")
+    print(
+        f"soak: {len(results) - len(failed)}/{len(results)} seeds ok"
+        + (f"; failing seeds: {failed}" if failed else "")
+    )
+    log.info("soak artifacts in %s", workdir)
+    return EXIT_FAILURE if failed else EXIT_OK
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static netlist checks over files and/or registered circuits.
 
@@ -933,6 +1028,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="(pseudo-)host name this worker identifies as",
     )
     p_worker.set_defaults(func=cmd_worker)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection campaigns: run a scripted "
+             "failure scenario against a distributed campaign and check "
+             "the end-to-end invariants",
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    p_chaos_run = chaos_sub.add_parser(
+        "run", help="run one scenario and gate on the invariant checker"
+    )
+    p_chaos_run.add_argument(
+        "scenario", help="path to a chaos scenario JSON file"
+    )
+    p_chaos_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed (same seed, same schedule)",
+    )
+    p_chaos_run.add_argument(
+        "--workdir",
+        help="working directory for the journal, markers and injection "
+             "log (default: a fresh temporary directory)",
+    )
+    p_chaos_run.add_argument(
+        "--inject-log", metavar="FILE",
+        help="copy the byte-stable injection log to FILE",
+    )
+    p_chaos_run.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the fault-free serial reference run (disables the "
+             "csv-identical invariant)",
+    )
+    p_chaos_run.add_argument(
+        "--shrink-on-fail", action="store_true",
+        help="on violation, shrink to a minimal failing scenario and "
+             "write it to WORKDIR/shrunk-scenario.json",
+    )
+    p_chaos_run.set_defaults(func=cmd_chaos_run)
+    p_chaos_soak = chaos_sub.add_parser(
+        "soak", help="sweep one scenario across seeds"
+    )
+    p_chaos_soak.add_argument(
+        "scenario", help="path to a chaos scenario JSON file"
+    )
+    p_chaos_soak.add_argument(
+        "--seeds", default="0,1,2,3",
+        help="comma-separated seeds to sweep (default 0,1,2,3)",
+    )
+    p_chaos_soak.add_argument(
+        "--workdir",
+        help="working directory; each seed runs in its own subdirectory",
+    )
+    p_chaos_soak.set_defaults(func=cmd_chaos_soak)
 
     p_lint = sub.add_parser(
         "lint", help="static netlist checks (loops, floating nets, "

@@ -61,6 +61,10 @@ drivers) can distinguish *our* diagnostics from genuine bugs with one
     deadline) with faults still unsimulated, and graceful degradation
     to a serial run was disabled (:mod:`repro.runner.supervisor`).
 
+``ChaosError``
+    An invalid chaos scenario -- unknown injection site or action,
+    malformed scenario file (:mod:`repro.chaos`).
+
 ``TransportError``
     A distributed-campaign worker could not be launched, or violated
     the newline-JSON worker protocol (:mod:`repro.runner.transport`).
@@ -290,6 +294,13 @@ class PoisonFault(ReproError):
             f"in {implicated} worker death(s)) and poison isolation is "
             f"disabled"
         )
+
+
+class ChaosError(ReproError):
+    """Raised for invalid chaos scenarios (unknown sites or actions,
+    malformed scenario files) by :mod:`repro.chaos`.  Injected faults
+    themselves never raise this -- they surface through the seam they
+    shake (transport errors, journal salvage, worker death)."""
 
 
 class TransportError(ReproError):

@@ -31,14 +31,18 @@ METRIC_NAMES = frozenset(
         "campaign.fault_ms",
         "campaign.verdict.errored",
         "supervisor.poisoned",
+        # Chaos injection plane (repro.chaos).
+        "chaos.injections",
         # Distributed dispatch (repro.runner.dispatch / transport).
         "dispatch.duplicates",
+        "dispatch.handshake.retries",
         "dispatch.lease.expired",
         "dispatch.lease.granted",
         "dispatch.lease.stolen",
         "host.blacklisted",
         "host.failures",
         "journal.corrupt_lines",
+        "journal.write.retries",
         "supervision.log.corrupt_lines",
         "worker.chunks",
         # Conventional / parallel / deductive fault simulation.

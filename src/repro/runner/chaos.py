@@ -1,50 +1,41 @@
-"""Test-only chaos injection hook for campaign workers.
+"""Legacy chaos-injection hooks, now thin shims over :mod:`repro.chaos`.
 
-The supervised-recovery tests and CI's chaos smoke job need a way to
-make a *stock* CLI worker die mid-shard -- no code patched, no custom
-simulator -- so the self-healing path is exercised end to end exactly
-as a user would hit it (OOM killer, cgroup limit, interpreter abort).
+Historically this module implemented five ad-hoc ``REPRO_CHAOS_*``
+environment hooks directly.  The deterministic fault-injection plane
+(:mod:`repro.chaos`) supersedes them: scenarios script the same
+failures (and many more) with seeded, replayable schedules.  The env
+vars still work -- :mod:`repro.chaos.runtime` converts them into an
+equivalent scenario on the fly and emits a one-time
+:class:`DeprecationWarning` quoting the replacement snippet -- and the
+functions below remain for callers that invoke the hooks directly, now
+delegating to the runtime seams:
 
-When the environment variable ``REPRO_CHAOS_KILL_INDEX`` holds a global
-fault index, the campaign harness calls :func:`maybe_chaos_kill` right
-before simulating that fault and the process hard-exits via
-``os._exit`` (no cleanup, no journal flush -- like SIGKILL).
+* :func:`maybe_chaos_kill` / :func:`maybe_chaos_fault_delay` -- the
+  per-fault seam (:func:`repro.chaos.runtime.chaos_fault`): kill or
+  delay before simulating one global fault index.
+* :func:`maybe_chaos_kill_host` -- the post-chunk seam
+  (:func:`repro.chaos.runtime.chaos_chunk_done`): hard-exit a worker
+  after its Nth completed chunk.
+* :func:`maybe_chaos_lease_delay` -- the chunk-receipt seam
+  (:func:`repro.chaos.runtime.chaos_chunk`): stall a worker before
+  each chunk so lease deadlines expire.
 
-``REPRO_CHAOS_KILL_MARKER`` names a marker file created *just before*
-dying.  Once the marker exists the hook never fires again, so the
-failure is transient: exactly one worker death, after which supervised
-recovery must complete the campaign.  Without a marker the kill is
-deterministic on every attempt -- the fault behaves as a poison fault
-and must end as an ``errored``/``poison`` verdict.
+Marker files keep their cross-process one-shot semantics (the scenario
+form is ``once: true`` + ``marker``), and malformed values still
+disarm the hook they configure instead of raising.
 
-The hook costs one ``os.environ`` lookup per fault when unset and is a
-no-op outside tests.  It lives in its own module so nothing here is
-imported unless the harness actually runs a campaign.
-
-**Distributed chaos.**  The distributed smoke tests additionally need
-host-level failures and schedule skew:
-
-* ``REPRO_CHAOS_KILL_HOST`` names a pseudo-host; a ``repro worker``
-  process serving that host hard-exits after finishing its Nth chunk
-  (``REPRO_CHAOS_KILL_HOST_AFTER``, default 1).
-  ``REPRO_CHAOS_KILL_HOST_MARKER`` makes the death one-shot exactly
-  like the per-fault marker, so the dispatcher's reassignment path --
-  not an infinite kill loop -- is what gets exercised.
-* ``REPRO_CHAOS_LEASE_DELAY_MS`` stalls a worker before it starts each
-  chunk (``"<host>:<ms>"`` to stall one host, bare ``"<ms>"`` for all),
-  forcing lease deadlines to expire while the worker is still alive --
-  the straggler/work-stealing scenario.
-* ``REPRO_CHAOS_FAULT_DELAY_MS`` sleeps before simulating specific
-  faults: a JSON object mapping global fault indices to milliseconds
-  (key ``"*"`` is the default for unlisted faults).  The dispatch
-  benchmark uses it to build deterministically skewed workloads.
+New code should call the :mod:`repro.chaos.runtime` hooks (or better,
+script a scenario) instead of these shims.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import time
+from repro.chaos.runtime import (
+    CHAOS_EXIT_CODE,
+    chaos_chunk,
+    chaos_chunk_done,
+    chaos_fault,
+)
 
 __all__ = [
     "CHAOS_KILL_ENV",
@@ -70,114 +61,42 @@ CHAOS_KILL_HOST_MARKER_ENV = "REPRO_CHAOS_KILL_HOST_MARKER"
 CHAOS_LEASE_DELAY_ENV = "REPRO_CHAOS_LEASE_DELAY_MS"
 CHAOS_FAULT_DELAY_ENV = "REPRO_CHAOS_FAULT_DELAY_MS"
 
-#: Mimics the exit code the kernel OOM killer produces (128 + SIGKILL).
-CHAOS_EXIT_CODE = 137
-
 
 def maybe_chaos_kill(index: int) -> None:
     """Hard-exit the process if chaos is armed for fault *index*.
 
-    See the module docstring for the environment contract.  Never
-    raises: malformed values disarm the hook.
+    Deprecated shim: one per-fault seam event
+    (:func:`~repro.chaos.runtime.chaos_fault`).  Never raises.
     """
-    armed = os.environ.get(CHAOS_KILL_ENV)
-    if armed is None:
-        return
-    try:
-        if int(armed) != index:
-            return
-    except ValueError:
-        return
-    marker = os.environ.get(CHAOS_MARKER_ENV)
-    if marker:
-        if os.path.exists(marker):
-            return  # already fired once; the fault is transiently fatal
-        try:
-            with open(marker, "w") as handle:
-                handle.write(str(index))
-        except OSError:
-            pass
-    os._exit(CHAOS_EXIT_CODE)
+    chaos_fault(index)
 
 
 def maybe_chaos_kill_host(host: str, chunks_done: int) -> None:
     """Hard-exit a worker process if chaos is armed for *host*.
 
-    Called by the worker loop after each completed chunk with the
-    running chunk count; fires once *chunks_done* reaches the
-    configured threshold.  Never raises: malformed values disarm.
+    Deprecated shim: one post-chunk seam event
+    (:func:`~repro.chaos.runtime.chaos_chunk_done`).  The seam counts
+    completed chunks itself, so callers must invoke it once per chunk
+    exactly as the worker loop always has; *chunks_done* is accepted
+    for signature compatibility.  Never raises.
     """
-    target = os.environ.get(CHAOS_KILL_HOST_ENV)
-    if not target or target != host:
-        return
-    try:
-        after = int(os.environ.get(CHAOS_KILL_HOST_AFTER_ENV, "1"))
-    except ValueError:
-        return
-    if chunks_done < after:
-        return
-    marker = os.environ.get(CHAOS_KILL_HOST_MARKER_ENV)
-    if marker:
-        if os.path.exists(marker):
-            return  # already fired once; the host is transiently fatal
-        try:
-            with open(marker, "w") as handle:
-                handle.write(host)
-        except OSError:
-            pass
-    os._exit(CHAOS_EXIT_CODE)
+    del chunks_done  # the seam's own event counter is the chunk count
+    chaos_chunk_done(host)
 
 
 def maybe_chaos_lease_delay(host: str) -> None:
     """Sleep before a chunk if lease-expiry chaos is armed for *host*.
 
-    Accepts ``"<host>:<ms>"`` (stall one host) or ``"<ms>"`` (stall
-    every host).  Never raises: malformed values disarm.
+    Deprecated shim: one chunk-receipt seam event
+    (:func:`~repro.chaos.runtime.chaos_chunk`).  Never raises.
     """
-    armed = os.environ.get(CHAOS_LEASE_DELAY_ENV)
-    if not armed:
-        return
-    target, _, ms_text = armed.rpartition(":")
-    if target and target != host:
-        return
-    try:
-        ms = float(ms_text)
-    except ValueError:
-        return
-    if ms > 0:
-        time.sleep(ms / 1000.0)
-
-
-_fault_delay_cache: tuple = ()
+    chaos_chunk(host)
 
 
 def maybe_chaos_fault_delay(index: int) -> None:
     """Sleep before simulating fault *index* if delay chaos is armed.
 
-    The environment variable holds a JSON object mapping fault indices
-    (as strings) to milliseconds; key ``"*"`` applies to every fault
-    not listed.  The parse is memoized per value so the per-fault cost
-    stays one dict lookup.  Never raises: malformed values disarm.
+    Deprecated shim: one per-fault seam event
+    (:func:`~repro.chaos.runtime.chaos_fault`).  Never raises.
     """
-    global _fault_delay_cache
-    armed = os.environ.get(CHAOS_FAULT_DELAY_ENV)
-    if not armed:
-        return
-    if not _fault_delay_cache or _fault_delay_cache[0] != armed:
-        try:
-            parsed = json.loads(armed)
-        except ValueError:
-            parsed = None
-        if not isinstance(parsed, dict):
-            parsed = {}
-        _fault_delay_cache = (armed, parsed)
-    delays = _fault_delay_cache[1]
-    value = delays.get(str(index), delays.get("*"))
-    if value is None:
-        return
-    try:
-        ms = float(value)
-    except (TypeError, ValueError):
-        return
-    if ms > 0:
-        time.sleep(ms / 1000.0)
+    chaos_fault(index)

@@ -49,6 +49,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Sequence
 
+from repro.chaos.runtime import chaos_clock_tick, chaos_now, wrap_handle
 from repro.errors import (
     CampaignInterrupted,
     DistributedFailed,
@@ -59,6 +60,7 @@ from repro.mot.simulator import Campaign, FaultVerdict
 from repro.obs.metrics import MetricsSnapshot, get_metrics
 from repro.runner.budget import FaultBudget
 from repro.runner.harness import simulator_manifest
+from repro.runner.retry import RetryPolicy
 from repro.runner.journal import (
     CampaignJournal,
     fault_to_payload,
@@ -289,8 +291,18 @@ class LeaseBook:
         return True
 
     def release(self, lease_id: int) -> Optional[Lease]:
-        """Drop a finished lease (``chunk_done``); idempotent."""
-        return self.leases.pop(lease_id, None)
+        """Drop a finished lease (``chunk_done``); idempotent.
+
+        A released lease may still hold unfinished indices: the worker
+        said ``chunk_done`` but some verdict frames never arrived
+        (dropped by the transport, or the worker died mid-write after
+        queueing its summary).  Those indices are requeued -- releasing
+        must never strand a fault, only :meth:`complete` retires one.
+        """
+        lease = self.leases.pop(lease_id, None)
+        if lease is not None:
+            self._requeue(lease)
+        return lease
 
     # ---------------------------------------------------------- failure
     def expire(self, now: float) -> List[Lease]:
@@ -337,6 +349,8 @@ class _Host:
         self.lease_id: Optional[int] = None
         self.started_at = 0.0
         self.failures = 0
+        self.handshake_retries = 0  # within the current handshake cycle
+        self.relaunch_at = 0.0  # earliest monotonic time to relaunch
 
     @property
     def usable(self) -> bool:
@@ -358,6 +372,15 @@ class DistributedCampaignRunner:
     Campaign`` contract, same journal format -- a distributed journal
     resumes locally and vice versa.
     """
+
+    #: A handshake that misses its deadline gets exactly one backoff
+    #: retry (a fresh launch after a short pause) before it counts as a
+    #: host strike -- slow container cold-starts should not burn one of
+    #: the ``host_blacklist_after`` strikes.
+    HANDSHAKE_RETRY = RetryPolicy(
+        max_retries=1, backoff_base=0.2, backoff_factor=2.0,
+        backoff_cap=2.0, jitter=0.0,
+    )
 
     def __init__(
         self,
@@ -436,7 +459,7 @@ class DistributedCampaignRunner:
     # ------------------------------------------------------ event loop
     def _event_loop(self, book: LeaseBook) -> None:
         while not book.exhausted:
-            now = time.monotonic()
+            now = chaos_now()
             self._launch_down_hosts(now)
             self._check_handshakes(now)
             self._expire_leases(book, now)
@@ -456,10 +479,10 @@ class DistributedCampaignRunner:
     # ------------------------------------------------- host lifecycle
     def _launch_down_hosts(self, now: float) -> None:
         for host in self.hosts:
-            if host.state != "down":
+            if host.state != "down" or now < host.relaunch_at:
                 continue
             try:
-                host.handle = self.transport.launch(host.name)
+                host.handle = wrap_handle(self.transport.launch(host.name))
                 host.handle.send({
                     "type": "init",
                     "protocol": PROTOCOL_VERSION,
@@ -479,13 +502,39 @@ class DistributedCampaignRunner:
             ))
 
     def _check_handshakes(self, now: float) -> None:
+        deadline = min(self.config.start_timeout,
+                       self.transport.handshake_timeout)
         for host in self.hosts:
             if host.state != "starting":
                 continue
-            if now - host.started_at > self.config.start_timeout:
-                log.warning("host %s: no ready within %.1fs", host.name,
-                            self.config.start_timeout)
-                self._host_failure(host, "handshake timeout")
+            if now - host.started_at <= deadline:
+                continue
+            if self.HANDSHAKE_RETRY.allows(host.handshake_retries):
+                host.handshake_retries += 1
+                backoff = self.HANDSHAKE_RETRY.backoff(host.handshake_retries)
+                log.warning(
+                    "host %s: no ready within %.1fs; retrying handshake "
+                    "in %.1fs (%d/%d)", host.name, deadline, backoff,
+                    host.handshake_retries, self.HANDSHAKE_RETRY.max_retries,
+                )
+                if host.handle is not None:
+                    host.handle.close()
+                    host.handle = None
+                host.state = "down"
+                host.relaunch_at = now + backoff
+                self.stats.relaunches += 1
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("dispatch.handshake.retries")
+                self._coordinate(host_to_record(
+                    "handshake_retry", self._next_seq(), host=host.name,
+                    retries=host.handshake_retries,
+                ))
+                continue
+            log.warning("host %s: no ready within %.1fs", host.name,
+                        deadline)
+            host.handshake_retries = 0
+            self._host_failure(host, "handshake timeout")
 
     def _host_failure(self, host: _Host, detail: str) -> None:
         """One host strike: revoke, count, relaunch or blacklist."""
@@ -547,8 +596,23 @@ class DistributedCampaignRunner:
                 owner.lease_id = None
 
     def _grant_work(self, book: LeaseBook, now: float) -> None:
+        self._grant_to(("ready",), book, now)
+        if book.pending and not any(
+            host.state == "ready" for host in self.hosts
+        ):
+            # Starvation guard: a lost chunk frame leaves its worker
+            # waiting forever and its host quarantined after the lease
+            # expires.  With work still pending and no ready host,
+            # lease to quarantined-but-idle hosts anyway -- first-write
+            # -wins dedup makes double execution safe, and a host that
+            # is actually dead fails the send and takes the normal
+            # host-failure path.
+            self._grant_to(("quarantined",), book, now)
+
+    def _grant_to(self, states: Sequence[str], book: LeaseBook,
+                  now: float) -> None:
         for host in self.hosts:
-            if host.state != "ready" or host.lease_id is not None:
+            if host.state not in states or host.lease_id is not None:
                 continue
             lease = book.grant(host.name, now)
             event = "granted"
@@ -570,8 +634,7 @@ class DistributedCampaignRunner:
                     ],
                 })
             except TransportError as exc:
-                book.release(lease.id)
-                book._requeue(lease)
+                book.release(lease.id)  # requeues the unsent indices
                 self._host_failure(host, f"send failed: {exc.detail}")
                 continue
             host.state = "busy"
@@ -622,7 +685,8 @@ class DistributedCampaignRunner:
                         message: Dict[str, Any]) -> bool:
         """Process one worker message; False ends this host's drain."""
         mtype = message.get("type")
-        now = time.monotonic()
+        chaos_clock_tick(host.name)
+        now = chaos_now()
         if mtype == "ready":
             if message.get("protocol") != PROTOCOL_VERSION:
                 self._host_failure(
@@ -631,6 +695,7 @@ class DistributedCampaignRunner:
                 )
                 return False
             host.state = "ready"
+            host.handshake_retries = 0
             return True
         if mtype == "verdict":
             record = message.get("record") or {}
@@ -642,6 +707,7 @@ class DistributedCampaignRunner:
                 return False
             self._observe_latency(host, now)
             if book.complete(index, verdict, now):
+                self._count_verdict(verdict)
                 if self._journal is not None:
                     self._journal.append(verdict_to_record(index, verdict))
                     if self._journal.pending >= self.config.checkpoint_every:
@@ -678,6 +744,24 @@ class DistributedCampaignRunner:
             return False
         self._host_failure(host, f"unexpected message type {mtype!r}")
         return False
+
+    def _count_verdict(self, verdict: FaultVerdict) -> None:
+        """Per-status counters for one first-accepted verdict.
+
+        The workers simulate with ``count_verdict=False`` (see
+        :func:`~repro.runner.harness.simulate_fault_once`): duplicated
+        executions from expiry or stealing, and workers killed before
+        shipping their ``bye`` snapshot, would otherwise leave the
+        merged counters out of step with the campaign summary.  The
+        dispatcher is the only place that knows which verdict *won*,
+        so it owns the per-status counting.
+        """
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter(f"campaign.verdict.{verdict.status}")
+        if verdict.status == "mot":
+            metrics.counter(f"campaign.how.{verdict.how}")
 
     def _observe_latency(self, host: _Host, now: float) -> None:
         """Per-fault wall latency, measured between protocol events.
@@ -763,7 +847,7 @@ class DistributedCampaignRunner:
     def _collect_bye(self, host: _Host) -> None:
         deadline = time.monotonic() + self.config.shutdown_timeout
         while True:
-            timeout = deadline - time.monotonic()
+            timeout = deadline - time.monotonic()  # wall wait, never skewed
             if timeout <= 0:
                 return
             message = host.handle.recv(timeout=timeout)

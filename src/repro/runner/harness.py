@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import inspect
 import json
+import os
 import signal
 import threading
 import time
@@ -45,8 +46,8 @@ from repro.errors import BudgetExceeded, CampaignInterrupted
 from repro.faults.model import Fault
 from repro.mot.simulator import Campaign, FaultVerdict
 from repro.obs.metrics import get_metrics
+from repro.chaos.runtime import CHAOS_EXIT_CODE, chaos_fault
 from repro.runner.budget import BudgetMeter, FaultBudget
-from repro.runner.chaos import maybe_chaos_fault_delay, maybe_chaos_kill
 from repro.runner.journal import (
     CampaignJournal,
     campaign_manifest,
@@ -80,6 +81,7 @@ def simulate_fault_once(
     budget: Optional[FaultBudget] = None,
     supports_meter: Optional[bool] = None,
     fail_fast: bool = False,
+    count_verdict: bool = True,
 ) -> FaultVerdict:
     """Simulate one fault with budget + quarantine semantics.
 
@@ -89,6 +91,15 @@ def simulate_fault_once(
     matter which execution layer ran it.  ``KeyboardInterrupt``
     propagates (callers own interruption policy); any other exception
     becomes an ``errored`` verdict unless ``fail_fast``.
+
+    ``count_verdict=False`` suppresses the per-status verdict counters
+    (the ``campaign.fault_ms`` histogram is still observed).  The
+    distributed worker loop passes it: under lease expiry or work
+    stealing the same fault may legitimately execute on two workers,
+    and a killed worker never ships its counters home at all -- so the
+    *dispatcher* counts each verdict exactly once, on first accept,
+    keeping the merged counters equal to the campaign summary no matter
+    what chaos did to the workers.
     """
     if supports_meter is None:
         supports_meter = probe_meter_support(simulator)
@@ -119,9 +130,10 @@ def simulate_fault_once(
         # Counted once per *simulated* fault (reused verdicts are
         # not re-counted), so the merged campaign counters of a
         # fresh run equal the campaign summary.
-        metrics.counter(f"campaign.verdict.{verdict.status}")
-        if verdict.status == "mot":
-            metrics.counter(f"campaign.how.{verdict.how}")
+        if count_verdict:
+            metrics.counter(f"campaign.verdict.{verdict.status}")
+            if verdict.status == "mot":
+                metrics.counter(f"campaign.how.{verdict.how}")
         metrics.observe(
             "campaign.fault_ms",
             (time.perf_counter() - started) * 1000.0,
@@ -317,8 +329,11 @@ class CampaignHarness:
                     continue
                 global_index = self._journal_index(index)
                 self._write_progress(in_flight=global_index)
-                maybe_chaos_kill(global_index)
-                maybe_chaos_fault_delay(global_index)
+                # One per-fault chaos event; a kill_mid_write flag
+                # degenerates to a plain kill here (there is no frame
+                # to tear in-process).
+                if chaos_fault(global_index) == "kill_mid_write":
+                    os._exit(CHAOS_EXIT_CODE)
                 try:
                     verdict = self._simulate_one(fault)
                 except KeyboardInterrupt:

@@ -67,11 +67,15 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+import errno
+
+from repro.chaos.runtime import chaos_journal_read, chaos_journal_write
 from repro.circuit.netlist import Pin
 from repro.errors import JournalError
 from repro.faults.model import Fault
 from repro.mot.simulator import FaultCounters, FaultVerdict
 from repro.obs.metrics import get_metrics
+from repro.runner.retry import RetryPolicy
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -371,14 +375,52 @@ class CampaignJournal:
         self._buffer: List[str] = []
         self.last_report: Optional[JournalLoadReport] = None
 
+    #: Transient write errors worth retrying: a momentarily failing
+    #: disk (EIO) or a full one that a log rotation may free (ENOSPC).
+    TRANSIENT_ERRNOS = (errno.EIO, errno.ENOSPC)
+
+    #: Bounded retry for flush: 3 attempts beyond the first, short
+    #: deterministic backoff -- the journal must not stall a campaign
+    #: for more than ~a second before surfacing the error.
+    WRITE_RETRY = RetryPolicy(
+        max_retries=3, backoff_base=0.05, backoff_factor=2.0,
+        backoff_cap=0.25, jitter=0.0,
+    )
+
     # -------------------------------------------------------------- write
     def create(self, manifest: Dict[str, Any]) -> None:
-        """Start a fresh journal (truncates any existing file)."""
+        """Start a fresh journal (replaces any existing file).
+
+        The manifest is written to a temporary file, fsynced, and moved
+        into place with ``os.replace`` (plus a directory fsync), so a
+        crash mid-create can never strand readers behind a torn,
+        unparsable manifest: they see either the old journal or the new
+        one, never half a line.
+        """
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        with open(self.path, "w") as handle:
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w") as handle:
             handle.write(json.dumps(seal_record(manifest), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self._fsync_directory(directory)
         self._buffer = []
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        """Persist a rename at the directory level (best-effort)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync on dirs unsupported
+            pass
+        finally:
+            os.close(fd)
 
     def append(self, record: Dict[str, Any]) -> None:
         """Buffer one record, sealed, for the next flush."""
@@ -392,9 +434,46 @@ class CampaignJournal:
         new record onto the fragment and lose both.  The flush starts
         on a fresh line in that case, so the fragment stays isolated
         (and is quarantined by the next :meth:`load`).
+
+        Transient ``OSError`` (EIO, ENOSPC) is retried with a short
+        bounded backoff (``WRITE_RETRY``, counted by the
+        ``journal.write.retries`` metric) before propagating; anything
+        else propagates immediately.  The buffer survives a failed
+        flush, so a caller that recovers (or a later checkpoint) writes
+        the same records.
         """
         if not self._buffer:
             return
+        attempt = 0
+        while True:
+            try:
+                self._flush_once()
+                return
+            except OSError as exc:
+                if exc.errno not in self.TRANSIENT_ERRNOS:
+                    raise
+                if not self.WRITE_RETRY.allows(attempt):
+                    raise
+                attempt += 1
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("journal.write.retries")
+                time.sleep(self.WRITE_RETRY.backoff(attempt))
+
+    def _flush_once(self) -> None:
+        """One physical flush attempt (the chaos ``journal.write`` seam).
+
+        A ``torn`` injection writes half of the first buffered record
+        with no newline and *keeps the buffer*: the next flush's
+        newline-prefix repair isolates the fragment (quarantined by the
+        next load) while every record still lands -- the crash-mid-write
+        signature without losing data.
+        """
+        action = chaos_journal_write(self.path)
+        if action == "eio":
+            raise OSError(errno.EIO, "chaos: injected I/O error")
+        if action == "enospc":
+            raise OSError(errno.ENOSPC, "chaos: injected full disk")
         prefix = ""
         try:
             with open(self.path, "rb") as handle:
@@ -403,6 +482,13 @@ class CampaignJournal:
                     prefix = "\n"
         except (OSError, ValueError):
             pass  # missing or empty file: nothing to repair
+        if action == "torn":
+            fragment = self._buffer[0][: max(1, len(self._buffer[0]) // 2)]
+            with open(self.path, "a") as handle:
+                handle.write(prefix + fragment)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return  # buffer kept: the next flush re-writes everything
         with open(self.path, "a") as handle:
             handle.write(prefix + "\n".join(self._buffer) + "\n")
             handle.flush()
@@ -437,6 +523,7 @@ class CampaignJournal:
             raise JournalError(f"cannot read journal {self.path}: {exc}") from None
         if not lines:
             raise JournalError(f"journal {self.path} is empty")
+        lines = chaos_journal_read(self.path, lines)
         manifest = self._parse_line(lines[0], line_number=1)
         if not record_checksum_ok(manifest):
             raise JournalError(

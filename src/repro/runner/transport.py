@@ -74,11 +74,12 @@ from repro.mot.unrestricted import UnrestrictedConfig, UnrestrictedSimulator
 from repro.obs import ObsSpec, install_worker_obs
 from repro.obs.metrics import get_metrics
 from repro.runner.budget import FaultBudget
-from repro.runner.chaos import (
-    maybe_chaos_fault_delay,
-    maybe_chaos_kill,
-    maybe_chaos_kill_host,
-    maybe_chaos_lease_delay,
+from repro.chaos.runtime import (
+    CHAOS_EXIT_CODE,
+    chaos_chunk,
+    chaos_chunk_done,
+    chaos_fault,
+    chaos_worker_ready,
 )
 from repro.runner.harness import probe_meter_support, simulate_fault_once
 from repro.runner.journal import fault_from_payload, verdict_to_record
@@ -354,10 +355,22 @@ class WorkerHandle:
                 return None
 
 
+#: Default bound on worker startup: spawn to ``ready`` (seconds).
+DEFAULT_HANDSHAKE_TIMEOUT = 60.0
+
+
 class Transport:
-    """Launch workers on (pseudo-)hosts; the dispatcher's only view."""
+    """Launch workers on (pseudo-)hosts; the dispatcher's only view.
+
+    ``handshake_timeout`` bounds worker initialization: a worker that
+    has not sent ``ready`` within this many seconds of its spawn is
+    treated as dead by the dispatcher (which retries the launch once
+    with backoff before striking the host) -- a worker that dies or
+    hangs before speaking must never leave dispatch polling forever.
+    """
 
     kind = "abstract"
+    handshake_timeout = DEFAULT_HANDSHAKE_TIMEOUT
 
     def launch(self, host: str) -> WorkerHandle:
         raise NotImplementedError
@@ -388,8 +401,13 @@ class SubprocessTransport(Transport):
 
     kind = "local"
 
-    def __init__(self, python: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        python: Optional[str] = None,
+        handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT,
+    ) -> None:
         self.python = python or sys.executable
+        self.handshake_timeout = float(handshake_timeout)
 
     def launch(self, host: str) -> WorkerHandle:
         argv = [self.python, "-m", "repro", "worker", "--host", host]
@@ -410,12 +428,17 @@ class CommandTransport(Transport):
 
     kind = "command"
 
-    def __init__(self, template: str) -> None:
+    def __init__(
+        self,
+        template: str,
+        handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT,
+    ) -> None:
         if "{host}" not in template:
             raise ValueError(
                 "command template must contain a {host} placeholder"
             )
         self.template = template
+        self.handshake_timeout = float(handshake_timeout)
 
     def launch(self, host: str) -> WorkerHandle:
         command = self.template.replace("{host}", shlex.quote(host))
@@ -426,17 +449,21 @@ class CommandTransport(Transport):
 
 
 def make_transport(
-    kind: str, command_template: Optional[str] = None
+    kind: str,
+    command_template: Optional[str] = None,
+    handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT,
 ) -> Transport:
     """Build the transport the CLI's ``--transport`` flag names."""
     if kind == "local":
-        return SubprocessTransport()
+        return SubprocessTransport(handshake_timeout=handshake_timeout)
     if kind == "command":
         if not command_template:
             raise ValueError(
                 "--transport command requires --command-template"
             )
-        return CommandTransport(command_template)
+        return CommandTransport(
+            command_template, handshake_timeout=handshake_timeout
+        )
     raise ValueError(f"unknown transport {kind!r}")
 
 
@@ -507,12 +534,15 @@ def worker_main(host: str, stdin: Any = None, stdout: Any = None) -> int:
             return fail(f"cannot build workload: {type(exc).__name__}: {exc}")
         budget = _budget_from_fields(init.get("budget"))
         supports_meter = probe_meter_support(simulator)
+        ready_flag = chaos_worker_ready(host)
         emit({
             "type": "ready",
             "protocol": PROTOCOL_VERSION,
             "host": host,
             "pid": os.getpid(),
         })
+        if ready_flag == "kill_after":
+            os._exit(CHAOS_EXIT_CODE)
 
         chunks_done = 0
         while True:
@@ -539,7 +569,7 @@ def worker_main(host: str, stdin: Any = None, stdout: Any = None) -> int:
                 return 0
             if mtype != "chunk":
                 return fail(f"unexpected message type {mtype!r}")
-            maybe_chaos_lease_delay(host)
+            chaos_chunk(host)
             lease = message.get("lease")
             indices = message.get("indices") or []
             fault_payloads = message.get("faults") or []
@@ -552,20 +582,29 @@ def worker_main(host: str, stdin: Any = None, stdout: Any = None) -> int:
             for index, payload in zip(indices, fault_payloads):
                 index = int(index)
                 fault = fault_from_payload(payload)
-                maybe_chaos_kill(index)
-                maybe_chaos_fault_delay(index)
+                fault_flag = chaos_fault(index, host)
                 verdict = simulate_fault_once(
                     simulator,
                     fault,
                     budget=budget,
                     supports_meter=supports_meter,
+                    count_verdict=False,
                 )
-                emit({
+                message = {
                     "type": "verdict",
                     "lease": lease,
                     "host": host,
                     "record": verdict_to_record(index, verdict),
-                })
+                }
+                if fault_flag == "kill_mid_write":
+                    # Die midway through the frame: the parent sees a
+                    # torn final line, drops it, and re-leases exactly
+                    # this fault.
+                    frame = json.dumps(message, sort_keys=True) + "\n"
+                    stdout.write(frame[: max(1, len(frame) // 2)])
+                    stdout.flush()
+                    os._exit(CHAOS_EXIT_CODE)
+                emit(message)
             chunks_done += 1
             metrics = get_metrics()
             if metrics.enabled:
@@ -577,7 +616,7 @@ def worker_main(host: str, stdin: Any = None, stdout: Any = None) -> int:
                 "count": len(indices),
                 "elapsed_ms": (time.perf_counter() - started) * 1000.0,
             })
-            maybe_chaos_kill_host(host, chunks_done)
+            chaos_chunk_done(host)
     except KeyboardInterrupt:
         return 130
     except Exception as exc:  # pragma: no cover - last-resort report

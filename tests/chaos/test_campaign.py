@@ -1,0 +1,74 @@
+"""Driver logic: shrink search and soak sweep (the expensive real-run
+path is covered end-to-end in test_dispatch_chaos)."""
+
+import os
+
+from repro.chaos import ChaosScenario, InjectionSpec
+from repro.chaos import campaign as campaign_mod
+from repro.chaos.campaign import ChaosRunResult, shrink_scenario, soak
+from repro.chaos.invariants import InvariantCheck, InvariantReport
+
+
+def _result(scenario, workdir, ok):
+    report = InvariantReport()
+    if not ok:
+        report.checks.append(InvariantCheck("coverage", False, "lost"))
+    return ChaosRunResult(scenario=scenario, workdir=workdir, report=report)
+
+
+SCENARIO = ChaosScenario(
+    name="shrinkme", seed=0,
+    faults=[
+        InjectionSpec(site="transport.send", action="drop"),
+        InjectionSpec(site="worker.fault", action="kill", index=3),
+        InjectionSpec(site="journal.write", action="torn"),
+    ],
+)
+
+
+def test_shrink_keeps_only_the_essential_spec(monkeypatch, tmp_path):
+    def fake_run(scenario, workdir, *, reference=True):
+        essential = any(s.site == "worker.fault" for s in scenario.faults)
+        return _result(scenario, workdir, ok=not essential)
+
+    monkeypatch.setattr(campaign_mod, "run_scenario", fake_run)
+    shrunk, runs = shrink_scenario(SCENARIO, str(tmp_path))
+    assert [s.site for s in shrunk.faults] == ["worker.fault"]
+    assert shrunk.name == SCENARIO.name and shrunk.seed == SCENARIO.seed
+    assert 0 < runs <= 16
+
+
+def test_shrink_leaves_a_passing_scenario_unchanged(monkeypatch, tmp_path):
+    monkeypatch.setattr(
+        campaign_mod, "run_scenario",
+        lambda scenario, workdir, **kw: _result(scenario, workdir, ok=True),
+    )
+    shrunk, runs = shrink_scenario(SCENARIO, str(tmp_path))
+    assert shrunk.faults == SCENARIO.faults
+    assert runs == len(SCENARIO.faults)  # one probe per removal, no luck
+
+
+def test_shrink_respects_the_run_budget(monkeypatch, tmp_path):
+    calls = {"n": 0}
+
+    def fake_run(scenario, workdir, *, reference=True):
+        calls["n"] += 1
+        return _result(scenario, workdir, ok=False)  # everything "fails"
+
+    monkeypatch.setattr(campaign_mod, "run_scenario", fake_run)
+    _, runs = shrink_scenario(SCENARIO, str(tmp_path), max_runs=2)
+    assert runs == calls["n"] == 2
+
+
+def test_soak_reseeds_into_per_seed_subdirectories(monkeypatch, tmp_path):
+    seen = []
+
+    def fake_run(scenario, workdir, *, reference=True):
+        seen.append((scenario.seed, workdir))
+        return _result(scenario, workdir, ok=scenario.seed != 7)
+
+    monkeypatch.setattr(campaign_mod, "run_scenario", fake_run)
+    results = soak(SCENARIO, [0, 7], str(tmp_path))
+    assert [seed for seed, _ in results] == [0, 7]
+    assert [os.path.basename(w) for _, w in seen] == ["seed-0", "seed-7"]
+    assert results[0][1].ok and not results[1][1].ok

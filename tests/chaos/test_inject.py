@@ -1,0 +1,131 @@
+"""Transport injector semantics over a scripted fake handle."""
+
+import pytest
+
+from repro.chaos import ChaosPlan, ChaosScenario, InjectionSpec
+from repro.chaos.inject import ChaosWorkerHandle
+from repro.errors import TransportError
+
+
+class FakeHandle:
+    """A worker handle whose wire is two in-memory lists."""
+
+    host = "alpha"
+    process = None
+
+    def __init__(self, incoming=None):
+        self.sent = []
+        self.incoming = list(incoming or [])
+        self.closed = False
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def recv(self, timeout=0.0):
+        if self.incoming:
+            item = self.incoming.pop(0)
+            if isinstance(item, Exception):
+                raise item
+            return item
+        return None
+
+    def alive(self):
+        return not self.closed
+
+    def close(self, timeout=5.0):
+        self.closed = True
+        return 0
+
+
+def _wrap(specs, incoming=None, seed=0):
+    plan = ChaosPlan(ChaosScenario(name="t", seed=seed, faults=specs))
+    return ChaosWorkerHandle(FakeHandle(incoming), plan)
+
+
+def _verdicts(n):
+    return [{"type": "verdict", "record": {"index": i}} for i in range(n)]
+
+
+def test_send_drop_discards_the_frame():
+    handle = _wrap([InjectionSpec(site="transport.send", action="drop",
+                                  kind="chunk", times=1)])
+    handle.send({"type": "chunk", "lease": 1})
+    handle.send({"type": "chunk", "lease": 2})
+    assert [m["lease"] for m in handle.inner.sent] == [2]
+
+
+def test_send_duplicate_sends_twice():
+    handle = _wrap([InjectionSpec(site="transport.send", action="duplicate",
+                                  times=1)])
+    handle.send({"type": "init"})
+    handle.send({"type": "chunk"})
+    assert [m["type"] for m in handle.inner.sent] == ["init", "init",
+                                                      "chunk"]
+
+
+def test_recv_drop_erases_a_frame():
+    handle = _wrap(
+        [InjectionSpec(site="transport.recv", action="drop",
+                       kind="verdict", times=1)],
+        incoming=_verdicts(3),
+    )
+    seen = [handle.recv(0.0) for _ in range(4)]
+    indices = [m["record"]["index"] for m in seen if m]
+    assert indices == [1, 2]
+
+
+def test_recv_duplicate_redelivers_a_deep_copy():
+    handle = _wrap(
+        [InjectionSpec(site="transport.recv", action="duplicate",
+                       kind="verdict", times=1)],
+        incoming=_verdicts(2),
+    )
+    first = handle.recv(0.0)
+    second = handle.recv(0.0)
+    third = handle.recv(0.0)
+    assert first["record"]["index"] == 0
+    indices = sorted([second["record"]["index"], third["record"]["index"]])
+    assert indices == [0, 1]  # the duplicate of 0 arrives again
+    duplicate = second if second["record"]["index"] == 0 else third
+    assert duplicate is not first  # a copy, not the same object
+
+
+def test_recv_reorder_swaps_with_the_next_frame():
+    handle = _wrap(
+        [InjectionSpec(site="transport.recv", action="reorder",
+                       kind="verdict", times=1)],
+        incoming=_verdicts(3),
+    )
+    order = [handle.recv(0.0)["record"]["index"] for _ in range(3)]
+    assert order == [1, 0, 2]
+
+
+def test_recv_timeout_releases_held_frames_instead_of_losing_them():
+    handle = _wrap(
+        [InjectionSpec(site="transport.recv", action="delay",
+                       kind="verdict", value=5, times=1)],
+        incoming=_verdicts(1),
+    )
+    # The only frame is held; the stream then runs dry -- the timeout
+    # path must flush it rather than lose it.
+    assert handle.recv(0.0)["record"]["index"] == 0
+
+
+def test_recv_eof_releases_held_frames_before_raising():
+    incoming = _verdicts(1) + [TransportError(host="alpha", detail="eof")]
+    handle = _wrap(
+        [InjectionSpec(site="transport.recv", action="reorder",
+                       kind="verdict", times=1)],
+        incoming=incoming,
+    )
+    assert handle.recv(0.0)["record"]["index"] == 0
+    with pytest.raises(TransportError):
+        handle.recv(0.0)
+
+
+def test_passthrough_properties_and_close():
+    handle = _wrap([InjectionSpec(site="transport.send", action="drop")])
+    assert handle.host == "alpha"
+    assert handle.alive()
+    handle.close()
+    assert not handle.alive()

@@ -1,0 +1,106 @@
+"""The invariant checker: passes on quiet runs, catches each failure
+mode it exists to catch, and reports skips honestly."""
+
+import dataclasses
+
+from repro.chaos.invariants import check_invariants
+from repro.circuits.library import s27
+from repro.mot.simulator import Campaign
+from repro.obs.metrics import MetricsSnapshot
+from repro.runner.journal import CampaignJournal, verdict_to_record
+
+
+def _snapshot_for(campaign):
+    """The counters a well-behaved dispatcher would have recorded."""
+    counters = {}
+    for verdict in campaign.verdicts:
+        name = f"campaign.verdict.{verdict.status}"
+        counters[name] = counters.get(name, 0) + 1
+        if verdict.status == "mot":
+            how = f"campaign.how.{verdict.how}"
+            counters[how] = counters.get(how, 0) + 1
+    return MetricsSnapshot(counters=counters)
+
+
+def _check(report, name):
+    (check,) = [c for c in report.checks if c.name == name]
+    return check
+
+
+def test_clean_journaled_run_passes_everything(journaled_campaign):
+    run = journaled_campaign
+    report = check_invariants(
+        run.campaign,
+        run.faults,
+        reference=run.campaign,
+        circuit=s27(),
+        journal_path=run.journal_path,
+        metrics=_snapshot_for(run.campaign),
+    )
+    assert report.ok, report.render()
+    assert not any(check.skipped for check in report.checks)
+    assert "invariants hold" in report.render()
+
+
+def test_lost_verdict_fails_coverage(journaled_campaign):
+    run = journaled_campaign
+    truncated = Campaign(run.campaign.circuit_name,
+                         run.campaign.verdicts[:-1])
+    report = check_invariants(truncated, run.faults,
+                              journal_path=run.journal_path)
+    assert not report.ok
+    coverage = _check(report, "coverage")
+    assert not coverage.ok
+    assert f"{len(run.faults) - 1} verdicts" in coverage.detail
+    # The journal still holds the full set, so replay flags it too.
+    assert not _check(report, "replay-idempotent").ok
+
+
+def test_duplicate_journal_record_fails_no_duplicates(journaled_campaign):
+    run = journaled_campaign
+    journal = CampaignJournal(run.journal_path)
+    journal.append(verdict_to_record(0, run.campaign.verdicts[0]))
+    journal.flush()
+    report = check_invariants(run.campaign, run.faults,
+                              journal_path=run.journal_path)
+    duplicates = _check(report, "no-duplicates")
+    assert not duplicates.ok
+    assert "[0]" in duplicates.detail
+
+
+def test_miscounted_metrics_fail(journaled_campaign):
+    run = journaled_campaign
+    snapshot = _snapshot_for(run.campaign)
+    snapshot.counters["campaign.verdict.conv"] += 1  # double-counted
+    report = check_invariants(run.campaign, run.faults, metrics=snapshot)
+    metrics = _check(report, "metrics-consistent")
+    assert not metrics.ok
+    assert "campaign.verdict.conv" in metrics.detail
+
+
+def test_divergent_verdict_fails_csv(journaled_campaign):
+    run = journaled_campaign
+    flipped = list(run.campaign.verdicts)
+    index = next(i for i, v in enumerate(flipped) if v.detected)
+    flipped[index] = dataclasses.replace(flipped[index],
+                                         status="undetected", how="")
+    report = check_invariants(
+        Campaign(run.campaign.circuit_name, flipped),
+        run.faults,
+        reference=run.campaign,
+        circuit=s27(),
+    )
+    csv = _check(report, "csv-identical")
+    assert not csv.ok
+    # CSV line = header + one row per fault before the flipped one.
+    assert f"divergence at CSV line {index + 2}" in csv.detail
+
+
+def test_absent_inputs_are_skipped_not_passed(journaled_campaign):
+    run = journaled_campaign
+    report = check_invariants(run.campaign, run.faults)
+    skipped = {c.name for c in report.checks if c.skipped}
+    assert skipped == {"no-duplicates", "replay-idempotent",
+                       "metrics-consistent", "csv-identical"}
+    assert report.ok  # skips never fail the report...
+    assert "skip" in report.render()  # ...but they are visible

@@ -1,0 +1,209 @@
+"""Ambient plan resolution, legacy env conversion, and hook behavior."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.chaos import ChaosPlan, ChaosScenario, InjectionSpec
+from repro.chaos.runtime import (
+    SCENARIO_ENV,
+    chaos_fault,
+    chaos_journal_read,
+    chaos_now,
+    current_plan,
+    install_plan,
+    uninstall_plan,
+    wrap_handle,
+)
+
+
+def test_no_configuration_means_no_plan():
+    assert current_plan() is None
+    assert chaos_fault(0) is None  # cheap no-op, never raises
+
+
+def test_installed_plan_wins_over_environment(monkeypatch):
+    env_scenario = ChaosScenario(name="from-env", seed=1, faults=[
+        InjectionSpec(site="transport.send", action="drop"),
+    ])
+    monkeypatch.setenv(SCENARIO_ENV, env_scenario.to_json())
+    installed = ChaosPlan(ChaosScenario(name="installed", seed=2))
+    previous = install_plan(installed)
+    try:
+        assert current_plan() is installed
+    finally:
+        install_plan(previous)
+    assert current_plan().scenario.name == "from-env"
+
+
+def test_scenario_env_accepts_inline_json_and_file(monkeypatch, tmp_path):
+    scenario = ChaosScenario(name="inline", seed=3, faults=[
+        InjectionSpec(site="journal.write", action="torn"),
+    ])
+    monkeypatch.setenv(SCENARIO_ENV, scenario.to_json())
+    assert current_plan().scenario.name == "inline"
+
+    path = tmp_path / "scenario.json"
+    path.write_text(scenario.with_seed(4).to_json() + "\n")
+    monkeypatch.setenv(SCENARIO_ENV, str(path))
+    plan = current_plan()
+    assert plan.scenario.seed == 4
+
+
+def test_malformed_scenario_env_disarms(monkeypatch):
+    monkeypatch.setenv(SCENARIO_ENV, "{not json")
+    assert current_plan() is None
+
+
+def test_env_plan_cached_until_environment_changes(monkeypatch):
+    scenario = ChaosScenario(name="cache", seed=0, faults=[
+        InjectionSpec(site="journal.write", action="eio"),
+    ])
+    monkeypatch.setenv(SCENARIO_ENV, scenario.to_json())
+    first = current_plan()
+    assert current_plan() is first  # same fingerprint, same plan object
+    monkeypatch.setenv(SCENARIO_ENV, scenario.with_seed(9).to_json())
+    assert current_plan() is not first
+
+
+def test_uninstall_restores_environment_fallback(monkeypatch):
+    monkeypatch.setenv(SCENARIO_ENV, ChaosScenario(
+        name="env", seed=0,
+        faults=[InjectionSpec(site="journal.write", action="eio")],
+    ).to_json())
+    install_plan(ChaosPlan(ChaosScenario(name="x", seed=0)))
+    uninstall_plan()
+    assert current_plan().scenario.name == "env"
+
+
+# ----------------------------------------------------------------------
+# Legacy REPRO_CHAOS_* conversion
+# ----------------------------------------------------------------------
+def _legacy_plan(monkeypatch, **env):
+    for name, value in env.items():
+        monkeypatch.setenv(name, value)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return current_plan()
+
+
+def test_legacy_kill_index_converts(monkeypatch):
+    plan = _legacy_plan(
+        monkeypatch,
+        REPRO_CHAOS_KILL_INDEX="20",
+        REPRO_CHAOS_KILL_MARKER="/tmp/marker",
+    )
+    (spec,) = plan.scenario.faults
+    assert spec.site == "worker.fault"
+    assert spec.action == "kill"
+    assert spec.index == 20
+    assert spec.once and spec.marker == "/tmp/marker"
+
+
+def test_legacy_kill_host_after_is_one_based(monkeypatch):
+    plan = _legacy_plan(
+        monkeypatch,
+        REPRO_CHAOS_KILL_HOST="beta",
+        REPRO_CHAOS_KILL_HOST_AFTER="2",
+    )
+    (spec,) = plan.scenario.faults
+    assert spec.site == "worker.chunk_done"
+    assert spec.host == "beta"
+    assert spec.after == 1  # "after the 2nd chunk" = skip 1 event
+
+
+def test_legacy_lease_delay_with_and_without_host(monkeypatch):
+    plan = _legacy_plan(monkeypatch, REPRO_CHAOS_LEASE_DELAY_MS="beta:50")
+    (spec,) = plan.scenario.faults
+    assert (spec.site, spec.host, spec.value) == ("worker.chunk", "beta",
+                                                  50.0)
+
+
+def test_legacy_fault_delay_specific_overrides_default(monkeypatch):
+    plan = _legacy_plan(
+        monkeypatch,
+        REPRO_CHAOS_FAULT_DELAY_MS=json.dumps({"3": 80, "*": 10}),
+    )
+    specs = plan.scenario.faults
+    # Specific index first: first-matching-delay-wins keeps the legacy
+    # "specific overrides the * default" semantics.
+    assert [s.index for s in specs] == [3, None]
+    assert [s.value for s in specs] == [80.0, 10.0]
+
+
+def test_legacy_malformed_values_disarm(monkeypatch):
+    assert _legacy_plan(monkeypatch, REPRO_CHAOS_KILL_INDEX="banana") is None
+    assert current_plan() is None
+
+
+def test_legacy_emits_one_deprecation_warning_with_snippet(monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS_KILL_INDEX", "5")
+    with pytest.warns(DeprecationWarning, match=SCENARIO_ENV) as caught:
+        current_plan()
+    message = str(caught[0].message)
+    assert '"site": "worker.fault"'.replace(" ", "") in \
+        message.replace(" ", "")
+    # The warning is latched: recompiling does not warn again.
+    monkeypatch.setenv("REPRO_CHAOS_KILL_INDEX", "6")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        current_plan()
+
+
+# ----------------------------------------------------------------------
+# Hook helpers
+# ----------------------------------------------------------------------
+def test_chaos_now_tracks_monotonic_without_a_plan():
+    import time
+
+    before = time.monotonic()
+    now = chaos_now()
+    assert now >= before
+
+
+def test_chaos_fault_host_filter(monkeypatch):
+    scenario = ChaosScenario(name="hf", seed=0, faults=[
+        InjectionSpec(site="worker.fault", action="delay", host="beta",
+                      value=0.0, times=None),
+    ])
+    install_plan(ChaosPlan(scenario))
+    try:
+        assert chaos_fault(1, "alpha") is None
+        assert chaos_fault(1, "beta") is None  # delay of 0 ms, no flag
+        plan = current_plan()
+        assert [e.scope for e in plan.events()] == ["beta"]
+    finally:
+        uninstall_plan()
+
+
+def test_chaos_journal_read_flips_one_record_never_the_manifest():
+    scenario = ChaosScenario(name="flip", seed=0, faults=[
+        InjectionSpec(site="journal.read", action="bit_flip"),
+    ])
+    install_plan(ChaosPlan(scenario))
+    try:
+        lines = ["manifest", "record-a", "record-b", "record-c"]
+        mutated = chaos_journal_read("/j", list(lines))
+        assert mutated[0] == "manifest"
+        assert sum(a != b for a, b in zip(lines, mutated)) == 1
+    finally:
+        uninstall_plan()
+
+
+def test_wrap_handle_passthrough_without_transport_sites():
+    handle = object()
+    assert wrap_handle(handle) is handle
+    install_plan(ChaosPlan(ChaosScenario(name="t", seed=0, faults=[
+        InjectionSpec(site="transport.send", action="drop"),
+    ])))
+    try:
+        from repro.chaos.inject import ChaosWorkerHandle
+
+        class Inner:
+            host = "h"
+
+        wrapped = wrap_handle(Inner())
+        assert isinstance(wrapped, ChaosWorkerHandle)
+    finally:
+        uninstall_plan()

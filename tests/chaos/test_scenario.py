@@ -1,0 +1,115 @@
+"""Scenario spec validation and (de)serialization."""
+
+import pytest
+
+from repro.chaos import ChaosScenario, InjectionSpec, SITE_ACTIONS
+from repro.errors import ChaosError
+
+
+def test_every_site_has_a_nonempty_action_set():
+    assert SITE_ACTIONS
+    for site, actions in SITE_ACTIONS.items():
+        assert actions, site
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ChaosError, match="unknown chaos site"):
+        InjectionSpec(site="transport.carrier-pigeon", action="drop")
+
+
+def test_action_must_belong_to_the_site():
+    with pytest.raises(ChaosError, match="does not support action"):
+        InjectionSpec(site="journal.write", action="reorder")
+
+
+@pytest.mark.parametrize("field,value", [
+    ("after", -1),
+    ("times", 0),
+    ("rate", 1.5),
+    ("rate", -0.1),
+])
+def test_trigger_bounds_validated(field, value):
+    with pytest.raises(ChaosError):
+        InjectionSpec(site="transport.send", action="drop",
+                      **{field: value})
+
+
+def test_spec_dict_roundtrip_omits_defaults():
+    spec = InjectionSpec(site="worker.fault", action="kill", index=20,
+                         once=True, marker="/tmp/m")
+    payload = spec.to_dict()
+    assert payload == {
+        "site": "worker.fault", "action": "kill", "index": 20,
+        "once": True, "marker": "/tmp/m",
+    }
+    assert InjectionSpec.from_dict(payload) == spec
+
+
+def test_spec_unknown_keys_rejected():
+    with pytest.raises(ChaosError, match="unknown keys"):
+        InjectionSpec.from_dict(
+            {"site": "transport.send", "action": "drop", "colour": "red"}
+        )
+
+
+def test_spec_requires_site_and_action():
+    with pytest.raises(ChaosError, match="'site' and 'action'"):
+        InjectionSpec.from_dict({"site": "transport.send"})
+
+
+def test_scenario_json_roundtrip():
+    scenario = ChaosScenario(
+        name="demo", seed=42,
+        faults=[
+            InjectionSpec(site="transport.recv", action="duplicate",
+                          kind="verdict", rate=0.5, times=None),
+            InjectionSpec(site="dispatch.clock", action="skew", value=2.0),
+        ],
+        description="a demo",
+        workload={"hosts": ["a", "b"]},
+    )
+    restored = ChaosScenario.from_json(scenario.to_json())
+    assert restored == scenario
+
+
+def test_scenario_rejects_malformed_json_and_shapes():
+    with pytest.raises(ChaosError, match="not valid JSON"):
+        ChaosScenario.from_json("{nope")
+    with pytest.raises(ChaosError, match="not an object"):
+        ChaosScenario.from_json("[1, 2]")
+    with pytest.raises(ChaosError, match="must be a list"):
+        ChaosScenario.from_dict({"name": "x", "seed": 0, "faults": {}})
+    with pytest.raises(ChaosError, match="seed must be an integer"):
+        ChaosScenario.from_dict({"name": "x", "seed": "banana"})
+
+
+def test_scenario_from_missing_file():
+    with pytest.raises(ChaosError, match="cannot read scenario file"):
+        ChaosScenario.from_file("/nonexistent/scenario.json")
+
+
+def test_with_markers_touches_only_unmarked_once_specs(tmp_path):
+    scenario = ChaosScenario(
+        name="m", seed=0,
+        faults=[
+            InjectionSpec(site="worker.chunk_done", action="kill",
+                          once=True),
+            InjectionSpec(site="worker.fault", action="kill", once=True,
+                          marker="/explicit"),
+            InjectionSpec(site="transport.send", action="drop"),
+        ],
+    )
+    marked = scenario.with_markers(str(tmp_path))
+    assert marked.faults[0].marker == str(tmp_path / "chaos-marker-0")
+    assert marked.faults[1].marker == "/explicit"
+    assert marked.faults[2].marker is None
+
+
+def test_with_seed_changes_only_the_seed():
+    scenario = ChaosScenario(name="s", seed=1, faults=[
+        InjectionSpec(site="transport.send", action="drop"),
+    ])
+    reseeded = scenario.with_seed(9)
+    assert reseeded.seed == 9
+    assert reseeded.name == scenario.name
+    assert reseeded.faults == scenario.faults
