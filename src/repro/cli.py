@@ -103,7 +103,10 @@ import json
 import logging
 import os
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.service.client import ServiceClient
 
 from repro.circuit.bench import load_bench
 from repro.errors import (
@@ -120,11 +123,6 @@ from repro.experiments.figures import render_all_figures
 from repro.experiments.hitec import render_hitec, run_hitec_experiment
 from repro.experiments.table2 import render_table2, run_table2
 from repro.experiments.table3 import render_table3, run_table3
-from repro.faults.collapse import collapse_faults
-from repro.faults.sites import all_faults
-from repro.fsim.conventional import run_conventional
-from repro.mot.baseline import BaselineConfig, BaselineSimulator
-from repro.mot.simulator import MotConfig, ProposedSimulator
 from repro.obs import (
     JsonlTracer,
     disable_metrics,
@@ -134,19 +132,8 @@ from repro.obs import (
 )
 from repro.patterns.random_gen import random_patterns
 from repro.reporting.tables import Table
-from repro.runner.budget import FaultBudget
-from repro.runner.harness import CampaignHarness, HarnessConfig
-from repro.runner.parallel import (
-    SHARD_STRATEGIES,
-    ParallelCampaignRunner,
-    ParallelConfig,
-)
-from repro.runner.retry import RetryPolicy
-from repro.runner.supervisor import (
-    SupervisedCampaignRunner,
-    SupervisorConfig,
-)
-from repro.sim.goodcache import GoodMachineCache
+from repro.runner.campaign import CampaignSpec, SpecError, run_campaign
+from repro.runner.parallel import SHARD_STRATEGIES
 
 #: Exit codes (see module docstring).
 EXIT_OK = 0
@@ -245,16 +232,17 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _faults(circuit: Circuit, uncollapsed: bool):
-    return all_faults(circuit) if uncollapsed else collapse_faults(circuit)
-
-
 def cmd_stats(args: argparse.Namespace) -> int:
     """Circuit statistics -- or, for ``.json`` arguments, render the
-    campaign metrics snapshot written by ``mot --metrics-out``."""
+    campaign metrics snapshot written by ``mot --metrics-out``
+    (``-`` reads a snapshot from stdin)."""
+
+    def _is_metrics(name: str) -> bool:
+        return name == "-" or name.endswith(".json")
+
     names = list(args.names or [])
-    metrics_files = [name for name in names if name.endswith(".json")]
-    circuit_names = [name for name in names if not name.endswith(".json")]
+    metrics_files = [name for name in names if _is_metrics(name)]
+    circuit_names = [name for name in names if not _is_metrics(name)]
     status = 0
     for path in metrics_files:
         from repro.reporting.metrics import load_snapshot, render_metrics_report
@@ -284,20 +272,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_fsim(args: argparse.Namespace) -> int:
-    circuit = _resolve_circuit(args)
-    faults = _faults(circuit, args.uncollapsed)
-    patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
-    if args.engine in ("parallel", "ir"):
-        from repro.fsim.parallel import run_parallel_conventional
-
-        # "parallel" keeps the object-graph walk; "ir" compiles each
-        # fault batch into plane masks over the levelized circuit IR.
-        campaign = run_parallel_conventional(
-            circuit, faults, patterns,
-            engine="ir" if args.engine == "ir" else "interp",
+    result = run_campaign(
+        CampaignSpec(
+            circuit=args.circuit,
+            bench_path=args.bench,
+            length=args.length,
+            seed=args.seed,
+            uncollapsed=args.uncollapsed,
+            kind="fsim",
+            engine=args.engine,
         )
-    else:
-        campaign = run_conventional(circuit, faults, patterns)
+    )
+    campaign, circuit = result.campaign, result.circuit
     print(
         f"{circuit.name}: {campaign.detected} of {campaign.total} faults "
         f"detected conventionally ({args.length} random patterns, seed "
@@ -309,11 +295,48 @@ def cmd_fsim(args: argparse.Namespace) -> int:
     return 0
 
 
-def _mot_budget(args: argparse.Namespace) -> Optional[FaultBudget]:
-    if args.budget_ms is None and args.budget_events is None:
-        return None
-    return FaultBudget(
-        wall_clock_ms=args.budget_ms, max_events=args.budget_events
+def _mot_spec(args: argparse.Namespace) -> CampaignSpec:
+    """The :class:`CampaignSpec` equivalent of a parsed ``mot`` line."""
+    if args.unrestricted:
+        kind = "unrestricted"
+    elif args.baseline:
+        kind = "baseline"
+    else:
+        kind = "mot"
+    return CampaignSpec(
+        circuit=args.circuit,
+        bench_path=args.bench,
+        length=args.length,
+        seed=args.seed,
+        uncollapsed=args.uncollapsed,
+        kind=kind,
+        engine=args.engine,
+        n_states=args.n_states,
+        n_references=args.n_references,
+        implication_mode=args.implication_mode,
+        backward_depth=args.depth,
+        learning=args.learning,
+        workers=args.workers,
+        shard_strategy=args.shard_strategy,
+        hosts=tuple(
+            h for h in (args.hosts or "").split(",") if h.strip()
+        ),
+        transport=args.transport,
+        command_template=args.command_template,
+        chunk_size=args.chunk_size,
+        lease_timeout=args.lease_timeout,
+        host_blacklist_after=args.host_blacklist_after,
+        budget_ms=args.budget_ms,
+        budget_events=args.budget_events,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        fail_fast=args.fail_fast,
+        max_retries=args.max_retries,
+        heartbeat_interval=args.heartbeat_interval,
+        stall_timeout=args.stall_timeout,
+        no_degrade=args.no_degrade,
+        no_supervise=args.no_supervise,
     )
 
 
@@ -354,151 +377,22 @@ def cmd_mot(args: argparse.Namespace) -> int:
 
 
 def _run_mot(args: argparse.Namespace) -> int:
-    circuit = _resolve_circuit(args)
-    faults = _faults(circuit, args.uncollapsed)
-    patterns = random_patterns(circuit.num_inputs, args.length, args.seed)
-    log.debug(
-        "%s: %d faults, %d patterns (seed %d)",
-        circuit.name, len(faults), args.length, args.seed,
-    )
-    # One good-machine simulation for the whole campaign -- shared by
-    # the simulator, its forward fallback, and every worker process.
-    good_cache = GoodMachineCache.compute(circuit, patterns, engine=args.engine)
-    if args.unrestricted:
-        from repro.mot.unrestricted import (
-            UnrestrictedConfig,
-            UnrestrictedSimulator,
-        )
-
-        simulator = UnrestrictedSimulator(
-            circuit,
-            patterns,
-            UnrestrictedConfig(
-                n_references=args.n_references,
-                restricted=MotConfig(
-                    n_states=args.n_states, sim_engine=args.engine
-                ),
-            ),
-            good_cache=good_cache,
-        )
-        label = f"unrestricted MOT ({simulator.n_references} references)"
-    elif args.baseline:
-        simulator = BaselineSimulator(
-            circuit, patterns,
-            BaselineConfig(n_states=args.n_states, sim_engine=args.engine),
-            good_cache=good_cache,
-        )
-        label = "[4] baseline"
-    else:
-        simulator = ProposedSimulator(
-            circuit,
-            patterns,
-            MotConfig(
-                n_states=args.n_states,
-                implication_mode=args.implication_mode,
-                backward_depth=args.depth,
-                learning=args.learning,
-                sim_engine=args.engine,
-            ),
-            good_cache=good_cache,
-        )
-        label = "proposed procedure"
-    if args.hosts:
-        from repro.runner.dispatch import (
-            DispatchConfig,
-            DistributedCampaignRunner,
-        )
-        from repro.runner.transport import make_transport
-
-        hosts = [h for h in args.hosts.split(",") if h.strip()]
-        transport = make_transport(args.transport, args.command_template)
-        dispatch_config = DispatchConfig(
-            chunk_size=args.chunk_size,
-            lease_timeout=args.lease_timeout,
-            host_blacklist_after=args.host_blacklist_after,
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            resume=args.resume,
-            budget=_mot_budget(args),
-        )
-        if args.no_supervise:
-            runner = DistributedCampaignRunner(
-                simulator, hosts, transport, dispatch_config
-            )
-        else:
-            runner = SupervisedCampaignRunner(
-                simulator,
-                ParallelConfig(
-                    workers=max(args.workers, 1),
-                    budget=_mot_budget(args),
-                    checkpoint_path=args.checkpoint,
-                    checkpoint_every=args.checkpoint_every,
-                    resume=args.resume,
-                    fail_fast=args.fail_fast,
-                ),
-                SupervisorConfig(
-                    retry=RetryPolicy(max_retries=args.max_retries),
-                    allow_degraded=not args.no_degrade,
-                ),
-                hosts=hosts,
-                transport=transport,
-                dispatch=dispatch_config,
-            )
-        label += (
-            f", {len(hosts)} hosts over {args.transport} transport"
-            f" ({'unsupervised' if args.no_supervise else 'supervised'})"
-        )
-    elif args.workers > 1:
-        parallel_config = ParallelConfig(
-            workers=args.workers,
-            shard_strategy=args.shard_strategy,
-            budget=_mot_budget(args),
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            resume=args.resume,
-            fail_fast=args.fail_fast,
-            heartbeat_interval=args.heartbeat_interval,
-            stall_timeout=args.stall_timeout,
-        )
-        if args.no_supervise:
-            runner = ParallelCampaignRunner(simulator, parallel_config)
-        else:
-            runner = SupervisedCampaignRunner(
-                simulator,
-                parallel_config,
-                SupervisorConfig(
-                    retry=RetryPolicy(max_retries=args.max_retries),
-                    allow_degraded=not args.no_degrade,
-                ),
-            )
-        label += f", {args.workers} workers ({args.shard_strategy}"
-        label += ", unsupervised)" if args.no_supervise else ", supervised)"
-    else:
-        runner = CampaignHarness(
-            simulator,
-            HarnessConfig(
-                budget=_mot_budget(args),
-                checkpoint_path=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                resume=args.resume,
-                fail_fast=args.fail_fast,
-            ),
-        )
-    campaign = runner.run(faults)
+    result = run_campaign(_mot_spec(args))
+    campaign, circuit = result.campaign, result.circuit
     print(
-        f"{circuit.name} ({label}): conventional {campaign.conv_detected}, "
-        f"MOT extra {campaign.mot_detected}, total "
-        f"{campaign.total_detected} of {campaign.total}"
+        f"{circuit.name} ({result.label}): conventional "
+        f"{campaign.conv_detected}, MOT extra {campaign.mot_detected}, "
+        f"total {campaign.total_detected} of {campaign.total}"
     )
-    if runner.stats.reused:
+    if result.stats.reused:
         log.info(
             "resumed from %s: %d verdicts reused, %d simulated",
-            args.checkpoint, runner.stats.reused, runner.stats.simulated,
+            args.checkpoint, result.stats.reused, result.stats.simulated,
         )
-    if isinstance(runner, SupervisedCampaignRunner):
+    if result.supervised:
         from repro.reporting.campaign import render_supervision_report
 
-        print(render_supervision_report(runner.stats), end="")
+        print(render_supervision_report(result.stats), end="")
     if campaign.aborted_budget:
         print(f"  aborted (budget): {campaign.aborted_budget}")
     if campaign.errored:
@@ -752,6 +646,167 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return status
 
 
+def _service_url(args: argparse.Namespace) -> str:
+    """The job server endpoint: explicit ``--url`` or discovered from
+    the service root's ``service.json``."""
+    if args.url:
+        return args.url
+    from repro.service.client import discover_url
+
+    return discover_url(args.root)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign job server until interrupted.
+
+    Ctrl-C is a *graceful* shutdown with crash semantics on purpose:
+    running jobs are cancelled at the next fault boundary but stay
+    ``running`` in the queue journal, so the next ``repro serve`` on
+    the same root resumes them from their campaign journals.
+    """
+    from repro.service import ServiceConfig, serve
+
+    service, server = serve(
+        args.root,
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            tenant_quota=args.tenant_quota,
+        ),
+    )
+    print(
+        f"campaign service listening on {server.url} "
+        f"(root {os.path.abspath(args.root)})"
+    )
+    sys.stdout.flush()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        log.info(
+            "shutting down; interrupted jobs resume on the next serve"
+        )
+    finally:
+        server.shutdown()
+        service.shutdown(interrupt=True)
+        server.server_close()
+    return EXIT_OK
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign to a running job server."""
+    from repro.service.client import ServiceClient
+
+    if bool(args.circuit) == bool(args.bench):
+        log.error("error: provide exactly one of <circuit> or --bench")
+        return EXIT_FAILURE
+    spec: Dict[str, Any] = {
+        "kind": args.kind,
+        "engine": args.engine,
+        "length": args.length,
+        "seed": args.seed,
+        "n_states": args.n_states,
+        "n_references": args.n_references,
+        "workers": args.workers,
+    }
+    if args.bench:
+        with open(args.bench) as handle:
+            spec["bench_text"] = handle.read()
+    else:
+        spec["circuit"] = args.circuit
+    if args.budget_ms is not None:
+        spec["budget_ms"] = args.budget_ms
+    if args.budget_events is not None:
+        spec["budget_events"] = args.budget_events
+    client = ServiceClient(_service_url(args))
+    job = client.submit(spec, tenant=args.tenant, priority=args.priority)
+    print(f"submitted {job['job_id']} ({job['state']})")
+    if not args.watch:
+        return EXIT_OK
+    return _watch_job(client, job["job_id"])
+
+
+def _watch_job(client: "ServiceClient", job_id: str) -> int:
+    """Stream a job's progress events to stdout until terminal."""
+    state = "queued"
+    for event in client.events(job_id):
+        state = str(event.get("state", state))
+        print(f"  {job_id}: {state}, {event.get('completed', 0)} done")
+        sys.stdout.flush()
+    if state == "done":
+        return EXIT_OK
+    return EXIT_INTERRUPTED if state == "cancelled" else EXIT_FAILURE
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List the server's jobs, or show/follow one."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    if args.job_id and args.follow:
+        return _watch_job(client, args.job_id)
+    if args.job_id:
+        job = client.job(args.job_id)
+        for key in (
+            "job_id", "state", "tenant", "priority", "completed",
+            "error",
+        ):
+            if job.get(key) is not None:
+                print(f"{key}: {job[key]}")
+        result = job.get("result")
+        if isinstance(result, dict):
+            for key in sorted(result):
+                print(f"result.{key}: {result[key]}")
+        return EXIT_OK
+    table = Table(
+        ["job", "state", "campaign", "tenant", "prio", "completed"],
+        title="Jobs",
+    )
+    for job in client.jobs():
+        spec = job.get("spec") or {}
+        workload = spec.get("circuit") or spec.get("bench_path") or "?"
+        if "/" in str(workload):
+            workload = str(workload).rsplit("/", 1)[-1]
+        completed = job.get("completed")
+        table.add_row({
+            "job": str(job.get("job_id")),
+            "state": str(job.get("state")),
+            "campaign": f"{workload} [{spec.get('kind', 'mot')}]",
+            "tenant": str(job.get("tenant")),
+            "prio": str(job.get("priority")),
+            "completed": "-" if completed is None else str(completed),
+        })
+    print(table.render(), end="")
+    return EXIT_OK
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    """Download one job artifact (results.csv, metrics.json, ...)."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    text = client.fetch(args.job_id, args.artifact)
+    if args.output:
+        # newline="" keeps the artifact byte-identical (the CSV writer
+        # emits \r\n line endings).
+        with open(args.output, "w", newline="") as handle:
+            handle.write(text)
+        log.info("%s written to %s", args.artifact, args.output)
+    else:
+        print(text, end="")
+    return EXIT_OK
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Cooperatively cancel a queued or running job."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    outcome = client.cancel(args.job_id)
+    print(f"{args.job_id}: {outcome['cancel']}")
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-motsim",
@@ -778,7 +833,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument(
         "names", nargs="*",
         help="circuit names (default all); arguments ending in .json "
-             "are rendered as campaign metrics snapshots instead",
+             "are rendered as campaign metrics snapshots instead, and "
+             "'-' renders a snapshot read from stdin",
     )
     p_stats.set_defaults(func=cmd_stats)
 
@@ -1106,6 +1162,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.set_defaults(func=cmd_lint)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign job server (HTTP/JSON + results browser)",
+    )
+    p_serve.add_argument(
+        "--root", default="repro-service", metavar="DIR",
+        help="service root directory: queue journal, per-job artifacts, "
+             "uploaded circuits (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address "
+        "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 picks an ephemeral port, written to "
+             "<root>/service.json (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent jobs (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="max concurrent jobs per tenant (default unlimited)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    def _endpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url", default=None,
+            help="service URL (e.g. http://127.0.0.1:8421)",
+        )
+        p.add_argument(
+            "--root", default="repro-service", metavar="DIR",
+            help="service root to discover the URL from when --url is "
+                 "not given (default %(default)s)",
+        )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a campaign to a running job server"
+    )
+    _endpoint(p_submit)
+    p_submit.add_argument(
+        "circuit", nargs="?", help="registered benchmark name"
+    )
+    p_submit.add_argument(
+        "--bench", metavar="FILE",
+        help="upload a .bench netlist instead of a registry name",
+    )
+    p_submit.add_argument(
+        "--kind", choices=("mot", "baseline", "unrestricted", "fsim"),
+        default="mot", help="simulator kind (default %(default)s)",
+    )
+    p_submit.add_argument(
+        "--engine", default="ir", help="simulation engine "
+        "(default %(default)s)",
+    )
+    p_submit.add_argument("--length", type=int, default=48)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--n-states", type=int, default=64)
+    p_submit.add_argument("--n-references", type=int, default=8)
+    p_submit.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the campaign across N processes server-side",
+    )
+    p_submit.add_argument("--budget-ms", type=int, default=None)
+    p_submit.add_argument("--budget-events", type=int, default=None)
+    p_submit.add_argument(
+        "--tenant", default="default", help="tenant for quota accounting"
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs earlier; aging lifts waiting jobs "
+             "(default %(default)s)",
+    )
+    p_submit.add_argument(
+        "--watch", action="store_true",
+        help="stream progress events until the job finishes",
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list server jobs, or show/follow one"
+    )
+    _endpoint(p_jobs)
+    p_jobs.add_argument("job_id", nargs="?", help="job to show")
+    p_jobs.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's progress events until terminal",
+    )
+    p_jobs.set_defaults(func=cmd_jobs)
+
+    p_fetch = sub.add_parser(
+        "fetch", help="download a job artifact from the server"
+    )
+    _endpoint(p_fetch)
+    p_fetch.add_argument("job_id")
+    p_fetch.add_argument(
+        "artifact", nargs="?", default="results.csv",
+        choices=("results.csv", "metrics.json", "report.txt"),
+        help="artifact name (default %(default)s)",
+    )
+    p_fetch.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    p_fetch.set_defaults(func=cmd_fetch)
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running job"
+    )
+    _endpoint(p_cancel)
+    p_cancel.add_argument("job_id")
+    p_cancel.set_defaults(func=cmd_cancel)
+
     return parser
 
 
@@ -1128,7 +1300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "resume with: --checkpoint %s --resume", exc.journal_path
             )
         return EXIT_FAILURE
-    except ReproError as exc:
+    except (ReproError, SpecError) as exc:
         log.error("error: %s", exc)
         return EXIT_FAILURE
 

@@ -65,6 +65,11 @@ drivers) can distinguish *our* diagnostics from genuine bugs with one
     An invalid chaos scenario -- unknown injection site or action,
     malformed scenario file (:mod:`repro.chaos`).
 
+``ServiceError``
+    A job-server problem that is the caller's to handle: unknown job
+    ids, invalid submissions, a corrupt or foreign service directory
+    (:mod:`repro.service`).
+
 ``TransportError``
     A distributed-campaign worker could not be launched, or violated
     the newline-JSON worker protocol (:mod:`repro.runner.transport`).
@@ -301,6 +306,14 @@ class ChaosError(ReproError):
     malformed scenario files) by :mod:`repro.chaos`.  Injected faults
     themselves never raise this -- they surface through the seam they
     shake (transport errors, journal salvage, worker death)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the job server (:mod:`repro.service`) for caller-side
+    problems: unknown job ids, invalid submissions, cancels that lost
+    their race with completion, corrupt service directories.  The HTTP
+    API maps it to 4xx responses; library callers catch it like any
+    other :class:`ReproError`."""
 
 
 class TransportError(ReproError):

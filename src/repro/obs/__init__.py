@@ -39,7 +39,10 @@ from repro.obs.metrics import (
     disable_metrics,
     enable_metrics,
     get_metrics,
+    scoped_metrics,
     set_metrics,
+    set_thread_metrics_override,
+    thread_metrics_override,
 )
 from repro.obs.profile import (
     PHASE_LABELS,
@@ -66,6 +69,9 @@ __all__ = [
     "set_metrics",
     "enable_metrics",
     "disable_metrics",
+    "scoped_metrics",
+    "thread_metrics_override",
+    "set_thread_metrics_override",
     "NullTracer",
     "BaseTracer",
     "JsonlTracer",
@@ -137,10 +143,31 @@ def install_worker_obs(
     """
     if spec is None or not spec.enabled:
         return lambda: None
-    previous_metrics = get_metrics()
     previous_tracer = get_tracer()
+
+    def _no_restore() -> None:
+        return None
+
+    restore_metrics: Callable[[], None] = _no_restore
     if spec.metrics:
-        set_metrics(RecordingMetrics())
+        fresh = RecordingMetrics()
+        if thread_metrics_override() is not None:
+            # In-process shard under a thread-scoped registry (the job
+            # server): swap the *override*, not the process global --
+            # the global may belong to a different tenant.
+            previous_override = set_thread_metrics_override(fresh)
+
+            def _restore_override() -> None:
+                set_thread_metrics_override(previous_override)
+
+            restore_metrics = _restore_override
+        else:
+            previous_metrics = set_metrics(fresh)
+
+            def _restore_global() -> None:
+                set_metrics(previous_metrics)
+
+            restore_metrics = _restore_global
     tracer: Optional[NullTracer] = None
     if spec.trace_path is not None:
         tracer = JsonlTracer(
@@ -153,7 +180,7 @@ def install_worker_obs(
     def restore() -> None:
         if tracer is not None:
             tracer.close()
-        set_metrics(previous_metrics)
+        restore_metrics()
         set_tracer(previous_tracer)
 
     return restore

@@ -51,6 +51,9 @@ __all__ = [
     "set_metrics",
     "enable_metrics",
     "disable_metrics",
+    "scoped_metrics",
+    "thread_metrics_override",
+    "set_thread_metrics_override",
 ]
 
 
@@ -361,9 +364,19 @@ NULL_METRICS = NullMetrics()
 
 _metrics: NullMetrics = NULL_METRICS
 
+#: Per-thread registry override (see :func:`scoped_metrics`): lets a
+#: multi-tenant process (the job server) give each running campaign its
+#: own registry without the campaigns clobbering each other's counters.
+_thread_metrics = threading.local()
+
 
 def get_metrics() -> NullMetrics:
-    """The process-global registry (the no-op singleton by default)."""
+    """The current thread's registry override if one is installed
+    (:func:`scoped_metrics`), else the process-global registry (the
+    no-op singleton by default)."""
+    override = getattr(_thread_metrics, "registry", None)
+    if override is not None:
+        return override
     return _metrics
 
 
@@ -391,3 +404,46 @@ def enable_metrics() -> RecordingMetrics:
 def disable_metrics() -> None:
     """Restore the default no-op registry."""
     set_metrics(NULL_METRICS)
+
+
+def thread_metrics_override() -> Optional[NullMetrics]:
+    """The calling thread's scoped registry, if any
+    (see :func:`scoped_metrics`; ``None`` means the global applies)."""
+    return getattr(_thread_metrics, "registry", None)
+
+
+def set_thread_metrics_override(
+    registry: Optional[NullMetrics],
+) -> Optional[NullMetrics]:
+    """Install *registry* as this thread's override (``None`` clears
+    it); returns the previous override so callers can restore it."""
+    previous = getattr(_thread_metrics, "registry", None)
+    _thread_metrics.registry = registry
+    return previous
+
+
+@contextmanager
+def scoped_metrics(
+    registry: Optional[NullMetrics] = None,
+) -> Iterator[NullMetrics]:
+    """Install *registry* for the **current thread only**.
+
+    Every :func:`get_metrics` call made by this thread inside the
+    ``with`` block sees *registry* (a fresh :class:`RecordingMetrics`
+    when ``None``) instead of the process-global one; other threads are
+    untouched.  This is how the job server records per-job metrics
+    while several campaigns run concurrently in one process.  Scopes
+    nest; the previous override is restored on exit.
+
+    The override is thread-local, so it does **not** leak into worker
+    *processes* -- those receive their registry through the existing
+    :class:`~repro.obs.ObsSpec` channel, which the campaign runners
+    capture on the submitting thread (inside the scope).
+    """
+    if registry is None:
+        registry = RecordingMetrics()
+    previous = set_thread_metrics_override(registry)
+    try:
+        yield registry
+    finally:
+        set_thread_metrics_override(previous)

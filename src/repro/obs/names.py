@@ -59,6 +59,13 @@ METRIC_NAMES = frozenset(
         "goodcache.memo.hit",
         "goodcache.memo.miss",
         "goodcache.miss",
+        # Job server (repro.service).
+        "service.jobs.cancelled",
+        "service.jobs.completed",
+        "service.jobs.failed",
+        "service.jobs.resumed",
+        "service.jobs.submitted",
+        "service.queue.wait_s",
         # Static learning (repro.analysis.learning).
         "learning.conflicts_early",
         "learning.hits",

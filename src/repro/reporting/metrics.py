@@ -11,6 +11,7 @@ the histogram summaries.  Computation lives in
 from __future__ import annotations
 
 import json
+import sys
 from typing import List
 
 from repro.obs.metrics import MetricsSnapshot
@@ -23,11 +24,16 @@ __all__ = ["load_snapshot", "render_metrics_report", "render_profile"]
 def load_snapshot(path: str) -> MetricsSnapshot:
     """Load a ``--metrics-out`` JSON payload back into a snapshot.
 
+    ``-`` reads the payload from stdin, so a live service snapshot can
+    be piped straight in: ``curl .../metrics.json | repro stats -``.
     Raises ``OSError`` when the file cannot be read and ``ValueError``
     when it does not hold a snapshot payload.
     """
-    with open(path) as handle:
-        payload = json.load(handle)
+    if path == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(path) as handle:
+            payload = json.load(handle)
     if not isinstance(payload, dict):
         raise ValueError(f"{path} does not hold a metrics payload")
     return MetricsSnapshot.from_payload(payload)

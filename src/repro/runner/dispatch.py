@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import logging
 import statistics
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -87,6 +88,10 @@ __all__ = [
 log = logging.getLogger("repro.runner.dispatch")
 
 
+class _CancelRequested(Exception):
+    """Internal: the parent's ``cancel_event`` fired mid-dispatch."""
+
+
 @dataclass(frozen=True)
 class DispatchConfig:
     """Behavior knobs of :class:`DistributedCampaignRunner`.
@@ -124,6 +129,12 @@ class DispatchConfig:
     budget:
         Per-fault :class:`~repro.runner.budget.FaultBudget`, shipped to
         every worker in the ``init`` message.
+    cancel_event:
+        Optional :class:`threading.Event` polled once per event-loop
+        pass.  When set, the dispatcher flushes the journal, tears the
+        hosts down, and raises
+        :class:`~repro.errors.CampaignInterrupted` -- the same
+        cooperative path a Ctrl-C takes.
     """
 
     chunk_size: int = 4
@@ -138,6 +149,7 @@ class DispatchConfig:
     checkpoint_every: int = 25
     resume: bool = False
     budget: Optional[FaultBudget] = None
+    cancel_event: Optional[threading.Event] = None
 
 
 @dataclass
@@ -428,7 +440,7 @@ class DistributedCampaignRunner:
 
         try:
             self._event_loop(book)
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, _CancelRequested):
             self._flush()
             self._shutdown_all(graceful=False)
             raise CampaignInterrupted(
@@ -458,7 +470,10 @@ class DistributedCampaignRunner:
 
     # ------------------------------------------------------ event loop
     def _event_loop(self, book: LeaseBook) -> None:
+        cancel = self.config.cancel_event
         while not book.exhausted:
+            if cancel is not None and cancel.is_set():
+                raise _CancelRequested()
             now = chaos_now()
             self._launch_down_hosts(now)
             self._check_handshakes(now)

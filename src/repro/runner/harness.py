@@ -202,6 +202,15 @@ class HarnessConfig:
         reads the file's mtime to detect workers that hang inside a
         single fault and never return; the payload feeds post-mortems.
         ``None`` (default) writes nothing.
+    cancel_event:
+        Cooperative cancellation: a :class:`threading.Event` checked at
+        every fault boundary, exactly where the deferred-SIGINT flag is
+        checked.  When set, the in-flight fault finishes, the journal
+        is flushed, and :class:`~repro.errors.CampaignInterrupted` is
+        raised -- so a canceled campaign is resumable from its journal
+        just like an interrupted one.  ``None`` (default) disables the
+        check.  Programmatic callers (the campaign service) own the
+        event; it is never shipped to worker processes.
     """
 
     budget: Optional[FaultBudget] = None
@@ -213,6 +222,7 @@ class HarnessConfig:
     journal_indices: Optional[Sequence[int]] = None
     manifest_override: Optional[Dict[str, Any]] = None
     progress_path: Optional[str] = None
+    cancel_event: Optional[threading.Event] = None
 
 
 @dataclass
@@ -327,6 +337,13 @@ class CampaignHarness:
             for index, fault in enumerate(fault_list):
                 if verdicts[index] is not None:
                     continue
+                cancel = self.config.cancel_event
+                if cancel is not None and cancel.is_set():
+                    self._finish_journal(journal)
+                    raise CampaignInterrupted(
+                        completed=sum(v is not None for v in verdicts),
+                        journal_path=self.config.checkpoint_path,
+                    )
                 global_index = self._journal_index(index)
                 self._write_progress(in_flight=global_index)
                 # One per-fault chaos event; a kill_mid_write flag
@@ -348,6 +365,9 @@ class CampaignHarness:
                     journal.append(verdict_to_record(global_index, verdict))
                     if journal.pending >= self.config.checkpoint_every:
                         journal.flush()
+                cancel = self.config.cancel_event
+                if cancel is not None and cancel.is_set():
+                    self._interrupted = True
                 if self._interrupted:
                     self._finish_journal(journal)
                     raise CampaignInterrupted(

@@ -52,6 +52,7 @@ import json
 import multiprocessing
 import os
 import tempfile
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -92,6 +93,10 @@ SHARD_STRATEGIES = ("round_robin", "size_aware")
 IndexedFault = Tuple[int, Fault]
 
 
+class _CancelRequested(Exception):
+    """Internal: the parent's ``cancel_event`` fired mid-run."""
+
+
 @dataclass(frozen=True)
 class ParallelConfig:
     """Behavior knobs of :class:`ParallelCampaignRunner`.
@@ -121,6 +126,13 @@ class ParallelConfig:
     running a lone shard in the parent process (no fork overhead).  The
     supervisor disables it so that even a one-fault retry cannot take
     the supervising process down with it.
+
+    ``cancel_event`` arms cooperative cancellation: a
+    :class:`threading.Event` the parent polls while the workers run.
+    When set, the workers are terminated, everything they journaled is
+    merged, and :class:`~repro.errors.CampaignInterrupted` is raised --
+    the exact Ctrl-C path, triggered programmatically.  The event stays
+    in the parent; worker specs never carry it (it does not pickle).
     """
 
     workers: int = 2
@@ -134,6 +146,7 @@ class ParallelConfig:
     heartbeat_interval: Optional[float] = None
     stall_timeout: Optional[float] = None
     in_process_single_shard: bool = True
+    cancel_event: Optional[threading.Event] = None
 
 
 @dataclass
@@ -269,6 +282,10 @@ class _WorkerSpec:
     #: Parent's observability setup (``None`` = observability off).
     #: Carried explicitly so it survives the ``spawn`` start method.
     obs: Optional[ObsSpec] = None
+    #: Cooperative cancel for the **in-process** single-shard path only
+    #: (a threading.Event does not pickle; subprocess shards are
+    #: cancelled by termination from the parent instead).
+    cancel_event: Optional[threading.Event] = None
 
 
 def _worker_main(spec: _WorkerSpec) -> None:
@@ -292,6 +309,7 @@ def _worker_main(spec: _WorkerSpec) -> None:
             journal_indices=spec.indices,
             manifest_override=spec.manifest,
             progress_path=spec.progress_path,
+            cancel_event=spec.cancel_event,
         ),
     )
     # A fresh per-worker registry (and a per-shard trace file): the
@@ -447,10 +465,15 @@ class ParallelCampaignRunner:
         interrupted = False
         if len(specs) == 1 and self.config.in_process_single_shard:
             # One shard: run in-process (no fork overhead), same journal
-            # and merge path as the multi-worker case.
+            # and merge path as the multi-worker case.  The cancel event
+            # reaches the harness directly here -- same process, no
+            # pickling concern.
+            specs[0].cancel_event = self.config.cancel_event
             try:
                 _worker_main(specs[0])
             except KeyboardInterrupt:
+                interrupted = True
+            except CampaignInterrupted:
                 interrupted = True
         else:
             context = self._mp_context()
@@ -470,9 +493,8 @@ class ParallelCampaignRunner:
                 if heartbeat:
                     stalled = self._watch(specs, processes)
                 else:
-                    for process in processes:
-                        process.join()
-            except KeyboardInterrupt:
+                    self._join(processes)
+            except (KeyboardInterrupt, _CancelRequested):
                 interrupted = True
                 for process in processes:
                     process.terminate()
@@ -549,6 +571,30 @@ class ParallelCampaignRunner:
             for payload in load_metrics_payloads(spec.journal_path):
                 metrics.merge_snapshot(MetricsSnapshot.from_payload(payload))
 
+    def _check_cancel(self) -> None:
+        """Raise ``_CancelRequested`` if the config's cancel event fired.
+
+        Spawned workers never see the event (it does not pickle); the
+        parent polls it between joins and tears the pool down exactly
+        like a Ctrl-C would.
+        """
+        cancel = self.config.cancel_event
+        if cancel is not None and cancel.is_set():
+            raise _CancelRequested()
+
+    def _join(self, processes) -> None:
+        """Join all workers, polling the cancel event between waits."""
+        if self.config.cancel_event is None:
+            for process in processes:
+                process.join()
+            return
+        while True:
+            self._check_cancel()
+            alive = [p for p in processes if p.is_alive()]
+            if not alive:
+                break
+            alive[0].join(0.2)
+
     def _watch(self, specs, processes) -> Set[int]:
         """Join the workers while policing their heartbeat beacons.
 
@@ -560,6 +606,7 @@ class ParallelCampaignRunner:
         timeout = self.config.stall_timeout or 10.0 * interval
         stalled: Set[int] = set()
         while True:
+            self._check_cancel()
             alive = [
                 (spec, process)
                 for spec, process in zip(specs, processes)

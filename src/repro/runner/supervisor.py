@@ -345,15 +345,27 @@ class SupervisedCampaignRunner:
                     log.record(
                         "retry_scheduled", retry=retries, backoff_s=delay
                     )
+                    cancel = self.config.cancel_event
                     if delay > 0:
                         try:
-                            self._sleep(delay)
+                            if cancel is not None:
+                                # Responsive sleep: wakes the moment a
+                                # cooperative cancel lands mid-backoff.
+                                cancel.wait(delay)
+                            else:
+                                self._sleep(delay)
                         except KeyboardInterrupt:
                             log.record("interrupted", completed=completed)
                             raise CampaignInterrupted(
                                 completed=completed,
                                 journal_path=public_path,
                             ) from None
+                    if cancel is not None and cancel.is_set():
+                        log.record("interrupted", completed=completed)
+                        raise CampaignInterrupted(
+                            completed=completed,
+                            journal_path=public_path,
+                        ) from None
                     continue
                 remaining = len(fault_list) - completed
                 if self.supervision.allow_degraded:
@@ -413,6 +425,7 @@ class SupervisedCampaignRunner:
             checkpoint_every=self.config.checkpoint_every,
             resume=resume,
             budget=dispatch.budget or self.config.budget,
+            cancel_event=self.config.cancel_event,
         )
         runner = DistributedCampaignRunner(
             self.simulator, self.hosts, self.transport, dispatch
@@ -625,6 +638,7 @@ class SupervisedCampaignRunner:
                 checkpoint_every=self.config.checkpoint_every,
                 resume=True,
                 fail_fast=self.config.fail_fast,
+                cancel_event=self.config.cancel_event,
             ),
         )
         return harness.run(fault_list)

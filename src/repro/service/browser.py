@@ -1,0 +1,152 @@
+"""Minimal HTML results browser of the campaign service.
+
+Two server-rendered pages, zero assets, zero script: an index table of
+every job (``GET /``) and a per-job page (``GET /jobs/<id>/html``) with
+lifecycle detail, the completion summary and artifact links.  All
+dynamic text passes through :func:`html.escape`; the pages are plain
+enough to read with ``curl`` too.
+"""
+
+from __future__ import annotations
+
+import datetime
+from html import escape
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["render_index", "render_job_page"]
+
+_STYLE = """
+body { font-family: monospace; margin: 2em; color: #222; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #bbb; padding: 0.3em 0.8em; text-align: left; }
+th { background: #eee; }
+.state-done { color: #070; }
+.state-failed { color: #a00; }
+.state-cancelled { color: #850; }
+.state-running { color: #05a; }
+.state-queued { color: #555; }
+dt { font-weight: bold; margin-top: 0.6em; }
+pre { background: #f4f4f4; padding: 0.8em; overflow-x: auto; }
+"""
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!doctype html>\n"
+        "<html><head><meta charset='utf-8'>"
+        f"<title>{escape(title)}</title>"
+        f"<style>{_STYLE}</style></head>\n"
+        f"<body><h1>{escape(title)}</h1>\n{body}\n</body></html>\n"
+    )
+
+
+def _state_cell(state: str) -> str:
+    return f"<td class='state-{escape(state)}'>{escape(state)}</td>"
+
+
+def _when(ts: Optional[float]) -> str:
+    if not ts:
+        return "-"
+    stamp = datetime.datetime.fromtimestamp(ts)
+    return stamp.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _spec_summary(spec: Mapping[str, Any]) -> str:
+    circuit = spec.get("circuit") or spec.get("bench_path") or "?"
+    if isinstance(circuit, str) and "/" in circuit:
+        circuit = circuit.rsplit("/", 1)[-1]
+    kind = spec.get("kind", "mot")
+    return f"{circuit} [{kind}]"
+
+
+def render_index(
+    jobs: List[Dict[str, Any]], counts: Optional[Dict[str, int]] = None
+) -> str:
+    """The job table: one row per job, newest last (queue order)."""
+    rows = []
+    for job in jobs:
+        job_id = str(job.get("job_id", "?"))
+        spec = job.get("spec") or {}
+        completed = job.get("completed")
+        progress = "-" if completed is None else str(completed)
+        rows.append(
+            "<tr>"
+            f"<td><a href='/jobs/{escape(job_id)}/html'>"
+            f"{escape(job_id)}</a></td>"
+            f"<td>{escape(_spec_summary(spec))}</td>"
+            f"{_state_cell(str(job.get('state', '?')))}"
+            f"<td>{escape(str(job.get('tenant', '-')))}</td>"
+            f"<td>{job.get('priority', 0)}</td>"
+            f"<td>{escape(progress)}</td>"
+            f"<td>{escape(_when(job.get('submitted_at')))}</td>"
+            "</tr>"
+        )
+    if counts:
+        summary = ", ".join(
+            f"{state}: {count}"
+            for state, count in counts.items()
+            if count
+        )
+    else:
+        summary = ""
+    body = (
+        f"<p>{escape(summary) if summary else 'no jobs yet'}</p>\n"
+        "<table>\n<tr><th>job</th><th>campaign</th><th>state</th>"
+        "<th>tenant</th><th>prio</th><th>completed</th>"
+        "<th>submitted</th></tr>\n"
+        + "\n".join(rows)
+        + "\n</table>"
+    )
+    return _page("repro campaign service", body)
+
+
+def render_job_page(
+    job: Dict[str, Any], supervision: Optional[str] = None
+) -> str:
+    """One job: lifecycle, summary, artifact links, supervision tail."""
+    job_id = str(job.get("job_id", "?"))
+    state = str(job.get("state", "?"))
+    spec = job.get("spec") or {}
+    completed = job.get("completed")
+    items = [
+        ("state", f"<span class='state-{escape(state)}'>"
+                  f"{escape(state)}</span>"),
+        ("campaign", escape(_spec_summary(spec))),
+        ("tenant", escape(str(job.get("tenant", "-")))),
+        ("priority", escape(str(job.get("priority", 0)))),
+        ("submitted", escape(_when(job.get("submitted_at")))),
+        ("started", escape(_when(job.get("started_at")))),
+        ("finished", escape(_when(job.get("finished_at")))),
+        ("completed faults",
+         escape("-" if completed is None else str(completed))),
+    ]
+    error = job.get("error")
+    if error:
+        items.append(("error", f"<span class='state-failed'>"
+                               f"{escape(str(error))}</span>"))
+    detail = "".join(
+        f"<dt>{escape(key)}</dt><dd>{value}</dd>" for key, value in items
+    )
+    result = job.get("result")
+    result_block = ""
+    if isinstance(result, dict):
+        lines = "\n".join(
+            f"{key}: {result[key]}" for key in sorted(result)
+        )
+        result_block = f"<h2>summary</h2><pre>{escape(lines)}</pre>"
+    links = "".join(
+        f"<li><a href='/jobs/{escape(job_id)}/{name}'>{name}</a></li>"
+        for name in ("results.csv", "metrics.json", "report.txt", "events")
+    )
+    supervision_block = ""
+    if supervision:
+        tail = "\n".join(supervision.strip().splitlines()[-20:])
+        supervision_block = (
+            f"<h2>supervision log (tail)</h2><pre>{escape(tail)}</pre>"
+        )
+    body = (
+        "<p><a href='/'>&larr; all jobs</a></p>\n"
+        f"<dl>{detail}</dl>\n{result_block}\n"
+        f"<h2>artifacts</h2><ul>{links}</ul>\n{supervision_block}"
+    )
+    return _page(f"job {job_id}", body)

@@ -1,0 +1,168 @@
+"""Thin stdlib HTTP client for the campaign service.
+
+Wraps ``urllib.request`` -- no sessions, no retries, no dependencies --
+just enough for the ``repro submit / jobs / fetch / cancel``
+subcommands and for tests.  The service address comes either from an
+explicit URL or from the ``service.json`` the server writes into its
+root (handy with ephemeral ports).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient", "discover_url"]
+
+
+def discover_url(root: str) -> str:
+    """The service URL from ``<root>/service.json`` (written at bind)."""
+    path = os.path.join(root, "service.json")
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ServiceError(
+            f"cannot discover service from {path}: {exc}"
+        )
+    host, port = payload.get("host"), payload.get("port")
+    if not isinstance(host, str) or not isinstance(port, int):
+        raise ServiceError(f"malformed service.json at {path}")
+    return f"http://{host}:{port}"
+
+
+class ServiceClient:
+    """One service endpoint; every method is a single HTTP exchange."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ---------------------------------------------------------- plumbing
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> urllib.request.Request:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        return urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        request = self._request(method, path, body)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(self._http_error(exc))
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            )
+        if not isinstance(payload, dict):
+            raise ServiceError(f"malformed response from {path}")
+        return payload
+
+    @staticmethod
+    def _http_error(exc: urllib.error.HTTPError) -> str:
+        detail = ""
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            if isinstance(payload, dict) and payload.get("error"):
+                detail = str(payload["error"])
+        except (ValueError, OSError):
+            pass
+        return detail or f"HTTP {exc.code}: {exc.reason}"
+
+    # --------------------------------------------------------------- api
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns the created job payload."""
+        payload = self._json(
+            "POST",
+            "/jobs",
+            {"spec": spec, "tenant": tenant, "priority": priority},
+        )
+        return payload["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/jobs").get("jobs", [])
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def fetch(self, job_id: str, artifact: str) -> str:
+        """An artifact body (``results.csv``/``metrics.json``/...)."""
+        request = self._request("GET", f"/jobs/{job_id}/{artifact}")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(self._http_error(exc))
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            )
+
+    def events(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield progress events until the job reaches a terminal state.
+
+        The generator owns the streaming connection; iterate it to
+        completion (or close it) to release the socket.
+        """
+        request = self._request("GET", f"/jobs/{job_id}/events")
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            )
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(self._http_error(exc))
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            )
+        try:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict):
+                    yield event
+        finally:
+            response.close()

@@ -1,0 +1,394 @@
+"""Persistent job queue + state machine of the campaign service.
+
+One append-only JSONL journal (``<root>/queue.jsonl``) records every
+submission and every state transition, each line sealed with the same
+CRC-32 integrity field the campaign journal uses
+(:func:`repro.runner.journal.seal_record`).  The in-memory queue is a
+pure function of the journal: replaying it after a crash reconstructs
+exactly the pre-crash state machine, minus whatever a torn tail lost
+(at most the final line, which the seal detects).
+
+State machine::
+
+    queued --claim--> running --finish--> done | failed
+      |                  |
+      +----cancel--------+------cancel--> cancelled
+
+Recovery semantics (:meth:`JobQueue.load`):
+
+* terminal jobs (``done``/``failed``/``cancelled``) stay terminal;
+* ``queued`` jobs are re-enqueued in their original order;
+* ``running`` jobs -- the server died mid-campaign -- are re-enqueued
+  *with resume semantics* (:attr:`JobRecord.resume`): the executor
+  re-runs them against their existing campaign journal, whose manifest
+  validation guarantees no verdict is lost or duplicated.
+
+Scheduling is priority-first with aging: a job's effective priority is
+``priority + wait_seconds // aging_interval``, so low-priority work is
+never starved forever; ties break FIFO by submission order.  Per-tenant
+concurrency quotas are enforced at claim time by the executor, which
+passes its per-tenant running counts in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.runner.journal import record_checksum_ok, seal_record
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobQueue",
+    "RecoveryReport",
+]
+
+#: The closed set of job states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States no transition ever leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class JobRecord:
+    """One job as the queue sees it (spec + lifecycle metadata)."""
+
+    job_id: str
+    spec: Dict[str, Any]
+    tenant: str = "default"
+    priority: int = 0
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Set on recovered ``running`` jobs: the executor must re-run the
+    #: campaign with ``resume=True`` against the existing journal.
+    resume: bool = False
+    #: Human-readable failure detail (``state == "failed"``).
+    error: Optional[str] = None
+    #: Completion summary (verdict counts) written by the executor.
+    result: Optional[Dict[str, Any]] = None
+    #: Monotonic submission sequence (FIFO tie-break).
+    seq: int = field(default=0, repr=False)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "resume": self.resume,
+            "error": self.error,
+            "result": self.result,
+        }
+
+    def effective_priority(self, now: float, aging_interval: float) -> int:
+        waited = max(0.0, now - self.submitted_at)
+        return self.priority + int(waited // aging_interval)
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`JobQueue.load` reconstructed from the journal."""
+
+    jobs: int = 0
+    requeued: List[str] = field(default_factory=list)
+    resumed: List[str] = field(default_factory=list)
+    corrupt_lines: int = 0
+
+
+class JobQueue:
+    """The persistent queue.  All public methods are thread-safe."""
+
+    def __init__(self, path: str, aging_interval: float = 60.0) -> None:
+        if aging_interval <= 0:
+            raise ServiceError(
+                f"aging_interval must be positive, got {aging_interval}"
+            )
+        self.path = path
+        self.aging_interval = aging_interval
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._seq = 0
+
+    # ---------------------------------------------------------- journal
+    def _append(self, record: Dict[str, Any]) -> None:
+        """Durably append one sealed record (caller holds the lock)."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        line = json.dumps(seal_record(record), sort_keys=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> RecoveryReport:
+        """Replay the journal; returns what was recovered.
+
+        Safe to call on a missing or empty journal (fresh service
+        root).  Corrupt lines -- torn tail, bit flips -- are counted
+        and skipped; because every transition is journaled separately,
+        losing the last line at worst forgets one transition, never a
+        whole job.
+        """
+        report = RecoveryReport()
+        with self._lock:
+            self._jobs = {}
+            self._seq = 0
+            try:
+                with open(self.path) as handle:
+                    lines = handle.readlines()
+            except OSError:
+                lines = []
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    report.corrupt_lines += 1
+                    continue
+                if not isinstance(record, dict) or not record_checksum_ok(
+                    record
+                ):
+                    report.corrupt_lines += 1
+                    continue
+                self._replay(record, report)
+            # Interrupted running jobs go back to the queue with resume
+            # semantics; their original submission order is preserved
+            # through ``seq``.
+            for job in self._jobs.values():
+                report.jobs += 1
+                if job.state == "running":
+                    job.state = "queued"
+                    job.resume = True
+                    job.started_at = None
+                    report.resumed.append(job.job_id)
+                elif job.state == "queued":
+                    report.requeued.append(job.job_id)
+            report.requeued.sort()
+            report.resumed.sort()
+        return report
+
+    def _replay(
+        self, record: Dict[str, Any], report: RecoveryReport
+    ) -> None:
+        kind = record.get("kind")
+        if kind == "job":
+            job_id = record.get("job_id")
+            spec = record.get("spec")
+            if not isinstance(job_id, str) or not isinstance(spec, dict):
+                report.corrupt_lines += 1
+                return
+            self._seq += 1
+            self._jobs[job_id] = JobRecord(
+                job_id=job_id,
+                spec=spec,
+                tenant=str(record.get("tenant", "default")),
+                priority=int(record.get("priority", 0)),
+                submitted_at=float(record.get("ts", 0.0)),
+                seq=self._seq,
+            )
+        elif kind == "state":
+            job = self._jobs.get(str(record.get("job_id")))
+            state = record.get("state")
+            if job is None or state not in JOB_STATES:
+                report.corrupt_lines += 1
+                return
+            job.state = str(state)
+            if state == "running":
+                job.started_at = float(record.get("ts", 0.0))
+                job.resume = bool(record.get("resume", False))
+            elif state in TERMINAL_STATES:
+                job.finished_at = float(record.get("ts", 0.0))
+                error = record.get("error")
+                job.error = str(error) if error is not None else None
+                result = record.get("result")
+                job.result = result if isinstance(result, dict) else None
+        # Unknown kinds are ignored (forward compatibility).
+
+    # ------------------------------------------------------ transitions
+    def submit(
+        self,
+        job_id: str,
+        spec: Dict[str, Any],
+        tenant: str = "default",
+        priority: int = 0,
+        now: Optional[float] = None,
+    ) -> JobRecord:
+        ts = time.time() if now is None else now
+        with self._lock:
+            if job_id in self._jobs:
+                raise ServiceError(f"duplicate job id {job_id!r}")
+            self._seq += 1
+            job = JobRecord(
+                job_id=job_id,
+                spec=spec,
+                tenant=tenant,
+                priority=priority,
+                submitted_at=ts,
+                seq=self._seq,
+            )
+            self._append(
+                {
+                    "kind": "job",
+                    "job_id": job_id,
+                    "spec": spec,
+                    "tenant": tenant,
+                    "priority": priority,
+                    "ts": ts,
+                }
+            )
+            self._jobs[job_id] = job
+            return job
+
+    def next_job_id(self) -> str:
+        """A fresh ``j<seq>`` id (monotonic across restarts: the replay
+        counts every historical submission)."""
+        with self._lock:
+            return f"j{self._seq + 1:06d}"
+
+    def claim(
+        self,
+        running_by_tenant: Dict[str, int],
+        tenant_quota: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Optional[JobRecord]:
+        """Move the best eligible ``queued`` job to ``running``.
+
+        Eligibility: the job's tenant has fewer than *tenant_quota*
+        jobs running (``None`` = unlimited).  Selection: highest
+        effective priority (base + aging), FIFO within ties.  Returns
+        ``None`` when nothing is eligible.
+        """
+        ts = time.time() if now is None else now
+        with self._lock:
+            best: Optional[JobRecord] = None
+            best_key: Optional[Any] = None
+            for job in self._jobs.values():
+                if job.state != "queued":
+                    continue
+                if tenant_quota is not None:
+                    if running_by_tenant.get(job.tenant, 0) >= tenant_quota:
+                        continue
+                key = (
+                    -job.effective_priority(ts, self.aging_interval),
+                    job.seq,
+                )
+                if best_key is None or key < best_key:
+                    best, best_key = job, key
+            if best is None:
+                return None
+            best.state = "running"
+            best.started_at = ts
+            self._append(
+                {
+                    "kind": "state",
+                    "job_id": best.job_id,
+                    "state": "running",
+                    "resume": best.resume,
+                    "ts": ts,
+                }
+            )
+            return best
+
+    def finish(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        result: Optional[Dict[str, Any]] = None,
+        now: Optional[float] = None,
+    ) -> JobRecord:
+        """Transition a ``running`` job to a terminal state."""
+        if state not in TERMINAL_STATES:
+            raise ServiceError(f"not a terminal state: {state!r}")
+        ts = time.time() if now is None else now
+        with self._lock:
+            job = self._require(job_id)
+            if job.state in TERMINAL_STATES:
+                raise ServiceError(
+                    f"job {job_id} already terminal ({job.state})"
+                )
+            job.state = state
+            job.finished_at = ts
+            job.error = error
+            job.result = result
+            self._append(
+                {
+                    "kind": "state",
+                    "job_id": job_id,
+                    "state": state,
+                    "error": error,
+                    "result": result,
+                    "ts": ts,
+                }
+            )
+            return job
+
+    def cancel_queued(self, job_id: str, now: Optional[float] = None) -> bool:
+        """Cancel *job_id* if it is still queued.
+
+        Returns True when the job went straight to ``cancelled``;
+        False when it is currently ``running`` (the caller must fire
+        the job's cancel event and let the executor finish the
+        transition).  Raises :class:`ServiceError` for unknown ids and
+        already-terminal jobs.
+        """
+        ts = time.time() if now is None else now
+        with self._lock:
+            job = self._require(job_id)
+            if job.state in TERMINAL_STATES:
+                raise ServiceError(
+                    f"job {job_id} already terminal ({job.state})"
+                )
+            if job.state == "running":
+                return False
+            job.state = "cancelled"
+            job.finished_at = ts
+            self._append(
+                {
+                    "kind": "state",
+                    "job_id": job_id,
+                    "state": "cancelled",
+                    "error": None,
+                    "result": None,
+                    "ts": ts,
+                }
+            )
+            return True
+
+    # ---------------------------------------------------------- queries
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._require(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def _require(self, job_id: str) -> JobRecord:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job

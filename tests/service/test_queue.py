@@ -1,0 +1,188 @@
+"""The persistent queue: scheduling, state machine, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.queue import JobQueue
+
+SPEC = {"circuit": "s27"}
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(str(tmp_path / "queue.jsonl"), aging_interval=60.0)
+
+
+def _claim(queue, now=None):
+    return queue.claim({}, None, now=now)
+
+
+# ---------------------------------------------------------------- order
+def test_fifo_within_equal_priority(queue):
+    for k in range(3):
+        queue.submit(f"j{k}", SPEC, now=100.0 + k)
+    assert _claim(queue, now=200.0).job_id == "j0"
+    assert _claim(queue, now=200.0).job_id == "j1"
+    assert _claim(queue, now=200.0).job_id == "j2"
+    assert _claim(queue, now=200.0) is None
+
+
+def test_priority_beats_fifo(queue):
+    queue.submit("low", SPEC, priority=0, now=100.0)
+    queue.submit("high", SPEC, priority=5, now=101.0)
+    assert _claim(queue, now=102.0).job_id == "high"
+    assert _claim(queue, now=102.0).job_id == "low"
+
+
+def test_aging_lifts_waiting_jobs(queue):
+    """priority 0 waiting 3 aging intervals outranks priority 2 fresh."""
+    queue.submit("old", SPEC, priority=0, now=0.0)
+    queue.submit("fresh", SPEC, priority=2, now=180.0)
+    assert _claim(queue, now=180.0).job_id == "old"
+
+
+def test_tenant_quota_skips_saturated_tenant(queue):
+    queue.submit("a1", SPEC, tenant="alice", now=1.0)
+    queue.submit("a2", SPEC, tenant="alice", now=2.0)
+    queue.submit("b1", SPEC, tenant="bob", now=3.0)
+    first = queue.claim({}, 1, now=10.0)
+    assert first.job_id == "a1"
+    second = queue.claim({"alice": 1}, 1, now=10.0)
+    assert second.job_id == "b1"
+    assert queue.claim({"alice": 1, "bob": 1}, 1, now=10.0) is None
+    assert queue.claim({"alice": 0, "bob": 1}, 1, now=10.0).job_id == "a2"
+
+
+# -------------------------------------------------------- state machine
+def test_lifecycle_transitions(queue):
+    queue.submit("j1", SPEC, now=1.0)
+    job = _claim(queue, now=2.0)
+    assert job.state == "running" and job.started_at == 2.0
+    done = queue.finish("j1", "done", result={"total": 3}, now=3.0)
+    assert done.state == "done"
+    assert done.finished_at == 3.0
+    assert done.result == {"total": 3}
+
+
+def test_finish_requires_terminal_state(queue):
+    queue.submit("j1", SPEC)
+    with pytest.raises(ServiceError):
+        queue.finish("j1", "running")
+
+
+def test_finish_twice_raises(queue):
+    queue.submit("j1", SPEC)
+    _claim(queue)
+    queue.finish("j1", "done")
+    with pytest.raises(ServiceError):
+        queue.finish("j1", "failed")
+
+
+def test_cancel_queued_vs_running(queue):
+    queue.submit("j1", SPEC)
+    queue.submit("j2", SPEC)
+    _claim(queue)  # j1 now running
+    assert queue.cancel_queued("j2") is True
+    assert queue.get("j2").state == "cancelled"
+    assert queue.cancel_queued("j1") is False  # running: caller's move
+    with pytest.raises(ServiceError):
+        queue.cancel_queued("j2")  # already terminal
+    with pytest.raises(ServiceError):
+        queue.cancel_queued("nope")
+
+
+def test_duplicate_submit_raises(queue):
+    queue.submit("j1", SPEC)
+    with pytest.raises(ServiceError):
+        queue.submit("j1", SPEC)
+
+
+def test_counts(queue):
+    queue.submit("j1", SPEC)
+    queue.submit("j2", SPEC)
+    _claim(queue)
+    counts = queue.counts()
+    assert counts["running"] == 1 and counts["queued"] == 1
+
+
+# ------------------------------------------------------------- recovery
+def _reload(queue):
+    fresh = JobQueue(queue.path, aging_interval=queue.aging_interval)
+    report = fresh.load()
+    return fresh, report
+
+
+def test_recovery_replays_all_states(queue):
+    queue.submit("waiting", SPEC, now=1.0)
+    queue.submit("finished", SPEC, now=2.0)
+    queue.submit("crashed", SPEC, now=3.0)
+    queue.claim({}, None, now=4.0)  # waiting -> running?  No: FIFO
+    # "waiting" was claimed; finish it and claim the next two.
+    queue.finish("waiting", "done", now=5.0)
+    queue.claim({}, None, now=6.0)
+    queue.finish("finished", "failed", error="boom", now=7.0)
+    queue.claim({}, None, now=8.0)  # "crashed" now running
+    fresh, report = _reload(queue)
+    assert report.jobs == 3
+    assert report.resumed == ["crashed"]
+    assert report.corrupt_lines == 0
+    assert fresh.get("waiting").state == "done"
+    failed = fresh.get("finished")
+    assert failed.state == "failed" and failed.error == "boom"
+    recovered = fresh.get("crashed")
+    assert recovered.state == "queued"
+    assert recovered.resume is True
+    assert recovered.started_at is None
+
+
+def test_recovered_running_job_claims_with_resume_flag(queue):
+    queue.submit("j1", SPEC, now=1.0)
+    queue.claim({}, None, now=2.0)
+    fresh, _report = _reload(queue)
+    job = fresh.claim({}, None, now=3.0)
+    assert job.job_id == "j1" and job.resume is True
+
+
+def test_recovery_skips_corrupt_lines(queue):
+    queue.submit("good", SPEC, now=1.0)
+    queue.submit("torn", SPEC, now=2.0)
+    with open(queue.path) as handle:
+        lines = handle.readlines()
+    # Tear the tail record and append garbage + a bit-flipped line.
+    flipped = lines[0].replace('"kind": "job"', '"kind": "joc"')
+    with open(queue.path, "w") as handle:
+        handle.write(lines[0])
+        handle.write("not json at all\n")
+        handle.write(flipped)
+        handle.write(lines[1][: len(lines[1]) // 2])
+    fresh, report = _reload(queue)
+    assert report.corrupt_lines == 3
+    assert [j.job_id for j in fresh.jobs()] == ["good"]
+
+
+def test_recovery_missing_journal_is_fresh_start(tmp_path):
+    queue = JobQueue(str(tmp_path / "absent.jsonl"))
+    report = queue.load()
+    assert report.jobs == 0 and report.corrupt_lines == 0
+
+
+def test_journal_records_are_crc_sealed(queue):
+    queue.submit("j1", SPEC, now=1.0)
+    with open(queue.path) as handle:
+        record = json.loads(handle.readline())
+    assert "crc" in record
+
+
+def test_next_job_id_monotonic_across_reload(queue):
+    assert queue.next_job_id() == "j000001"
+    queue.submit(queue.next_job_id(), SPEC)
+    queue.submit(queue.next_job_id(), SPEC)
+    fresh, _report = _reload(queue)
+    assert fresh.next_job_id() == "j000003"
+
+
+def test_aging_interval_must_be_positive(tmp_path):
+    with pytest.raises(ServiceError):
+        JobQueue(str(tmp_path / "q.jsonl"), aging_interval=0)
