@@ -1,6 +1,6 @@
 """Static analysis for netlists and circuits.
 
-Two tools live here:
+Four tools live here:
 
 * the **netlist linter** (:mod:`repro.analysis.netlist_lint`) -- rule-based
   structural checks (combinational loops, floating/undriven nets, fanout
@@ -11,9 +11,25 @@ Two tools live here:
 * the **static learning pass** (:mod:`repro.analysis.learning`) --
   SOCRATES-style precomputation of indirect implications into an
   :class:`~repro.analysis.learning.ImplicationDB` that the backward
-  implication engine consults to detect conflicts earlier.
+  implication engine consults to detect conflicts earlier;
+* **fault collapsing** (:mod:`repro.analysis.collapse`) -- structural
+  equivalence classes, fanout-free regions and an advisory dominance
+  graph over the compiled IR, feeding class-collapsed campaigns;
+* **testability scoring** (:mod:`repro.analysis.testability`) --
+  SCOAP-based detection-hardness estimates (optionally refined by the
+  learned implications) that order dispatch hardest-first.
 """
 
+from repro.analysis.collapse import (
+    CollapsePartition,
+    DominanceEdge,
+    FaultClass,
+    ReachabilityFacts,
+    fault_classes,
+    reach_closure,
+    reachability_facts,
+    reverse_edges,
+)
 from repro.analysis.findings import (
     ERROR,
     SEVERITIES,
@@ -42,8 +58,26 @@ from repro.analysis.raw import (
     raw_from_circuit,
     raw_from_isc,
 )
+from repro.analysis.testability import (
+    FaultScore,
+    hardest_first,
+    pin_observability,
+    score_faults,
+)
 
 __all__ = [
+    "CollapsePartition",
+    "DominanceEdge",
+    "FaultClass",
+    "ReachabilityFacts",
+    "fault_classes",
+    "reach_closure",
+    "reachability_facts",
+    "reverse_edges",
+    "FaultScore",
+    "hardest_first",
+    "pin_observability",
+    "score_faults",
     "ERROR",
     "WARNING",
     "SEVERITIES",

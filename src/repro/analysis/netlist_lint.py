@@ -37,6 +37,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.collapse import reachability_facts
 from repro.analysis.findings import (
     ERROR,
     WARNING,
@@ -274,7 +275,9 @@ def _check_reachability(raw: RawNetlist, out: FindingList) -> None:
     gate_of = {}
     for gate in raw.gates:
         gate_of.setdefault(gate.output, gate)
-    # net -> nets it feeds (gates + flop ps hops).
+    # net -> nets it feeds (gates + flop ps hops).  The traversal itself
+    # is the shared one from repro.analysis.collapse, so this rule and
+    # the fault-collapsing partition agree on what "reachable" means.
     forward: Dict[str, List[str]] = {}
     for gate in gate_of.values():
         for net in gate.inputs:
@@ -282,23 +285,13 @@ def _check_reachability(raw: RawNetlist, out: FindingList) -> None:
     for flop in raw.flops:
         forward.setdefault(flop.ns, []).append(flop.ps)
 
-    def closure(seeds: List[str], edges: Dict[str, List[str]]) -> Set[str]:
-        seen = set(seeds)
-        frontier = list(seeds)
-        while frontier:
-            node = frontier.pop()
-            for nxt in edges.get(node, []):
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return seen
-
-    controllable = closure([name for name, _line in raw.inputs], forward)
-    backward: Dict[str, List[str]] = {}
-    for node, nexts in forward.items():
-        for nxt in nexts:
-            backward.setdefault(nxt, []).append(node)
-    observable = closure([name for name, _line in raw.outputs], backward)
+    facts = reachability_facts(
+        forward,
+        sources=[name for name, _line in raw.inputs],
+        sinks=[name for name, _line in raw.outputs],
+    )
+    controllable = facts.controllable
+    observable = facts.observable
 
     const_outputs = {gate.output for gate in gate_of.values()
                      if gate.op in _CONST_OPS}

@@ -75,8 +75,19 @@ def _xor_controllability(
     return odd if want_parity else even
 
 
-def compute_scoap(circuit: Circuit, state_cost: float = 1.0) -> ScoapMeasures:
-    """Compute SCOAP measures for *circuit*'s combinational frame."""
+def compute_scoap(
+    circuit: Circuit,
+    state_cost: float = 1.0,
+    observe_state: bool = False,
+) -> ScoapMeasures:
+    """Compute SCOAP measures for *circuit*'s combinational frame.
+
+    With ``observe_state=True`` the next-state lines also seed the
+    observability pass at ``state_cost``: a value latched into a
+    flip-flop can be observed in a later frame, which is the right
+    model for sequential detection-hardness estimates (and would be
+    wrong for single-frame PODEM, hence opt-in).
+    """
     cc0 = [INFINITY] * circuit.num_lines
     cc1 = [INFINITY] * circuit.num_lines
     for line in circuit.inputs:
@@ -116,6 +127,10 @@ def compute_scoap(circuit: Circuit, state_cost: float = 1.0) -> ScoapMeasures:
     co = [INFINITY] * circuit.num_lines
     for line in circuit.outputs:
         co[line] = 0.0
+    if observe_state:
+        for flop in circuit.flops:
+            if state_cost < co[flop.ns]:
+                co[flop.ns] = state_cost
     for gate_index in reversed(circuit.topo_gates):
         gate = circuit.gates[gate_index]
         out_co = co[gate.output]

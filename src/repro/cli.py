@@ -309,6 +309,7 @@ def _mot_spec(args: argparse.Namespace) -> CampaignSpec:
         length=args.length,
         seed=args.seed,
         uncollapsed=args.uncollapsed,
+        collapse=args.collapse,
         kind=kind,
         engine=args.engine,
         n_states=args.n_states,
@@ -646,6 +647,69 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Pre-campaign static analysis of one circuit.
+
+    Renders the fault-equivalence partition (classes, fanout-free
+    regions, advisory dominance) and SCOAP-based detection-hardness
+    scores -- the exact inputs a ``--collapse classes`` campaign and
+    the distributed dispatcher's hardest-first lease ordering use.
+    """
+    from repro.analysis.collapse import fault_classes
+    from repro.analysis.testability import order_by_hardness, score_faults
+    from repro.reporting.analysis import (
+        analysis_json,
+        analysis_payload,
+        render_analysis_report,
+    )
+
+    target = args.target
+    try:
+        if target.endswith(".bench"):
+            circuit = load_bench(target)
+        elif target.endswith(".isc"):
+            from repro.circuit.isc import load_isc
+
+            circuit = load_isc(target)
+        else:
+            circuit = build_circuit(target)
+    except (OSError, KeyError, ValueError, ReproError) as exc:
+        if isinstance(exc, OSError):
+            message = str(exc)
+        else:
+            message = exc.args[0] if exc.args else str(exc)
+        log.error("error: cannot analyze %s: %s", target, message)
+        return EXIT_FAILURE
+
+    partition = fault_classes(circuit)
+    db = None
+    if args.learning:
+        from repro.analysis.learning import learn_circuit
+
+        db = learn_circuit(circuit)
+    scores = score_faults(circuit, partition.representatives(), db=db)
+    order = order_by_hardness(scores)
+    if args.format == "json":
+        print(
+            analysis_json(
+                analysis_payload(
+                    circuit, partition, scores, order,
+                    top=args.top, list_classes=args.list_classes,
+                )
+            ),
+            end="",
+        )
+    else:
+        print(
+            render_analysis_report(
+                circuit, partition, scores, order,
+                top=args.top, list_classes=args.list_classes,
+            ),
+            end="",
+        )
+    return EXIT_OK
+
+
 def _service_url(args: argparse.Namespace) -> str:
     """The job server endpoint: explicit ``--url`` or discovered from
     the service root's ``service.json``."""
@@ -861,6 +925,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="good-machine simulation engine: ir (compiled two-plane "
              "kernel, default) or interp (per-gate interpreter); "
              "verdicts are bit-identical either way",
+    )
+    p_mot.add_argument(
+        "--collapse", choices=("structural", "classes", "none"),
+        default="structural",
+        help="fault-universe handling: structural (simulate one "
+             "representative per equivalence class, default), classes "
+             "(also expand every representative's verdict to its whole "
+             "class -- report/CSV cover the full universe with an "
+             "expanded_from provenance column), or none (simulate "
+             "every fault; same as --uncollapsed)",
     )
     p_mot.add_argument(
         "--baseline", action="store_true",
@@ -1161,6 +1235,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 on warnings too, not just errors",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="pre-campaign static analysis: fault-equivalence classes, "
+             "fanout-free regions, dominance, SCOAP testability",
+    )
+    p_analyze.add_argument(
+        "target",
+        help="a .bench/.isc file (by extension) or a registered "
+             "circuit name",
+    )
+    p_analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is machine-readable)",
+    )
+    p_analyze.add_argument(
+        "--top", type=_positive_int, default=10, metavar="N",
+        help="hardest representatives to list (default %(default)s)",
+    )
+    p_analyze.add_argument(
+        "--learning", action="store_true",
+        help="refine hardness with the static learning pass (counts "
+             "learned implications that excite each fault site; slower)",
+    )
+    p_analyze.add_argument(
+        "--list-classes", action="store_true",
+        help="list every equivalence class with its members",
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_serve = sub.add_parser(
         "serve",

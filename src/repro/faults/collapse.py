@@ -18,41 +18,20 @@ the output.
 
 The collapsed list retains one representative per equivalence class,
 preferring stem faults so that reports read naturally.
+
+The actual partition is computed (and cached per circuit) by
+:mod:`repro.analysis.collapse` over the compiled IR; this module keeps
+the historical entry point and returns that partition's representative
+list, which is identical fault-for-fault to what the original
+per-gate-object collapser produced.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.circuit.netlist import Circuit, Pin
 from repro.faults.model import Fault
-from repro.faults.sites import all_faults
-from repro.logic.gates import GateType
-from repro.logic.values import ONE, ZERO
-
-
-class _UnionFind:
-    """Minimal union-find over hashable items."""
-
-    def __init__(self) -> None:
-        self._parent: Dict[Fault, Fault] = {}
-
-    def find(self, item: Fault) -> Fault:
-        parent = self._parent.setdefault(item, item)
-        if parent is item or parent == item:
-            return item
-        root = self.find(parent)
-        self._parent[item] = root
-        return root
-
-    def union(self, a: Fault, b: Fault) -> None:
-        root_a, root_b = self.find(a), self.find(b)
-        if root_a != root_b:
-            # Prefer stem faults as class representatives.
-            if root_a.is_stem and not root_b.is_stem:
-                self._parent[root_b] = root_a
-            else:
-                self._parent[root_a] = root_b
 
 
 def _input_fault(circuit: Circuit, gate_index: int, pos: int, value: int) -> Fault:
@@ -70,49 +49,9 @@ def collapse_faults(circuit: Circuit) -> List[Fault]:
     The list is deterministic: representatives appear in the order the
     uncollapsed universe enumerates them.
     """
-    universe = all_faults(circuit)
-    uf = _UnionFind()
-    for fault in universe:
-        uf.find(fault)
-    for gate_index, gate in enumerate(circuit.gates):
-        out_sa0 = Fault(gate.output, ZERO, None)
-        out_sa1 = Fault(gate.output, ONE, None)
-        arity = len(gate.inputs)
-        gate_type = gate.gate_type
-        if gate_type in (GateType.CONST0, GateType.CONST1):
-            continue
-        buffer_like = gate_type is GateType.BUF or (
-            arity == 1 and gate_type in (GateType.AND, GateType.OR, GateType.XOR)
-        )
-        inverter_like = gate_type is GateType.NOT or (
-            arity == 1 and gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR)
-        )
-        if buffer_like:
-            uf.union(_input_fault(circuit, gate_index, 0, ZERO), out_sa0)
-            uf.union(_input_fault(circuit, gate_index, 0, ONE), out_sa1)
-            continue
-        if inverter_like:
-            uf.union(_input_fault(circuit, gate_index, 0, ZERO), out_sa1)
-            uf.union(_input_fault(circuit, gate_index, 0, ONE), out_sa0)
-            continue
-        if gate_type is GateType.AND:
-            for pos in range(arity):
-                uf.union(_input_fault(circuit, gate_index, pos, ZERO), out_sa0)
-        elif gate_type is GateType.NAND:
-            for pos in range(arity):
-                uf.union(_input_fault(circuit, gate_index, pos, ZERO), out_sa1)
-        elif gate_type is GateType.OR:
-            for pos in range(arity):
-                uf.union(_input_fault(circuit, gate_index, pos, ONE), out_sa1)
-        elif gate_type is GateType.NOR:
-            for pos in range(arity):
-                uf.union(_input_fault(circuit, gate_index, pos, ONE), out_sa0)
-        # XOR/XNOR with 2+ inputs: no structural equivalences.
-    seen = set()
-    collapsed: List[Fault] = []
-    for fault in universe:
-        root = uf.find(fault)
-        if root not in seen:
-            seen.add(root)
-            collapsed.append(root)
-    return collapsed
+    # Imported lazily: repro.analysis.collapse imports repro.faults
+    # submodules, so a module-level import here would cycle whichever
+    # package initializes first.
+    from repro.analysis.collapse import fault_classes
+
+    return fault_classes(circuit).representatives()

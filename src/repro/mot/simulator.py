@@ -141,6 +141,11 @@ class FaultVerdict:
     ``how`` records the step that established a ``"mot"`` detection
     (``"info"`` for Section 3.2, ``"phase1"`` for mutually conflicting
     restrictions, ``"resim"`` for Section 3.4).
+
+    ``expanded_from`` is empty for simulated faults; a class-collapsed
+    campaign (``collapse="classes"``) sets it to the describe-string of
+    the equivalence-class representative whose verdict this fault
+    inherited, so reports and CSVs keep the provenance visible.
     """
 
     fault: Fault
@@ -150,6 +155,7 @@ class FaultVerdict:
     num_sequences: int = 0
     num_expansions: int = 0
     detail: str = ""
+    expanded_from: str = ""
 
     def __post_init__(self) -> None:
         if self.status not in VERDICT_STATUSES:

@@ -18,6 +18,8 @@ from __future__ import annotations
 #: Fixed metric and phase-timer names, exactly as recorded.
 METRIC_NAMES = frozenset(
     {
+        # Pre-campaign static analysis (repro.analysis.collapse).
+        "analysis.collapse.compute",
         # Phase timers (``with metrics.phase(name)``).
         "backward",
         "conv_sim",

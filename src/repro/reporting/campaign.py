@@ -55,6 +55,10 @@ class CampaignSummary:
     #: process (``errored`` verdicts with ``how == "poison"``); a
     #: subset of ``errored``.
     poisoned: int = 0
+    #: Faults whose verdict was inherited from an equivalence-class
+    #: representative rather than simulated (``expanded_from`` set);
+    #: zero for uncollapsed and structurally collapsed campaigns.
+    expanded: int = 0
 
 
 def dedupe_verdicts(campaign: Campaign) -> Campaign:
@@ -131,6 +135,7 @@ def summarize_campaign(campaign: Campaign) -> CampaignSummary:
             for v in campaign.verdicts
             if v.status == "errored" and v.how == "poison"
         ),
+        expanded=sum(1 for v in campaign.verdicts if v.expanded_from),
     )
 
 
@@ -152,6 +157,12 @@ def render_campaign_report(
            if summary.aborted else ""),
         f"  fault coverage         : {summary.coverage_percent:.2f}%",
     ]
+    if summary.expanded:
+        lines.insert(
+            2,
+            f"  expanded from classes  : {summary.expanded} "
+            f"({summary.total - summary.expanded} simulated)",
+        )
     if summary.aborted_budget:
         lines.insert(
             -1,
@@ -285,11 +296,13 @@ def campaign_csv(campaign: Campaign, circuit: Circuit) -> str:
 
     ``detail`` carries the budget limit or the first line of the
     quarantined traceback for ``aborted`` / ``errored`` rows (flattened
-    to one line so the CSV stays one row per fault).
+    to one line so the CSV stays one row per fault).  ``expanded_from``
+    names the equivalence-class representative a row inherited its
+    verdict from (empty for simulated faults).
     """
     table = Table(
         ["fault", "status", "how", "n_det", "n_conf", "n_extra",
-         "sequences", "expansions", "detail"]
+         "sequences", "expansions", "expanded_from", "detail"]
     )
     for verdict in campaign.verdicts:
         detail = verdict.detail.strip().splitlines()
@@ -303,6 +316,7 @@ def campaign_csv(campaign: Campaign, circuit: Circuit) -> str:
                 "n_extra": verdict.counters.n_extra,
                 "sequences": verdict.num_sequences,
                 "expansions": verdict.num_expansions,
+                "expanded_from": verdict.expanded_from,
                 "detail": detail[-1] if detail else "",
             }
         )

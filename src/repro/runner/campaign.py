@@ -55,6 +55,7 @@ from repro.sim.goodcache import GoodMachineCache
 
 __all__ = [
     "SIMULATOR_KINDS",
+    "COLLAPSE_MODES",
     "CampaignSpec",
     "CampaignResult",
     "SpecError",
@@ -65,6 +66,14 @@ log = logging.getLogger("repro.runner.campaign")
 
 #: Simulator selection accepted by :attr:`CampaignSpec.kind`.
 SIMULATOR_KINDS = ("mot", "baseline", "unrestricted", "fsim")
+
+#: Fault-universe handling accepted by :attr:`CampaignSpec.collapse`:
+#: ``"structural"`` simulates one representative per equivalence class
+#: and reports only those (the historical default), ``"classes"`` also
+#: expands every representative's verdict to its whole class afterwards
+#: (provenance in ``expanded_from``), ``"none"`` simulates the full
+#: uncollapsed universe.
+COLLAPSE_MODES = ("structural", "classes", "none")
 
 #: ``--engine`` choices per simulator kind (mirrors the CLI).
 _MOT_ENGINES = ("ir", "interp")
@@ -111,6 +120,7 @@ class CampaignSpec:
     length: int = 48
     seed: int = 0
     uncollapsed: bool = False
+    collapse: str = "structural"
 
     # -- simulator -----------------------------------------------------
     kind: str = "mot"
@@ -212,6 +222,25 @@ class CampaignSpec:
                 raise SpecError(f"{name} must be positive, got {value}")
         if self.kind == "fsim" and self.hosts:
             raise SpecError("fsim campaigns do not support distributed hosts")
+        if self.collapse not in COLLAPSE_MODES:
+            raise SpecError(
+                f"unknown collapse mode {self.collapse!r} "
+                f"(expected one of {COLLAPSE_MODES})"
+            )
+        if self.uncollapsed and self.collapse == "classes":
+            raise SpecError(
+                "uncollapsed conflicts with collapse='classes' "
+                "(there are no classes to expand over a full universe)"
+            )
+        if self.kind == "fsim" and self.collapse == "classes":
+            raise SpecError(
+                "collapse='classes' requires a MOT-family campaign "
+                "(fsim verdicts carry no expansion provenance)"
+            )
+
+    def effective_collapse(self) -> str:
+        """The collapse mode after the legacy ``uncollapsed`` flag."""
+        return "none" if self.uncollapsed else self.collapse
 
     # ------------------------------------------------------------------
     def build_circuit(self) -> Circuit:
@@ -292,6 +321,12 @@ class CampaignResult:
     faults: List[Fault] = field(repr=False)
     stats: Any = None
     supervised: bool = False
+    #: The :class:`repro.analysis.collapse.CollapsePartition` behind a
+    #: ``collapse="classes"`` campaign (``None`` otherwise).  With a
+    #: partition present, ``campaign``/``faults`` hold the expanded
+    #: universe and ``simulated`` the representative count.
+    partition: Any = field(default=None, repr=False)
+    simulated: Optional[int] = None
 
     @property
     def errored(self) -> int:
@@ -375,6 +410,76 @@ def _run_fsim(
     )
 
 
+def _expand_campaign(campaign: Any, partition: Any, circuit: Circuit) -> Any:
+    """Expand representative verdicts to their whole equivalence class.
+
+    Returns a new :class:`~repro.mot.simulator.Campaign` over the full
+    uncollapsed universe, in universe enumeration order.  Every
+    non-representative member inherits its representative's verdict
+    with ``expanded_from`` naming the representative -- sound because
+    structurally equivalent faults produce identical faulty functions
+    on every line, hence identical detection outcomes (see
+    ALGORITHMS.md section 18; dominance is deliberately *not* expanded
+    over).  Representatives that never received a verdict (interrupted
+    run) expand to nothing, mirroring their absence.
+    """
+    from dataclasses import replace
+
+    from repro.mot.simulator import Campaign
+
+    by_key = {
+        (v.fault.line, v.fault.stuck_at, v.fault.pin): v
+        for v in campaign.verdicts
+    }
+    expanded = []
+    for fault in partition.universe:
+        representative = partition.class_of(fault).representative
+        source = by_key.get(
+            (
+                representative.line,
+                representative.stuck_at,
+                representative.pin,
+            )
+        )
+        if source is None:
+            continue
+        if fault == representative:
+            expanded.append(source)
+        else:
+            expanded.append(
+                replace(
+                    source,
+                    fault=fault,
+                    expanded_from=representative.describe(circuit),
+                )
+            )
+    return Campaign(
+        circuit_name=campaign.circuit_name, verdicts=expanded
+    )
+
+
+def _journal_expansions(
+    path: str, campaign: Any, partition: Any
+) -> None:
+    """Append one ``expansion`` record per inherited verdict to the
+    campaign journal, so journal consumers can reconstruct the expanded
+    universe without re-running the collapse analysis."""
+    from repro.runner.journal import CampaignJournal, expansion_to_record
+
+    journal = CampaignJournal(path)
+    for universe_index, verdict in enumerate(campaign.verdicts):
+        if not verdict.expanded_from:
+            continue
+        journal.append(
+            expansion_to_record(
+                universe_index,
+                verdict,
+                partition.class_of(verdict.fault).index,
+            )
+        )
+    journal.flush()
+
+
 def run_campaign(
     spec: CampaignSpec,
     cancel_event: Optional[threading.Event] = None,
@@ -389,9 +494,22 @@ def run_campaign(
     """
     spec.validate()
     circuit = spec.build_circuit()
-    faults = (
-        all_faults(circuit) if spec.uncollapsed else collapse_faults(circuit)
-    )
+    mode = spec.effective_collapse()
+    partition = None
+    if mode == "none":
+        faults = all_faults(circuit)
+    elif mode == "classes":
+        from repro.analysis.collapse import fault_classes
+
+        partition = fault_classes(circuit)
+        faults = partition.representatives()
+        log.info(
+            "%s: collapsed %d faults into %d classes (%.1f%% pruned)",
+            circuit.name, partition.universe_size, partition.num_classes,
+            partition.reduction_percent,
+        )
+    else:
+        faults = collapse_faults(circuit)
     patterns = random_patterns(circuit.num_inputs, spec.length, spec.seed)
     log.debug(
         "%s: %d faults, %d patterns (seed %d)",
@@ -416,8 +534,14 @@ def run_campaign(
         )
         from repro.runner.transport import make_transport
 
+        from repro.analysis.testability import hardest_first
+
         hosts = list(spec.hosts)
         transport = make_transport(spec.transport, spec.command_template)
+        # Lease hard faults first: stragglers surface while cheap tail
+        # work remains for the lease book to rebalance.  Ordering is
+        # wall-clock only -- verdicts stay keyed by fault index.
+        order = tuple(hardest_first(circuit, faults))
         dispatch_config = DispatchConfig(
             chunk_size=spec.chunk_size,
             lease_timeout=spec.lease_timeout,
@@ -427,6 +551,7 @@ def run_campaign(
             resume=spec.resume,
             budget=budget,
             cancel_event=cancel_event,
+            dispatch_order=order,
         )
         if spec.no_supervise:
             runner: Any = DistributedCampaignRunner(
@@ -498,6 +623,17 @@ def run_campaign(
             ),
         )
     campaign = runner.run(faults)
+    simulated = None
+    if partition is not None:
+        simulated = len(campaign.verdicts)
+        campaign = _expand_campaign(campaign, partition, circuit)
+        label += (
+            f", expanded {simulated} class representatives to "
+            f"{len(campaign.verdicts)} faults"
+        )
+        if spec.checkpoint_path:
+            _journal_expansions(spec.checkpoint_path, campaign, partition)
+        faults = list(partition.universe)
     return CampaignResult(
         campaign=campaign,
         kind=spec.kind,
@@ -506,4 +642,6 @@ def run_campaign(
         faults=faults,
         stats=runner.stats,
         supervised=supervised,
+        partition=partition,
+        simulated=simulated,
     )

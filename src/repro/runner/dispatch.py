@@ -48,7 +48,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.runtime import chaos_clock_tick, chaos_now, wrap_handle
 from repro.errors import (
@@ -135,6 +135,16 @@ class DispatchConfig:
         hosts down, and raises
         :class:`~repro.errors.CampaignInterrupted` -- the same
         cooperative path a Ctrl-C takes.
+    dispatch_order:
+        Optional permutation of the fault-list indices giving the
+        order leases are cut from the pending queue (typically
+        hardest-first from
+        :func:`repro.analysis.testability.hardest_first`, so expensive
+        faults dispatch early and stragglers surface while cheap tail
+        work remains to rebalance).  Results are keyed by fault index
+        throughout, so the order changes wall-clock balance only,
+        never the campaign's verdicts.  ``None`` keeps fault-list
+        order.
     """
 
     chunk_size: int = 4
@@ -150,6 +160,7 @@ class DispatchConfig:
     resume: bool = False
     budget: Optional[FaultBudget] = None
     cancel_event: Optional[threading.Event] = None
+    dispatch_order: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
@@ -429,8 +440,18 @@ class DistributedCampaignRunner:
         self._journal = journal
         self.stats.reused = len(reused)
 
+        order = self.config.dispatch_order
+        if order is not None:
+            if sorted(order) != list(range(len(fault_list))):
+                raise ValueError(
+                    "dispatch_order must be a permutation of the "
+                    f"{len(fault_list)} fault-list indices"
+                )
+            pending = [i for i in order if i not in reused]
+        else:
+            pending = [i for i in range(len(fault_list)) if i not in reused]
         book = LeaseBook(
-            [i for i in range(len(fault_list)) if i not in reused],
+            pending,
             self.config.chunk_size,
             self.config.lease_timeout,
         )
@@ -796,7 +817,9 @@ class DistributedCampaignRunner:
             del self._latencies[:-256]
 
     # ---------------------------------------------------- journal I/O
-    def _open_journal(self, manifest: Dict[str, Any]):
+    def _open_journal(
+        self, manifest: Dict[str, Any],
+    ) -> Tuple[Optional[CampaignJournal], Dict[int, FaultVerdict]]:
         path = self.config.checkpoint_path
         if path is None:
             return None, {}

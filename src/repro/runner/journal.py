@@ -88,6 +88,7 @@ __all__ = [
     "fault_from_payload",
     "verdict_to_record",
     "verdict_from_record",
+    "expansion_to_record",
     "metrics_to_record",
     "lease_to_record",
     "host_to_record",
@@ -128,7 +129,7 @@ def fault_from_payload(payload: Dict[str, Any]) -> Fault:
 
 def verdict_to_record(index: int, verdict: FaultVerdict) -> Dict[str, Any]:
     """One journal line for *verdict* at fault-list position *index*."""
-    return {
+    record = {
         "kind": "verdict",
         "index": index,
         "fault": fault_to_payload(verdict.fault),
@@ -143,6 +144,11 @@ def verdict_to_record(index: int, verdict: FaultVerdict) -> Dict[str, Any]:
         "num_sequences": verdict.num_sequences,
         "num_expansions": verdict.num_expansions,
     }
+    # Only written when set, so journals from campaigns that never
+    # expand stay byte-compatible with older readers.
+    if verdict.expanded_from:
+        record["expanded_from"] = verdict.expanded_from
+    return record
 
 
 def verdict_from_record(record: Dict[str, Any]) -> FaultVerdict:
@@ -156,7 +162,29 @@ def verdict_from_record(record: Dict[str, Any]) -> FaultVerdict:
         counters=FaultCounters(n_det=n_det, n_conf=n_conf, n_extra=n_extra),
         num_sequences=record["num_sequences"],
         num_expansions=record["num_expansions"],
+        expanded_from=record.get("expanded_from", ""),
     )
+
+
+def expansion_to_record(
+    universe_index: int, verdict: FaultVerdict, class_index: int
+) -> Dict[str, Any]:
+    """One journal line recording a class-expanded verdict.
+
+    Written after the run by class-collapsed campaigns, one line per
+    non-representative class member, so journal consumers can
+    reconstruct the full expanded universe without re-running the
+    collapse analysis.  Readers that predate the record kind skip it
+    (unknown kinds are tolerated by :meth:`CampaignJournal.load`).
+    """
+    return {
+        "kind": "expansion",
+        "index": universe_index,
+        "class_index": class_index,
+        "fault": fault_to_payload(verdict.fault),
+        "status": verdict.status,
+        "expanded_from": verdict.expanded_from,
+    }
 
 
 def metrics_to_record(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,65 @@
+"""Property: collapsing never changes a campaign's per-fault verdicts.
+
+The soundness claim behind ``--collapse classes`` is that every fault in
+an equivalence class has the *same* faulty function, hence the same
+verdict under any simulator and pattern sequence.  These tests simulate
+the full uncollapsed universe and the representatives-only list on
+seeded random Moore machines and require status equality fault by fault
+-- exactly what :func:`repro.runner.campaign.run_campaign` relies on
+when it expands class verdicts after a collapsed run.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.collapse import fault_classes
+from repro.circuits.generators import random_moore
+from repro.mot.simulator import ProposedSimulator
+from repro.patterns.random_gen import random_patterns
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _statuses_by_fault(circuit, patterns, faults):
+    campaign = ProposedSimulator(circuit, patterns).run(faults)
+    return {verdict.fault: verdict.status for verdict in campaign.verdicts}
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 50_000), pattern_seed=st.integers(0, 1_000))
+def test_expanded_class_verdicts_match_uncollapsed(seed, pattern_seed):
+    circuit = random_moore(seed, num_inputs=2, num_flops=3, num_gates=10)
+    patterns = random_patterns(2, 6, seed=pattern_seed)
+    partition = fault_classes(circuit)
+
+    full = _statuses_by_fault(circuit, patterns, list(partition.universe))
+    collapsed = _statuses_by_fault(
+        circuit, patterns, partition.representatives()
+    )
+
+    for fault in partition.universe:
+        representative = partition.class_of(fault).representative
+        expanded = collapsed[representative]
+        assert full[fault] == expanded, (
+            f"{fault.describe(circuit)} got {full[fault]!r} uncollapsed "
+            f"but its class representative "
+            f"{representative.describe(circuit)} got {expanded!r}"
+        )
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 50_000))
+def test_partition_structure_on_random_circuits(seed):
+    circuit = random_moore(seed, num_inputs=3, num_flops=2, num_gates=12)
+    partition = fault_classes(circuit)
+    seen = set()
+    for cls in partition.classes:
+        assert cls.representative in cls.members
+        for member in cls.members:
+            assert member not in seen
+            seen.add(member)
+    assert seen == set(partition.universe)
+    assert partition.num_classes <= partition.universe_size

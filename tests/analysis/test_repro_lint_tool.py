@@ -1,4 +1,4 @@
-"""Project AST lint (tools/repro_lint.py): RL001-RL004 behaviour."""
+"""Project AST lint (tools/repro_lint.py): RL001-RL005 behaviour."""
 
 import importlib.util
 import os
@@ -151,6 +151,65 @@ def test_all_export_counts_as_usage(tmp_path):
 
 def test_future_imports_are_exempt(tmp_path):
     assert problems_for(tmp_path, "from __future__ import annotations\n") == []
+
+
+# ----------------------------------------------------------------------
+# RL005: determinism guard (no wall clock / unseeded RNG in decision
+# paths: repro.analysis, repro.sim, repro.runner.dispatch)
+# ----------------------------------------------------------------------
+SCOPED = os.path.join("repro", "analysis", "mod.py")
+
+
+def test_wall_clock_in_analysis_is_flagged(tmp_path):
+    source = "import time\nstamp = time.time()\n"
+    problems = problems_for(tmp_path, source, rel_path=SCOPED)
+    assert rules_of(problems) == ["RL005"]
+    assert "time.time()" in problems[0].message
+
+
+def test_time_ns_in_sim_is_flagged(tmp_path):
+    source = "import time\nstamp = time.time_ns()\n"
+    rel = os.path.join("repro", "sim", "mod.py")
+    assert rules_of(problems_for(tmp_path, source, rel_path=rel)) == ["RL005"]
+
+
+def test_from_time_import_time_is_flagged(tmp_path):
+    source = "from time import time\nstamp = time()\n"
+    problems = problems_for(tmp_path, source, rel_path=SCOPED)
+    assert rules_of(problems) == ["RL005"]
+
+
+def test_global_random_call_in_dispatch_is_flagged(tmp_path):
+    source = "import random\npick = random.randint(0, 7)\n"
+    rel = os.path.join("repro", "runner", "dispatch.py")
+    problems = problems_for(tmp_path, source, rel_path=rel)
+    assert rules_of(problems) == ["RL005"]
+    assert "random.randint" in problems[0].message
+
+
+def test_seedless_random_instance_is_flagged(tmp_path):
+    source = "import random\nrng = random.Random()\n"
+    problems = problems_for(tmp_path, source, rel_path=SCOPED)
+    assert rules_of(problems) == ["RL005"]
+    assert "seed" in problems[0].message
+
+
+def test_seeded_random_and_monotonic_pass(tmp_path):
+    source = (
+        "import random\n"
+        "import time\n"
+        "rng = random.Random(7)\n"
+        "t0 = time.monotonic()\n"
+        "time.sleep(0)\n"
+    )
+    assert problems_for(tmp_path, source, rel_path=SCOPED) == []
+
+
+def test_wall_clock_outside_scope_is_not_flagged(tmp_path):
+    # repro.runner.journal legitimately timestamps coordination records.
+    source = "import time\nstamp = time.time()\n"
+    rel = os.path.join("repro", "runner", "journal.py")
+    assert problems_for(tmp_path, source, rel_path=rel) == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""Golden class-partition fixtures: the collapsing rules are frozen.
+
+Each ``tests/circuits/golden/<name>.classes.json`` fixture pins the
+structural fault-equivalence partition of one example circuit -- class
+membership, representative choice, FFR count, dominance edges.  A rule
+change that moves any fault between classes fails here; regenerate with
+``python tools/make_class_fixtures.py`` when the change is intentional.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.circuit.bench import load_bench
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+FIXTURES = sorted(
+    name for name in os.listdir(GOLDEN_DIR) if name.endswith(".classes.json")
+)
+
+
+def _load_tool():
+    path = os.path.join(ROOT, "tools", "make_class_fixtures.py")
+    spec = importlib.util.spec_from_file_location("make_class_fixtures", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+tool = _load_tool()
+
+
+def test_all_three_fixtures_exist():
+    names = {name.split(".")[0] for name in FIXTURES}
+    assert {"s27", "fig4", "learned_demo"} <= names
+
+
+@pytest.mark.parametrize("fixture_name", FIXTURES)
+def test_partition_matches_fixture(fixture_name):
+    with open(os.path.join(GOLDEN_DIR, fixture_name)) as handle:
+        frozen = json.load(handle)
+    circuit = load_bench(os.path.join(ROOT, frozen["bench"]))
+    live = tool.partition_payload(circuit)
+    live["bench"] = frozen["bench"]
+    # Rebuilt from a different path, so the recorded name differs; the
+    # partition itself must not.
+    live["circuit"] = frozen["circuit"]
+    assert live == frozen

@@ -26,7 +26,8 @@ EXPECTED_FIXTURES = {"s27", "toggle", "fig4", "learned_demo"}
 
 def _fixtures():
     return sorted(
-        name for name in os.listdir(_GOLDEN_DIR) if name.endswith(".json")
+        name for name in os.listdir(_GOLDEN_DIR)
+        if name.endswith(".json") and not name.endswith(".classes.json")
     )
 
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Regenerate the class-partition fixtures under ``tests/circuits/golden/``.
+
+Each ``<name>.classes.json`` fixture freezes the structural
+fault-equivalence partition (:func:`repro.analysis.collapse.fault_classes`)
+of one circuit: every class with its representative and members (by
+``Fault.describe`` name), the fanout-free-region count, and the advisory
+dominance edges.  The replay test
+(``tests/circuits/test_class_fixtures.py``) recomputes the partition and
+compares, so an edit to the collapsing rules that moves any fault to a
+different class -- or changes a representative -- fails visibly instead
+of silently shifting which faults a collapsed campaign simulates.
+
+Run from the repository root after an *intentional* rule change:
+
+    python tools/make_class_fixtures.py
+
+and commit the diff together with the change that explains it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.analysis.collapse import fault_classes
+from repro.circuit.bench import load_bench
+
+#: Bench file per fixture; the fixture name is the file's basename.
+WORKLOADS = (
+    "examples/circuits/s27.bench",
+    "examples/circuits/fig4.bench",
+    "examples/circuits/learned_demo.bench",
+)
+
+GOLDEN_DIR = os.path.join("tests", "circuits", "golden")
+
+
+def partition_payload(circuit):
+    """JSON-serializable snapshot of the circuit's fault partition."""
+    partition = fault_classes(circuit)
+    return {
+        "circuit": circuit.name,
+        "universe_faults": partition.universe_size,
+        "num_classes": partition.num_classes,
+        "reduction_percent": round(partition.reduction_percent, 2),
+        "fanout_free_regions": partition.num_ffrs,
+        "classes": [
+            {
+                "representative": cls.representative.describe(circuit),
+                "members": [
+                    fault.describe(circuit) for fault in cls.members
+                ],
+            }
+            for cls in partition.classes
+        ],
+        "dominance": [
+            [edge.dominator, edge.dominated] for edge in partition.dominance
+        ],
+    }
+
+
+def main() -> int:
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    os.chdir(root)
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for bench_path in WORKLOADS:
+        circuit = load_bench(bench_path)
+        fixture = partition_payload(circuit)
+        fixture["bench"] = bench_path.replace(os.sep, "/")
+        name = os.path.splitext(os.path.basename(bench_path))[0]
+        out_path = os.path.join(GOLDEN_DIR, f"{name}.classes.json")
+        with open(out_path, "w") as handle:
+            json.dump(fixture, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote {out_path} ({fixture['universe_faults']} faults -> "
+            f"{fixture['num_classes']} classes)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

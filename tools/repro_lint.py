@@ -25,6 +25,17 @@ Four rules, each encoding a convention the generic linters cannot see:
 ``RL004`` -- no unused imports (``__init__.py`` re-export modules are
     exempt).
 
+``RL005`` -- no wall-clock or unseeded randomness in determinism-scoped
+    decision paths (``repro.analysis``, ``repro.sim``,
+    ``repro.runner.dispatch``).  These modules decide what gets
+    simulated and in what order; campaign results and dispatch
+    schedules must be pure functions of their inputs, so
+    ``time.time()`` / ``time.time_ns()`` (and importing them), calls
+    on the module-level ``random`` RNG, and seedless
+    ``random.Random()`` are banned there.  ``time.monotonic()`` /
+    ``time.sleep()`` (pacing, not decisions) and seeded
+    ``random.Random(seed)`` instances remain fine.
+
 Usage::
 
     python tools/repro_lint.py [PATH ...] [--format text|json]
@@ -50,6 +61,14 @@ from repro.obs.names import METRIC_PREFIXES, is_declared  # noqa: E402
 
 #: Files where RL001 does not apply (stdout is their job).
 _PRINT_ALLOWED = {os.path.join("repro", "cli.py")}
+#: Determinism scope of RL005: directory fragments and exact files.
+_DETERMINISM_DIRS = (
+    os.path.join("repro", "analysis") + os.sep,
+    os.path.join("repro", "sim") + os.sep,
+)
+_DETERMINISM_FILES = (os.path.join("repro", "runner", "dispatch.py"),)
+#: Wall-clock reads banned by RL005 (monotonic/sleep stay allowed).
+_WALL_CLOCK_NAMES = {"time", "time_ns"}
 #: Metric-recording method names checked by RL003.
 _METRIC_METHODS = {"counter", "observe", "phase"}
 #: Receiver names accepted as a metrics registry for RL003.
@@ -112,10 +131,18 @@ def _status_literals(node: ast.expr) -> Iterator[ast.Constant]:
                 yield element
 
 
+def _in_determinism_scope(rel_path: str) -> bool:
+    """True for files whose decision paths RL005 protects."""
+    return any(fragment in rel_path for fragment in _DETERMINISM_DIRS) or any(
+        rel_path.endswith(name) for name in _DETERMINISM_FILES
+    )
+
+
 class _Checker(ast.NodeVisitor):
     def __init__(self, rel_path: str, init_file: bool) -> None:
         self.rel_path = rel_path
         self.init_file = init_file
+        self.determinism_scope = _in_determinism_scope(rel_path)
         self.problems: List[Problem] = []
         self.imports: List[Tuple[str, int]] = []  # (bound name, line)
         self.used_names: set = set()
@@ -156,7 +183,42 @@ class _Checker(ast.NodeVisitor):
             name, prefix_only = _metric_name_literal(node.args[0])
             if name is not None:
                 self._check_metric_name(node.args[0], name, prefix_only)
+        if self.determinism_scope:
+            self._check_determinism_call(node)
         self.generic_visit(node)
+
+    def _check_determinism_call(self, node: ast.Call) -> None:
+        """RL005: wall-clock / unseeded-RNG calls in scoped modules."""
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+        ):
+            return
+        receiver, method = func.value.id, func.attr
+        if receiver == "time" and method in _WALL_CLOCK_NAMES:
+            self.problem(
+                "RL005", node.lineno,
+                f"wall-clock read time.{method}() in a determinism-scoped "
+                "module; decisions here must be pure functions of their "
+                "inputs (time.monotonic()/time.sleep() are allowed for "
+                "pacing)",
+            )
+        elif receiver == "random":
+            if method == "Random":
+                if not node.args and not node.keywords:
+                    self.problem(
+                        "RL005", node.lineno,
+                        "seedless random.Random() in a determinism-scoped "
+                        "module; pass an explicit seed",
+                    )
+            else:
+                self.problem(
+                    "RL005", node.lineno,
+                    f"module-level random.{method}() uses the unseeded "
+                    "global RNG in a determinism-scoped module; use a "
+                    "seeded random.Random(seed) instance",
+                )
 
     def _check_status(self, literal: ast.Constant) -> None:
         if literal.value not in VERDICT_STATUSES:
@@ -205,6 +267,19 @@ class _Checker(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "__future__":
             return
+        if (
+            self.determinism_scope
+            and node.module == "time"
+            and node.level == 0
+        ):
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_NAMES:
+                    self.problem(
+                        "RL005", node.lineno,
+                        f"importing {alias.name!r} from time in a "
+                        "determinism-scoped module; wall-clock reads are "
+                        "banned here",
+                    )
         for alias in node.names:
             if alias.name == "*":
                 continue
